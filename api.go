@@ -1,0 +1,391 @@
+package divtopk
+
+import (
+	"io"
+
+	"divtopk/internal/core"
+	"divtopk/internal/diversify"
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+	"divtopk/internal/simulation"
+)
+
+// Graph is an immutable directed labeled data graph with optional node
+// attributes. Build one with NewGraphBuilder, parse one with ReadGraph, or
+// generate one with the New*Like generators.
+//
+// A Graph lazily builds and caches the descendant-label bound index the
+// first time TopK runs on it, so repeated queries amortize it the way the
+// paper's precomputed index does. A Graph is not safe for concurrent TopK
+// calls until one query has completed per label set (warm the cache with a
+// throwaway query first, or serialize access).
+type Graph struct {
+	g      *graph.Graph
+	bounds *core.BoundsCache
+}
+
+// boundsCache returns the lazily created per-graph bound index.
+func (g *Graph) boundsCache() *core.BoundsCache {
+	if g.bounds == nil {
+		g.bounds = core.NewBoundsCache(g.g, true)
+	}
+	return g.bounds
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.g.NumNodes() }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// Label returns the label of node v.
+func (g *Graph) Label(v int) string { return g.g.Label(graph.NodeID(v)) }
+
+// Successors returns the out-neighbors of v.
+func (g *Graph) Successors(v int) []int {
+	out := g.g.Out(graph.NodeID(v))
+	res := make([]int, len(out))
+	for i, w := range out {
+		res[i] = int(w)
+	}
+	return res
+}
+
+// Stats returns a human-readable structural summary.
+func (g *Graph) Stats() string { return graph.ComputeStats(g.g).String() }
+
+// Attr returns node v's attribute under key, rendered as a string
+// (integers in decimal), and whether it exists.
+func (g *Graph) Attr(v int, key string) (string, bool) {
+	val, ok := g.g.Attr(graph.NodeID(v), key)
+	if !ok {
+		return "", false
+	}
+	return val.String(), true
+}
+
+// Attr is a typed node attribute; construct with Int or Str.
+type Attr struct {
+	key string
+	val graph.Value
+}
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{key, graph.IntValue(v)} }
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{key, graph.StrValue(v)} }
+
+// GraphBuilder accumulates nodes and edges for a Graph.
+type GraphBuilder struct {
+	b *graph.Builder
+}
+
+// NewGraphBuilder returns an empty builder.
+func NewGraphBuilder() *GraphBuilder { return &GraphBuilder{b: graph.NewBuilder()} }
+
+// AddNode appends a node and returns its ID (dense, starting at 0).
+func (b *GraphBuilder) AddNode(label string, attrs ...Attr) int {
+	m := make(map[string]graph.Value, len(attrs))
+	for _, a := range attrs {
+		m[a.key] = a.val
+	}
+	return int(b.b.AddNode(label, m))
+}
+
+// AddEdge appends the directed edge (u, v).
+func (b *GraphBuilder) AddEdge(u, v int) error {
+	return b.b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+}
+
+// Build finalizes the graph; the builder must not be reused.
+func (b *GraphBuilder) Build() *Graph { return &Graph{g: b.b.Build()} }
+
+// Pattern is a validated pattern graph Q = (Vp, Ep, fv, uo) with a
+// designated output node.
+type Pattern struct {
+	p *pattern.Pattern
+}
+
+// String renders the pattern compactly.
+func (p *Pattern) String() string { return p.p.String() }
+
+// IsDAG reports whether the pattern is acyclic.
+func (p *Pattern) IsDAG() bool { return p.p.IsDAG() }
+
+// NumNodes returns |Vp|.
+func (p *Pattern) NumNodes() int { return p.p.NumNodes() }
+
+// NumEdges returns |Ep|.
+func (p *Pattern) NumEdges() int { return p.p.NumEdges() }
+
+// Pred is a search-condition predicate on a node attribute; construct with
+// Eq, Ne, Lt, Le, Gt, Ge or Contains.
+type Pred struct {
+	pr pattern.Predicate
+}
+
+// Eq builds attr = value (value: int64, int or string).
+func Eq(attr string, value any) Pred { return Pred{pattern.AttrEq(attr, value)} }
+
+// Ne builds attr != value.
+func Ne(attr string, value any) Pred { return Pred{pattern.AttrNe(attr, value)} }
+
+// Lt builds attr < value.
+func Lt(attr string, value int64) Pred { return Pred{pattern.AttrLt(attr, value)} }
+
+// Le builds attr <= value.
+func Le(attr string, value int64) Pred { return Pred{pattern.AttrLe(attr, value)} }
+
+// Gt builds attr > value.
+func Gt(attr string, value int64) Pred { return Pred{pattern.AttrGt(attr, value)} }
+
+// Ge builds attr >= value.
+func Ge(attr string, value int64) Pred { return Pred{pattern.AttrGe(attr, value)} }
+
+// Contains builds a substring predicate on a string attribute.
+func Contains(attr, sub string) Pred { return Pred{pattern.AttrContains(attr, sub)} }
+
+// PatternBuilder accumulates query nodes and edges for a Pattern.
+type PatternBuilder struct {
+	p      *pattern.Pattern
+	outSet bool
+}
+
+// NewPatternBuilder returns an empty builder; the first added node is the
+// output node unless Output is called.
+func NewPatternBuilder() *PatternBuilder { return &PatternBuilder{p: pattern.New()} }
+
+// AddNode appends a query node with a label and optional predicates.
+func (b *PatternBuilder) AddNode(label string, preds ...Pred) int {
+	ps := make([]pattern.Predicate, len(preds))
+	for i, pr := range preds {
+		ps[i] = pr.pr
+	}
+	return b.p.AddNode(label, ps...)
+}
+
+// AddEdge appends the query edge (u, v).
+func (b *PatternBuilder) AddEdge(u, v int) error { return b.p.AddEdge(u, v) }
+
+// Output designates u as the output node (marked '*' in the paper).
+func (b *PatternBuilder) Output(u int) error {
+	b.outSet = true
+	return b.p.SetOutput(u)
+}
+
+// Build validates and returns the pattern.
+func (b *PatternBuilder) Build() (*Pattern, error) {
+	if err := b.p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pattern{p: b.p}, nil
+}
+
+// ReadGraph parses a graph in the text format of cmd/graphgen.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	g, err := graph.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// WriteGraph serializes g in the text format.
+func WriteGraph(w io.Writer, g *Graph) error { return graph.Write(w, g.g) }
+
+// ReadPattern parses a pattern in the text format (output node marked '*').
+func ReadPattern(r io.Reader) (*Pattern, error) {
+	p, err := pattern.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p: p}, nil
+}
+
+// WritePattern serializes p in the text format.
+func WritePattern(w io.Writer, p *Pattern) error { return pattern.Write(w, p.p) }
+
+// Match is one ranked match of the pattern's output node.
+type Match struct {
+	// Node is the matched data node.
+	Node int
+	// Label is its label.
+	Label string
+	// Relevance is the known lower bound on δr (exact when Exact is true).
+	Relevance int
+	// Upper is the upper bound on δr at termination.
+	Upper int
+	// Exact reports whether Relevance is exactly δr.
+	Exact bool
+	// RelevantSet lists the data nodes of the (possibly partial) relevant
+	// set backing Relevance.
+	RelevantSet []int
+}
+
+// Stats summarizes the work a query did; Examined/|Mu| is the paper's MR.
+type Stats struct {
+	// Candidates is the number of candidate nodes of the output node.
+	Candidates int
+	// Examined is the number of output matches inspected before stopping.
+	Examined int
+	// Batches is the number of propagation rounds.
+	Batches int
+	// EarlyTerminated reports whether the run stopped before exhausting the
+	// candidate space.
+	EarlyTerminated bool
+}
+
+// Result is a top-k answer.
+type Result struct {
+	// Matches holds up to k matches sorted by descending relevance.
+	Matches []Match
+	// GlobalMatch reports whether G matches Q at all.
+	GlobalMatch bool
+	// Stats summarizes the work done.
+	Stats Stats
+}
+
+// DiversifiedResult is a diversified top-k answer.
+type DiversifiedResult struct {
+	// Matches is the selected k-set.
+	Matches []Match
+	// F is the diversification objective value of Matches.
+	F float64
+	// GlobalMatch reports whether G matches Q at all.
+	GlobalMatch bool
+	// Stats summarizes the work done.
+	Stats Stats
+}
+
+// Matches computes Mu(Q,G,uo): all data nodes matching the output node
+// under graph simulation, in ascending node order (empty when G does not
+// match Q).
+func (g *Graph) Matches(p *Pattern) []int {
+	res := simulation.Compute(g.g, p.p)
+	ms := res.MatchesOf(p.p.Output())
+	out := make([]int, len(ms))
+	for i, v := range ms {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// TopK returns the k most relevant matches of the output node of p in g,
+// using the early-termination engine by default (see Options for the
+// baseline and the nopt variants).
+func TopK(g *Graph, p *Pattern, k int, opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	var (
+		res *core.Result
+		err error
+	)
+	if o.baseline {
+		res, err = core.MatchBaseline(g.g, p.p, k, true)
+	} else {
+		eng := o.engine
+		if eng.Cache == nil && eng.Bounds != core.BoundTight {
+			eng.Cache = g.boundsCache()
+		}
+		res, err = core.TopK(g.g, p.p, k, eng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convertResult(g, res), nil
+}
+
+// TopKDiversified returns a k-set of matches balancing relevance and
+// diversity under the bi-criteria function F with parameter lambda ∈ [0,1]
+// (0 = pure relevance, 1 = pure diversity). The default algorithm is the
+// early-termination heuristic TopKDH; WithApproximation selects the
+// 2-approximation TopKDiv instead.
+func TopKDiversified(g *Graph, p *Pattern, k int, lambda float64, opts ...Option) (*DiversifiedResult, error) {
+	o := buildOptions(opts)
+	var (
+		res *diversify.Result
+		err error
+	)
+	if o.approx {
+		res, err = diversify.TopKDiv(g.g, p.p, k, lambda)
+	} else {
+		eng := o.engine
+		if eng.Cache == nil && eng.Bounds != core.BoundTight {
+			eng.Cache = g.boundsCache()
+		}
+		res, err = diversify.TopKDH(g.g, p.p, k, lambda, eng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &DiversifiedResult{
+		F:           res.F,
+		GlobalMatch: res.GlobalMatch,
+		Stats:       convertStats(res.Stats),
+	}
+	for _, m := range res.Matches {
+		out.Matches = append(out.Matches, convertMatch(g, m))
+	}
+	return out, nil
+}
+
+func convertResult(g *Graph, res *core.Result) *Result {
+	out := &Result{GlobalMatch: res.GlobalMatch, Stats: convertStats(res.Stats)}
+	for _, m := range res.Matches {
+		out.Matches = append(out.Matches, convertMatchWithSpace(g, m, res.Space))
+	}
+	return out
+}
+
+func convertStats(s core.Stats) Stats {
+	return Stats{
+		Candidates:      s.CandidatesOfOutput,
+		Examined:        s.MatchesFound,
+		Batches:         s.Batches,
+		EarlyTerminated: s.EarlyTerminated,
+	}
+}
+
+func convertMatch(g *Graph, m core.Match) Match {
+	return Match{
+		Node:      int(m.Node),
+		Label:     g.g.Label(m.Node),
+		Relevance: m.Relevance,
+		Upper:     m.Upper,
+		Exact:     m.Exact,
+	}
+}
+
+func convertMatchWithSpace(g *Graph, m core.Match, space *simulation.RelSpace) Match {
+	out := convertMatch(g, m)
+	if m.R != nil && space != nil {
+		for _, v := range space.NodesOf(m.R) {
+			out.RelevantSet = append(out.RelevantSet, int(v))
+		}
+	}
+	return out
+}
+
+// InducedSubgraph returns the subgraph of g induced by the given nodes,
+// plus the mapping from new IDs to original ones — the "graph induced by a
+// relevant set" of the paper's case study.
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int) {
+	keep := make([]graph.NodeID, len(nodes))
+	for i, v := range nodes {
+		keep[i] = graph.NodeID(v)
+	}
+	sub, orig := graph.InducedSubgraph(g.g, keep)
+	back := make([]int, len(orig))
+	for i, v := range orig {
+		back[i] = int(v)
+	}
+	return &Graph{g: sub}, back
+}
+
+// Unwrap exposes the internal graph to sibling packages inside this module
+// (the bench harness); external users have no use for it.
+func (g *Graph) Unwrap() any { return g.g }
+
+// UnwrapPattern exposes the internal pattern to sibling packages inside
+// this module.
+func (p *Pattern) UnwrapPattern() any { return p.p }

@@ -1,0 +1,44 @@
+// Package divtopk is a Go implementation of "Diversified Top-k Graph
+// Pattern Matching" (Fan, Wang, Wu — PVLDB 6(13), 2013).
+//
+// It implements graph pattern matching by graph simulation with a
+// designated output node, and answers two query classes over large directed
+// labeled graphs:
+//
+//   - Top-k matching (TopK): the k matches of the output node with the
+//     highest relevance δr (the size of their relevant set — the set of
+//     matches they can reach through the pattern), found with the early
+//     termination property: the evaluation stops as soon as the answer is
+//     provably correct, without computing the full match relation M(Q,G).
+//
+//   - Diversified top-k matching (TopKDiversified): the k-set maximizing
+//     the bi-criteria function F(S) = (1−λ)·Σ δ'r + 2λ/(k−1)·Σ δd that
+//     balances relevance against pairwise Jaccard distance of relevant
+//     sets. The problem is NP-complete; the library ships the paper's
+//     2-approximation (TopKDiv) and its early-termination heuristic
+//     (TopKDH).
+//
+// # Quickstart
+//
+//	b := divtopk.NewGraphBuilder()
+//	alice := b.AddNode("PM")
+//	bob := b.AddNode("DB")
+//	_ = b.AddEdge(alice, bob)
+//	g := b.Build()
+//
+//	pb := divtopk.NewPatternBuilder()
+//	pm := pb.AddNode("PM")
+//	db := pb.AddNode("DB")
+//	_ = pb.AddEdge(pm, db)
+//	pb.Output(pm)
+//	q, _ := pb.Build()
+//
+//	res, _ := divtopk.TopK(g, q, 10)
+//	for _, m := range res.Matches {
+//		fmt.Println(m.Node, m.Relevance)
+//	}
+//
+// See the examples/ directory for runnable end-to-end scenarios, DESIGN.md
+// for the architecture, and EXPERIMENTS.md for the reproduction of the
+// paper's evaluation.
+package divtopk

@@ -1,0 +1,102 @@
+// Quickstart reproduces the paper's running example (Fig. 1, Examples 1-10)
+// through the public API: a small collaboration network, the pattern "a
+// project manager who supervised a DB developer and a programmer who
+// supervised each other and each supervised a tester", and both query
+// flavors — top-k by relevance and diversified top-k.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	divtopk "divtopk"
+)
+
+func main() {
+	// Fig. 1(b): the collaboration network.
+	b := divtopk.NewGraphBuilder()
+	names := []string{
+		"PM1", "PM2", "PM3", "PM4", "DB1", "DB2", "DB3",
+		"PRG1", "PRG2", "PRG3", "PRG4", "ST1", "ST2", "ST3", "ST4",
+		"BA1", "UD1", "UD2",
+	}
+	id := map[string]int{}
+	rev := map[int]string{}
+	for _, n := range names {
+		id[n] = b.AddNode(n[:len(n)-1]) // label = role (PM, DB, PRG, ST, BA, UD)
+		rev[id[n]] = n
+	}
+	for _, e := range [][2]string{
+		{"PM1", "DB1"}, {"PM1", "PRG1"}, {"PM1", "BA1"},
+		{"PM2", "DB2"}, {"PM2", "PRG3"}, {"PM2", "PRG4"}, {"PM2", "UD1"},
+		{"PM3", "DB2"}, {"PM3", "PRG3"},
+		{"PM4", "DB2"}, {"PM4", "PRG2"}, {"PM4", "UD2"},
+		{"DB1", "PRG1"}, {"DB1", "ST1"},
+		{"PRG1", "DB1"}, {"PRG1", "ST1"}, {"PRG1", "ST2"},
+		{"DB2", "PRG2"}, {"DB2", "ST3"},
+		{"PRG2", "DB3"}, {"PRG2", "ST4"},
+		{"DB3", "PRG3"}, {"DB3", "ST4"},
+		{"PRG3", "DB2"}, {"PRG3", "ST3"},
+		{"PRG4", "DB2"}, {"PRG4", "ST2"}, {"PRG4", "ST3"},
+	} {
+		if err := b.AddEdge(id[e[0]], id[e[1]]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	// Fig. 1(a): the pattern Q with PM as the output node '*'.
+	pb := divtopk.NewPatternBuilder()
+	pm := pb.AddNode("PM")
+	db := pb.AddNode("DB")
+	prg := pb.AddNode("PRG")
+	st := pb.AddNode("ST")
+	for _, e := range [][2]int{{pm, db}, {pm, prg}, {db, prg}, {prg, db}, {db, st}, {prg, st}} {
+		if err := pb.AddEdge(e[0], e[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := pb.Output(pm); err != nil {
+		log.Fatal(err)
+	}
+	q, err := pb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("all matches of PM (Example 3):", namesOf(rev, g.Matches(q)))
+
+	// Top-2 by relevance (Example 8): {PM2, PM3}.
+	top, err := divtopk.TopK(g, q, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-2 by relevance δr:")
+	for _, m := range top.Matches {
+		fmt.Printf("  %-4s δr=%d  (impacts %v)\n", rev[m.Node], m.Relevance, namesOf(rev, m.RelevantSet))
+	}
+
+	// Diversified top-2 across the λ spectrum (Example 6).
+	for _, lambda := range []float64{0.0, 0.3, 0.8} {
+		res, err := divtopk.TopKDiversified(g, q, 2, lambda, divtopk.WithApproximation())
+		if err != nil {
+			log.Fatal(err)
+		}
+		var sel []string
+		for _, m := range res.Matches {
+			sel = append(sel, rev[m.Node])
+		}
+		fmt.Printf("\ndiversified top-2 at λ=%.1f: %v (F=%.3f)", lambda, sel, res.F)
+	}
+	fmt.Println()
+}
+
+func namesOf(rev map[int]string, nodes []int) []string {
+	out := make([]string, len(nodes))
+	for i, v := range nodes {
+		out[i] = rev[v]
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the smoke tests fast.
+var tinyScale = Scale{
+	Name:       "tiny",
+	YouTube:    [2]int{3000, 10000},
+	Citation:   [2]int{3000, 7500},
+	Amazon:     [2]int{2500, 8500},
+	SynthBase:  [2]int{1500, 3000},
+	SynthSteps: []float64{1.0, 2.0},
+	Queries:    2,
+	K:          5,
+	Seed:       1,
+}
+
+func checkFigure(t *testing.T, f *Figure, wantRows int) {
+	t.Helper()
+	if len(f.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", f.ID, len(f.Rows), wantRows)
+	}
+	for _, r := range f.Rows {
+		if len(r.Vals) != len(f.Series) {
+			t.Fatalf("%s: row %s has %d vals for %d series", f.ID, r.X, len(r.Vals), len(f.Series))
+		}
+		for i, v := range r.Vals {
+			if v < 0 {
+				t.Fatalf("%s: negative value %v in series %s", f.ID, v, f.Series[i])
+			}
+		}
+	}
+	if !strings.Contains(f.Format(), f.ID) {
+		t.Fatalf("%s: Format missing ID", f.ID)
+	}
+}
+
+func TestMRFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	fa := Fig5a(tinyScale)
+	checkFigure(t, fa, 5)
+	for _, r := range fa.Rows {
+		// MR percentages must be within (0, 100].
+		for _, v := range r.Vals {
+			if v <= 0 || v > 100.00001 {
+				t.Fatalf("fig5a: MR %v%% out of range", v)
+			}
+		}
+	}
+	fb := Fig5b(tinyScale)
+	checkFigure(t, fb, 4)
+	fc := Fig5c(tinyScale)
+	checkFigure(t, fc, 6)
+	// MR grows (weakly) with k for TopK.
+	if fc.Rows[0].Vals[0] > fc.Rows[len(fc.Rows)-1].Vals[0]+20 {
+		t.Errorf("fig5c: MR should not fall sharply with k: %v", fc.Rows)
+	}
+}
+
+func TestTimeFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	checkFigure(t, Fig5d(tinyScale), 5)
+	checkFigure(t, Fig5e(tinyScale), 4)
+	checkFigure(t, Fig5f(tinyScale), 6)
+	checkFigure(t, Fig5g(tinyScale), 2)
+	checkFigure(t, Fig5h(tinyScale), 2)
+}
+
+func TestDiversifiedFiguresSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	fi := Fig5i(tinyScale)
+	checkFigure(t, fi, 5)
+	for _, r := range fi.Rows {
+		// Both are heuristics for an NP-hard objective: TopKDiv is a greedy
+		// 2-approximation and TopKDH a swap heuristic, so either can edge
+		// out the other on a given instance (on tiny graphs DH sometimes
+		// wins outright). Sanity-check comparability, not dominance.
+		if r.Vals[0] <= 0 || r.Vals[1] <= 0 {
+			t.Errorf("fig5i: non-positive F at %s: %v", r.X, r.Vals)
+		}
+		if r.Vals[1] < 0.3*r.Vals[0] || r.Vals[1] > 2.0*r.Vals[0] {
+			t.Errorf("fig5i: F[DH]=%v not comparable to F[Div]=%v at %s", r.Vals[1], r.Vals[0], r.X)
+		}
+	}
+	checkFigure(t, Fig5j(tinyScale), 5)
+	checkFigure(t, Fig5k(tinyScale), 5)
+	checkFigure(t, Fig5l(tinyScale), 2)
+}
+
+func TestExtrasSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	checkFigure(t, Lambda(tinyScale), 6)
+	checkFigure(t, AblationBounds(tinyScale), 3)
+	checkFigure(t, AblationShape(tinyScale), 3)
+	out := Fig4(tinyScale)
+	if !strings.Contains(out, "Fig 4 case study") {
+		t.Fatalf("Fig4 output malformed:\n%s", out)
+	}
+}
+
+func TestScaleByName(t *testing.T) {
+	if _, err := ByName("small"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("medium"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}

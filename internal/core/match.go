@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sort"
+
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+	"divtopk/internal/simulation"
+)
+
+// MatchBaseline is the paper's Match algorithm (§4): the "find-all-match"
+// strategy. It computes the entire M(Q,G) with the simulation fixpoint, the
+// exact relevance of every match of the output node, and then picks the k
+// most relevant. It has the same worst-case complexity as the
+// early-termination algorithms but always pays it; the experiments of §6
+// measure exactly this gap. keepSets retains the relevant-set bitsets on the
+// returned matches (the diversified algorithms need them; pure top-k
+// callers can drop them).
+func MatchBaseline(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool) (*Result, error) {
+	if err := validateInputs(g, k); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	sim := simulation.Compute(g, p)
+	an := pattern.Analyze(p)
+	space := simulation.BuildRelSpace(g, p, sim.CI, an)
+	res := &Result{
+		Space:       space,
+		GlobalMatch: sim.Matched,
+		Cuo:         simulation.Cuo(p, sim.CI, an),
+		Stats: Stats{
+			CandidatesOfOutput: len(sim.CI.Lists[p.Output()]),
+			PairsTotal:         sim.CI.NumPairs(),
+		},
+	}
+	if !sim.Matched {
+		return res, nil
+	}
+
+	rel := simulation.ComputeRelevant(g, p, sim.CI, an, space, sim.InSim, p.Output(), keepSets)
+	lo, hi := sim.CI.PairRange(p.Output())
+	for q := lo; q < hi; q++ {
+		if !sim.InSim[q] {
+			continue
+		}
+		i := q - lo
+		res.All = append(res.All, Match{
+			Node:      sim.CI.V[q],
+			Relevance: int(rel.Sizes[i]),
+			Upper:     int(rel.Sizes[i]),
+			Exact:     true,
+			R:         rel.Sets[i],
+		})
+	}
+	sort.Slice(res.All, func(i, j int) bool {
+		if res.All[i].Relevance != res.All[j].Relevance {
+			return res.All[i].Relevance > res.All[j].Relevance
+		}
+		return res.All[i].Node < res.All[j].Node
+	})
+	res.Stats.MatchesFound = len(res.All)
+	top := k
+	if top > len(res.All) {
+		top = len(res.All)
+	}
+	res.Matches = res.All[:top]
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"divtopk/internal/pattern"
+	"divtopk/internal/ranking"
+	"divtopk/internal/testutil"
+)
+
+func TestTopKMultiFigure1(t *testing.T) {
+	g, id := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	// Ask for top-2 of both PM (node 0) and PRG (node 2).
+	res, err := TopKMulti(g, p, []int{0, 2}, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d entries", len(res))
+	}
+	pm := res[0]
+	if len(pm.Matches) != 2 || pm.Matches[0].Node != id["PM2"] {
+		t.Fatalf("PM top-2 = %+v", pm.Matches)
+	}
+	prg := res[2]
+	if len(prg.Matches) != 2 {
+		t.Fatalf("PRG matches = %d", len(prg.Matches))
+	}
+	// PRG relevances: each PRG's relevant set under Q. The top PRG must be
+	// at least as relevant as any baseline PRG match.
+	q2 := p.Clone()
+	if err := q2.SetOutput(2); err != nil {
+		t.Fatal(err)
+	}
+	base, err := MatchBaseline(g, q2, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prg.Matches[0].Upper < base.Matches[0].Relevance {
+		t.Fatalf("PRG top relevance bound %d below baseline %d",
+			prg.Matches[0].Upper, base.Matches[0].Relevance)
+	}
+}
+
+func TestTopKMultiUnmatchedSharedCondition(t *testing.T) {
+	g, _ := testutil.Figure1()
+	p := pattern.New()
+	a := p.AddNode("PM")
+	b := p.AddNode("CEO") // unmatched anywhere
+	if err := p.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	res, err := TopKMulti(g, p, []int{0, 1}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for uo, r := range res {
+		if r.GlobalMatch || len(r.Matches) != 0 {
+			t.Fatalf("output %d should be empty", uo)
+		}
+	}
+}
+
+func TestTopKMultiBadOutput(t *testing.T) {
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	if _, err := TopKMulti(g, p, []int{99}, 1, Options{}); err == nil {
+		t.Fatal("out-of-range output accepted")
+	}
+	if _, err := TopKMulti(g, p, []int{0}, 0, Options{}); err != ErrBadK {
+		t.Fatalf("k=0: %v", err)
+	}
+}
+
+func TestRankedGeneralizedSetSizeMatchesDefault(t *testing.T) {
+	// Under the relevant-set-size function, the generalized ranking must
+	// coincide with the default δr ranking.
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	gen, err := RankedGeneralized(g, p, 4, ranking.RelSetSize{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MatchBaseline(g, p, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Matches {
+		if gen.Matches[i].Node != base.Matches[i].Node {
+			t.Fatalf("rank %d differs: %d vs %d", i, gen.Matches[i].Node, base.Matches[i].Node)
+		}
+		if gen.Scores[i] != float64(base.Matches[i].Relevance) {
+			t.Fatalf("score %d = %v, want %d", i, gen.Scores[i], base.Matches[i].Relevance)
+		}
+	}
+}
+
+func TestRankedGeneralizedPreferenceAttachment(t *testing.T) {
+	// Preference attachment = |R(uo)| * |R*|; with |R(uo)| = 3 descendant
+	// query nodes the scores are 3x the set sizes, order unchanged.
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	gen, err := RankedGeneralized(g, p, 4, ranking.PreferenceAttachment{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Scores[0] != 24 { // PM2: 3 * 8
+		t.Fatalf("top score = %v, want 24", gen.Scores[0])
+	}
+}
+
+func TestRankedGeneralizedCommonNeighbors(t *testing.T) {
+	// Common neighbours = |M(Q,G,R(uo)) ∩ R*|. Every member of a relevant
+	// set is a match here, so scores equal the set sizes.
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	gen, err := RankedGeneralized(g, p, 4, ranking.CommonNeighbors{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.Scores[0] != 8 {
+		t.Fatalf("top score = %v, want 8", gen.Scores[0])
+	}
+	// Jaccard coefficient: |M ∩ R*| / |M ∪ R*| with |M| = 11.
+	gen2, err := RankedGeneralized(g, p, 4, ranking.JaccardCoefficient{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := gen2.Scores[0], 8.0/11.0; got != want {
+		t.Fatalf("jaccard top score = %v, want %v", got, want)
+	}
+}
+
+func TestRankedGeneralizedUnmatched(t *testing.T) {
+	g, _ := testutil.Figure1()
+	p := pattern.New()
+	p.AddNode("CEO")
+	gen, err := RankedGeneralized(g, p, 3, ranking.RelSetSize{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen.GlobalMatch || len(gen.Matches) != 0 {
+		t.Fatal("unmatched pattern must yield empty generalized result")
+	}
+}
+
+func TestTopKMultiRandomAgainstPerOutputBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(16)
+		g := testutil.RandomGraph(rng, n, rng.Intn(4*n), labels)
+		p := testutil.RandomPattern(rng, 2+rng.Intn(3), rng.Intn(3), labels, trial%2 == 0)
+		outputs := []int{0, p.NumNodes() - 1}
+		multi, err := TopKMulti(g, p, outputs, 2, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, uo := range outputs {
+			q := p.Clone()
+			if err := q.SetOutput(uo); err != nil {
+				t.Fatal(err)
+			}
+			base, err := MatchBaseline(g, q, 2, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := multi[uo]
+			if got.GlobalMatch != base.GlobalMatch {
+				t.Fatalf("trial %d output %d: global %v vs %v", trial, uo, got.GlobalMatch, base.GlobalMatch)
+			}
+			if len(got.Matches) != len(base.Matches) {
+				t.Fatalf("trial %d output %d: %d matches vs %d",
+					trial, uo, len(got.Matches), len(base.Matches))
+			}
+		}
+	}
+}

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// becomeMatched transitions a pair to matched and queues the match event.
+// Matched pairs never revert (the boolean system is monotone in the fed
+// leaves, which is what lets the engine trust partial lower bounds).
+func (e *engine) becomeMatched(q int32) {
+	switch e.status[q] {
+	case statusMatched:
+		return
+	case statusDead:
+		panic(fmt.Sprintf("core: dead pair (%d,%d) matched", e.ci.U[q], e.ci.V[q]))
+	}
+	e.status[q] = statusMatched
+	u := e.ci.U[q]
+	e.matchCnt[u]++
+	if e.relQ[u] {
+		e.newRelM = append(e.newRelM, q)
+	}
+	e.matchQ = append(e.matchQ, q)
+}
+
+// die transitions a pair to dead (and therefore finalized) and queues the
+// finalization event.
+func (e *engine) die(q int32) {
+	if e.status[q] == statusDead {
+		return
+	}
+	if e.status[q] == statusMatched {
+		panic(fmt.Sprintf("core: matched pair (%d,%d) died", e.ci.U[q], e.ci.V[q]))
+	}
+	e.status[q] = statusDead
+	e.finalized[q] = true
+	u := e.ci.U[q]
+	e.aliveCnt[u]--
+	if e.aliveCnt[u] == 0 {
+		e.abortedEmpty = true // M(Q,G) = ∅; run loop stops
+	}
+	unit := e.unitOf[u]
+	if e.unitNontrivial[unit] {
+		if e.unitLeaf[unit] && !e.fed[q] {
+			e.outstandingDec(unit)
+		}
+		// No markDirty: deaths only shrink the unit's greatest fixpoint and
+		// cannot produce new matches, so no refinement is needed (dead
+		// pairs are excluded from the next refine anyway); re-refining per
+		// death would cost O(unit product) per event.
+	}
+	e.finalQ = append(e.finalQ, q)
+}
+
+// finalizePair finalizes an alive (matched) pair: its relevant set can no
+// longer grow, so l = h = δr from the next R phase on.
+func (e *engine) finalizePair(q int32) {
+	if e.finalized[q] {
+		return
+	}
+	e.finalized[q] = true
+	e.finalQ = append(e.finalQ, q)
+}
+
+// processMatch propagates a fresh match to candidate predecessors: their
+// per-edge satisfied counters grow; trivial-unit parents whose every edge is
+// satisfied become matches themselves, nontrivial parents' units are
+// re-refined.
+func (e *engine) processMatch(q int32) {
+	u := int(e.ci.U[q])
+	v := e.ci.V[q]
+	unit := e.unitOf[u]
+	for i, up := range e.p.In(u) {
+		slotOff := e.inSlots[u][i]
+		upUnit := e.unitOf[up]
+		for _, w := range e.g.In(v) {
+			qp := e.ci.Pair(up, w)
+			if qp < 0 || e.status[qp] == statusDead {
+				continue
+			}
+			slot := e.base[qp] + slotOff
+			e.satCnt[slot]++
+			if e.satCnt[slot] != 1 {
+				continue
+			}
+			e.satEdges[qp]++
+			if !e.unitNontrivial[upUnit] {
+				if e.satEdges[qp] == e.needEdges[up] {
+					e.becomeMatched(qp)
+				}
+			} else if upUnit != unit {
+				// New outside support for a nontrivial unit.
+				e.markDirty(upUnit)
+			}
+		}
+	}
+}
+
+// processFinalized propagates a finalization (death or alive-finalization)
+// to candidate predecessors, resolving disjunctions lazily: an edge with no
+// matched successor and no unfinalized successor left is false, killing the
+// parent; a trivial parent with no unfinalized successors at all resolves
+// completely (finalize if matched, die otherwise).
+func (e *engine) processFinalized(q int32) {
+	u := int(e.ci.U[q])
+	v := e.ci.V[q]
+	unit := e.unitOf[u]
+	for i, up := range e.p.In(u) {
+		slotOff := e.inSlots[u][i]
+		upUnit := e.unitOf[up]
+		cross := upUnit != unit
+		for _, w := range e.g.In(v) {
+			qp := e.ci.Pair(up, w)
+			if qp < 0 {
+				continue
+			}
+			slot := e.base[qp] + slotOff
+			e.unfinCnt[slot]--
+			nontrivial := e.unitNontrivial[upUnit]
+			if nontrivial && cross {
+				// Outstanding counts cross-unit successor finalizations of
+				// all unit pairs, dead or alive (see DESIGN.md §3).
+				e.outstandingDec(upUnit)
+			}
+			if e.status[qp] == statusDead {
+				continue
+			}
+			e.unfinTotal[qp]--
+			if e.unfinCnt[slot] == 0 && e.satCnt[slot] == 0 {
+				e.die(qp)
+				continue
+			}
+			if e.unfinTotal[qp] != 0 {
+				continue
+			}
+			// All successors finalized: the pair resolves. For pairs of
+			// cyclic units this is sound because drainEvents runs pending
+			// unit refinements before finalization events, so any
+			// gfp-supported pair is already matched by now; unfed leaves
+			// stay pending (feeding may still match them) and pairs on
+			// product cycles keep a positive unfinTotal until the unit
+			// finalizes them together.
+			if nontrivial && e.unitLeaf[upUnit] && !e.fed[qp] {
+				continue
+			}
+			if e.status[qp] == statusMatched {
+				e.finalizePair(qp)
+			} else {
+				e.die(qp)
+			}
+		}
+	}
+}
+
+// drainEvents processes match and finalization queues to quiescence,
+// interleaving greatest-fixpoint refinement of dirty nontrivial units in
+// ascending rank order (events only ever flow to units of strictly higher
+// rank, so this converges).
+func (e *engine) drainEvents() {
+	for {
+		switch {
+		case len(e.matchQ) > 0:
+			q := e.matchQ[len(e.matchQ)-1]
+			e.matchQ = e.matchQ[:len(e.matchQ)-1]
+			e.processMatch(q)
+		case len(e.dirtyUnits) > 0 || len(e.finalQ) > 0:
+			if len(e.dirtyUnits) == 0 {
+				q := e.finalQ[len(e.finalQ)-1]
+				e.finalQ = e.finalQ[:len(e.finalQ)-1]
+				e.processFinalized(q)
+				continue
+			}
+			// Lowest-rank dirty unit first.
+			best := 0
+			for i := 1; i < len(e.dirtyUnits); i++ {
+				if e.unitRank[e.dirtyUnits[i]] < e.unitRank[e.dirtyUnits[best]] {
+					best = i
+				}
+			}
+			// Refinements run before finalization events so that every
+			// gfp-supported pair is matched before per-pair resolution
+			// can declare unmatched pairs dead.
+			unit := e.dirtyUnits[best]
+			e.dirtyUnits[best] = e.dirtyUnits[len(e.dirtyUnits)-1]
+			e.dirtyUnits = e.dirtyUnits[:len(e.dirtyUnits)-1]
+			e.unitDirty[unit] = false
+			e.refineUnit(unit)
+		default:
+			return
+		}
+	}
+}
+
+// refineUnit computes the greatest fixpoint of the simulation condition
+// restricted to one nontrivial unit of Q (the engine's SccProcess): start
+// from the active pairs whose cross-unit edges are all satisfied by known
+// matches, then repeatedly delete pairs with an unsupported in-unit edge.
+// Survivors are matches. Because outside support only grows, previously
+// matched pairs always survive (monotonicity). When the unit's outstanding
+// work has hit zero the refinement is final: survivors finalize, the rest
+// die.
+func (e *engine) refineUnit(unit int32) {
+	if e.unitFinalized[unit] {
+		return
+	}
+	final := e.unitPendingFin[unit]
+
+	nodes := e.unitNodes[unit]
+	inUnit := make(map[int32]bool, len(nodes))
+	for _, u := range nodes {
+		inUnit[u] = true
+	}
+
+	// Local indexing of the unit's pairs: pair IDs of one query node are
+	// contiguous, so a per-node offset table maps them to dense local IDs
+	// (dead pairs keep a slot; they are simply never included).
+	localBase := make(map[int32]int32, len(nodes))
+	totalLocal := int32(0)
+	var pairsOf = func(u int32) (int32, int32) { return e.ci.PairRange(int(u)) }
+	for _, u := range nodes {
+		lo, hi := pairsOf(u)
+		localBase[u] = totalLocal - lo
+		totalLocal += hi - lo
+	}
+	localOf := func(q int32) int32 { return localBase[e.ci.U[q]] + q }
+
+	pairs := make([]int32, 0, totalLocal)
+	for _, u := range nodes {
+		lo, hi := pairsOf(u)
+		for q := lo; q < hi; q++ {
+			pairs = append(pairs, q)
+		}
+	}
+
+	include := make([]bool, totalLocal)
+	for li, q := range pairs {
+		if e.status[q] == statusDead {
+			continue
+		}
+		u := int(e.ci.U[q])
+		if e.unitLeaf[unit] && !e.fed[q] {
+			continue
+		}
+		ok := true
+		for j, uc := range e.p.Out(u) {
+			if inUnit[int32(uc)] {
+				continue
+			}
+			if e.satCnt[e.base[q]+int32(j)] == 0 {
+				ok = false
+				break
+			}
+		}
+		include[li] = ok
+	}
+
+	// In-unit support counters per (local pair, in-unit edge slot) and the
+	// reverse references needed by the removal worklist, all in flat slices.
+	maxOut := 0
+	for _, u := range nodes {
+		if d := len(e.p.Out(int(u))); d > maxOut {
+			maxOut = d
+		}
+	}
+	inCnt := make([]int32, int(totalLocal)*maxOut)
+	predHead := make([]int32, totalLocal) // head of each target's pred list
+	for i := range predHead {
+		predHead[i] = -1
+	}
+	type predRef struct {
+		key  int32 // parent local * maxOut + edge slot
+		next int32
+	}
+	var preds []predRef
+	for li, q := range pairs {
+		if !include[li] {
+			continue
+		}
+		u := int(e.ci.U[q])
+		v := e.ci.V[q]
+		for j, uc := range e.p.Out(u) {
+			if !inUnit[int32(uc)] {
+				continue
+			}
+			key := int32(li)*int32(maxOut) + int32(j)
+			for _, w := range e.g.Out(v) {
+				qc := e.ci.Pair(uc, w)
+				if qc < 0 {
+					continue
+				}
+				lc := localOf(qc)
+				if !include[lc] {
+					continue
+				}
+				inCnt[key]++
+				preds = append(preds, predRef{key: key, next: predHead[lc]})
+				predHead[lc] = int32(len(preds) - 1)
+			}
+		}
+	}
+
+	// Worklist removal of unsupported pairs.
+	var removeQ []int32
+	for li, q := range pairs {
+		if !include[li] {
+			continue
+		}
+		u := int(e.ci.U[q])
+		for j, uc := range e.p.Out(u) {
+			if inUnit[int32(uc)] && inCnt[int32(li)*int32(maxOut)+int32(j)] == 0 {
+				include[li] = false
+				removeQ = append(removeQ, int32(li))
+				break
+			}
+		}
+	}
+	for len(removeQ) > 0 {
+		lr := removeQ[len(removeQ)-1]
+		removeQ = removeQ[:len(removeQ)-1]
+		for ref := predHead[lr]; ref >= 0; ref = preds[ref].next {
+			key := preds[ref].key
+			parent := key / int32(maxOut)
+			if !include[parent] {
+				continue
+			}
+			inCnt[key]--
+			if inCnt[key] == 0 {
+				include[parent] = false
+				removeQ = append(removeQ, parent)
+			}
+		}
+	}
+
+	// Survivors are matches; previously matched pairs must be among them.
+	for li, q := range pairs {
+		if e.status[q] == statusDead {
+			continue
+		}
+		if include[li] {
+			if e.status[q] != statusMatched {
+				e.becomeMatched(q)
+			}
+		} else if e.status[q] == statusMatched {
+			panic(fmt.Sprintf("core: refineUnit dropped matched pair (%d,%d)", e.ci.U[q], e.ci.V[q]))
+		}
+	}
+
+	if final {
+		e.unitFinalized[unit] = true
+		e.unitPendingFin[unit] = false
+		for li, q := range pairs {
+			if e.status[q] == statusDead {
+				continue
+			}
+			if include[li] {
+				e.finalizePair(q)
+			} else {
+				e.die(q)
+			}
+		}
+	}
+}
+
+// maxDeltaList bounds the per-pair pending-delta list; beyond it the pair
+// falls back to propagating its full set (one wide union beats a long list).
+const maxDeltaList = 192
+
+// propagateRelevance runs the R phase of a batch: initialize the relevant
+// sets of freshly matched relevance-tracked pairs from their matched
+// successors, then push monotone updates up the (possibly cyclic) matched
+// product graph until quiescence.
+//
+// Updates are delta-based: after its initial full gather, a pair forwards
+// only the bit indices newly added to its set, falling back to a full-width
+// union when the delta grows large. Without this, every feeding batch would
+// re-union full-width bitsets across the whole matched product graph,
+// multiplying the baseline's one-pass union work by the number of batches.
+func (e *engine) propagateRelevance() {
+	if len(e.newRelM) == 0 {
+		return
+	}
+	// Children first (ascending unit rank) to minimize re-propagation.
+	sort.Slice(e.newRelM, func(i, j int) bool {
+		ri := e.unitRank[e.unitOf[e.ci.U[e.newRelM[i]]]]
+		rj := e.unitRank[e.unitOf[e.ci.U[e.newRelM[j]]]]
+		if ri != rj {
+			return ri < rj
+		}
+		return e.newRelM[i] < e.newRelM[j]
+	})
+
+	for _, q := range e.newRelM {
+		s := e.space.NewSet()
+		u := int(e.ci.U[q])
+		v := e.ci.V[q]
+		for _, uc := range e.p.Out(u) {
+			for _, w := range e.g.Out(v) {
+				qc := e.ci.Pair(uc, w)
+				if qc < 0 || e.status[qc] != statusMatched {
+					continue
+				}
+				if rs := e.rset[qc]; rs != nil {
+					s.UnionWith(rs)
+				}
+				if idx := e.space.Index(w); idx >= 0 {
+					s.Add(int(idx))
+				}
+			}
+		}
+		e.rset[q] = s
+		// A fresh match is new to all its parents: forward the full set.
+		e.rEnqueueFull(q)
+	}
+	e.newRelM = e.newRelM[:0]
+
+	for len(e.rQueue) > 0 {
+		q := e.rQueue[len(e.rQueue)-1]
+		e.rQueue = e.rQueue[:len(e.rQueue)-1]
+		e.rInQueue[q] = false
+		full := e.rFull[q]
+		delta := e.rDelta[q]
+		e.rFull[q] = false
+		e.rDelta[q] = nil
+
+		u := int(e.ci.U[q])
+		v := e.ci.V[q]
+		src := e.rset[q]
+		selfIdx := e.space.Index(v)
+		for _, up := range e.p.In(u) {
+			if !e.relQ[up] {
+				continue
+			}
+			for _, w := range e.g.In(v) {
+				qp := e.ci.Pair(up, w)
+				if qp < 0 || e.status[qp] != statusMatched {
+					continue
+				}
+				dst := e.rset[qp]
+				if dst == nil {
+					continue // initialized later this phase; init gathers src
+				}
+				if full {
+					changed := dst.UnionWith(src)
+					if selfIdx >= 0 && dst.Add(int(selfIdx)) {
+						changed = true
+					}
+					if changed {
+						e.rEnqueueFull(qp)
+					}
+				} else {
+					var added []int32
+					for _, b := range delta {
+						if dst.Add(int(b)) {
+							added = append(added, b)
+						}
+					}
+					if selfIdx >= 0 && dst.Add(int(selfIdx)) {
+						added = append(added, selfIdx)
+					}
+					if len(added) > 0 {
+						e.rEnqueueDelta(qp, added)
+					}
+				}
+			}
+		}
+	}
+}
+
+// rEnqueueFull schedules a full-set forward for q.
+func (e *engine) rEnqueueFull(q int32) {
+	e.rFull[q] = true
+	e.rDelta[q] = nil
+	if !e.rInQueue[q] {
+		e.rInQueue[q] = true
+		e.rQueue = append(e.rQueue, q)
+	}
+}
+
+// rEnqueueDelta schedules additional delta bits for q, upgrading to a full
+// forward when the pending list grows too large.
+func (e *engine) rEnqueueDelta(q int32, bits []int32) {
+	if !e.rFull[q] {
+		e.rDelta[q] = append(e.rDelta[q], bits...)
+		if len(e.rDelta[q]) > maxDeltaList {
+			e.rFull[q] = true
+			e.rDelta[q] = nil
+		}
+	}
+	if !e.rInQueue[q] {
+		e.rInQueue[q] = true
+		e.rQueue = append(e.rQueue, q)
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"sort"
+
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+	"divtopk/internal/simulation"
+)
+
+// TopK computes top-k matches of the output node of p in g ranked by the
+// relevance function δr, with the early termination property (Prop. 2/3 of
+// the paper): it stops as soon as the k best discovered matches provably
+// dominate every other candidate, without computing all of M(Q,G). It
+// handles both DAG and cyclic patterns (the paper's TopK; with the default
+// covering strategy on a DAG pattern it is exactly TopKDAG, with
+// StrategyRandom it is the nopt variant).
+func TopK(g *graph.Graph, p *pattern.Pattern, k int, opts Options) (*Result, error) {
+	e, err := newEngine(g, p, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(), nil
+}
+
+// TopKDAG is TopK restricted to DAG patterns (§4.1); it returns ErrNotDAG
+// for cyclic patterns as a guard for callers that picked the algorithm by
+// name, as the paper's experiments do.
+func TopKDAG(g *graph.Graph, p *pattern.Pattern, k int, opts Options) (*Result, error) {
+	if !p.IsDAG() {
+		return nil, ErrNotDAG
+	}
+	return TopK(g, p, k, opts)
+}
+
+// feed marks one leaf pair visited. Trivial leaves (no outgoing query edges)
+// are matches by definition and finalize immediately; leaves of cyclic units
+// join the unit's active set and trigger re-refinement.
+func (e *engine) feed(q int32) {
+	if e.fed[q] || e.status[q] == statusDead {
+		return
+	}
+	e.fed[q] = true
+	unit := e.unitOf[e.ci.U[q]]
+	if e.unitNontrivial[unit] {
+		e.outstandingDec(unit)
+		e.markDirty(unit)
+		return
+	}
+	e.becomeMatched(q)
+	e.finalizePair(q)
+}
+
+// run drives the batch loop to termination and assembles the result.
+func (e *engine) run() *Result {
+	res := &Result{Space: e.space, Stats: e.stats}
+	if e.abortedEmpty {
+		res.Stats.MatchesFound = 0
+		return res
+	}
+	res.Cuo = simulation.Cuo(e.p, e.ci, e.an)
+	if e.opts.Hook != nil {
+		e.opts.Hook.Begin(res.Cuo)
+	}
+
+	var newUo []int32 // uo matches discovered in the current batch
+	for !e.abortedEmpty {
+		batch := e.feeder.next(e)
+		if len(batch) == 0 {
+			break // exhausted: everything known is final
+		}
+		e.stats.Batches++
+		uoBefore := int(e.matchCnt[e.uo])
+		for _, q := range batch {
+			e.feed(q)
+		}
+		e.drainEvents()
+		e.propagateRelevance()
+
+		if e.opts.Hook != nil {
+			newUo = newUo[:0]
+			if int(e.matchCnt[e.uo]) > uoBefore {
+				for q := e.uoLo; q < e.uoHi; q++ {
+					if e.status[q] == statusMatched && !e.hookSeen(q) {
+						newUo = append(newUo, q)
+					}
+				}
+			}
+			handles := make([]PairHandle, len(newUo))
+			for i, q := range newUo {
+				handles[i] = PairHandle{e: e, pair: q}
+				e.markHookSeen(q)
+			}
+			e.opts.Hook.Batch(handles)
+		}
+
+		if e.checkTermination() {
+			e.stats.EarlyTerminated = !e.feeder.done()
+			break
+		}
+	}
+
+	return e.assemble(res)
+}
+
+// hookSeen tracks which uo matches were already reported to the hook.
+func (e *engine) hookSeen(q int32) bool {
+	return e.hookReported != nil && e.hookReported[q-e.uoLo]
+}
+
+func (e *engine) markHookSeen(q int32) {
+	if e.hookReported == nil {
+		e.hookReported = make([]bool, e.uoHi-e.uoLo)
+	}
+	e.hookReported[q-e.uoLo] = true
+}
+
+// checkTermination evaluates Proposition 3: S (the k discovered matches
+// with the largest lower bounds) is a top-k set once every query node has a
+// match (the simulation's global condition, which also makes non-root
+// output nodes correct) and min_{v∈S} l(v) ≥ max_{v'∉S, live} h(v').
+func (e *engine) checkTermination() bool {
+	for u := 0; u < e.nq; u++ {
+		if e.matchCnt[u] == 0 {
+			return false
+		}
+	}
+	if int(e.matchCnt[e.uo]) < e.k {
+		return false
+	}
+
+	type cand struct {
+		q int32
+		l int32
+	}
+	matched := make([]cand, 0, e.matchCnt[e.uo])
+	for q := e.uoLo; q < e.uoHi; q++ {
+		if e.status[q] == statusMatched {
+			l := int32(0)
+			if s := e.rset[q]; s != nil {
+				l = int32(s.Count())
+			}
+			matched = append(matched, cand{q, l})
+		}
+	}
+	sort.Slice(matched, func(i, j int) bool {
+		if matched[i].l != matched[j].l {
+			return matched[i].l > matched[j].l
+		}
+		return matched[i].q < matched[j].q
+	})
+	minL := matched[e.k-1].l
+
+	inS := make(map[int32]bool, e.k)
+	for _, c := range matched[:e.k] {
+		inS[c.q] = true
+	}
+	for q := e.uoLo; q < e.uoHi; q++ {
+		if e.status[q] == statusDead || inS[q] {
+			continue
+		}
+		var h int32
+		if e.finalized[q] {
+			if s := e.rset[q]; s != nil {
+				h = int32(s.Count())
+			}
+		} else {
+			h = e.upper[q-e.uoLo]
+		}
+		if h > minL {
+			return false
+		}
+	}
+	return true
+}
+
+// assemble builds the Result from the engine state at termination.
+func (e *engine) assemble(res *Result) *Result {
+	res.Stats = e.stats
+	res.GlobalMatch = !e.abortedEmpty
+	for u := 0; u < e.nq && res.GlobalMatch; u++ {
+		if e.matchCnt[u] == 0 {
+			res.GlobalMatch = false
+		}
+	}
+	if !res.GlobalMatch {
+		// M(Q,G) = ∅: report the work done but no matches.
+		res.Stats.MatchesFound = 0
+		return res
+	}
+
+	for q := e.uoLo; q < e.uoHi; q++ {
+		if e.status[q] != statusMatched {
+			continue
+		}
+		l := 0
+		if s := e.rset[q]; s != nil {
+			l = s.Count()
+		}
+		h := int(e.upper[q-e.uoLo])
+		if e.finalized[q] {
+			h = l
+		}
+		res.All = append(res.All, Match{
+			Node:      e.ci.V[q],
+			Relevance: l,
+			Upper:     h,
+			// Coinciding bounds pin δr even without finalization.
+			Exact: e.finalized[q] || h == l,
+			R:     e.rset[q],
+		})
+	}
+	sort.Slice(res.All, func(i, j int) bool {
+		if res.All[i].Relevance != res.All[j].Relevance {
+			return res.All[i].Relevance > res.All[j].Relevance
+		}
+		return res.All[i].Node < res.All[j].Node
+	})
+	res.Stats.MatchesFound = len(res.All)
+	top := e.k
+	if top > len(res.All) {
+		top = len(res.All)
+	}
+	res.Matches = res.All[:top]
+	return res
+}

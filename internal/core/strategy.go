@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// feeder hands out batches of unvisited leaf candidate pairs (the Sc sets of
+// §4.1). The order is fixed up front by the strategy; pairs that died before
+// being fed are skipped at hand-out time.
+type feeder struct {
+	order   []int32
+	pos     int
+	round   int
+	batches int
+}
+
+// newFeeder builds the feeding order over leafPairs.
+//
+// Covering (the paper's optimized selection): leaf candidates that are
+// children of candidates of rank-1 query nodes come first, ordered by how
+// many such parents they cover (descending), so that the first batches are
+// the "minimal set that includes all the children of those candidates of
+// query nodes with rank 1" and productive matches appear early. Random (the
+// nopt baselines): a seeded shuffle.
+func newFeeder(e *engine, leafPairs []int32, opts Options) *feeder {
+	order := make([]int32, len(leafPairs))
+	copy(order, leafPairs)
+
+	switch opts.Strategy {
+	case StrategyRandom:
+		rng := rand.New(rand.NewSource(opts.Seed))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	default: // StrategyCovering
+		score := make(map[int32]int, len(order))
+		for _, q := range order {
+			u := int(e.ci.U[q])
+			v := e.ci.V[q]
+			n := 0
+			for _, up := range e.p.In(u) {
+				if e.an.Rank[up] != 1 {
+					continue
+				}
+				for _, w := range e.g.In(v) {
+					if e.ci.Pair(up, w) >= 0 {
+						n++
+					}
+				}
+			}
+			score[q] = n
+		}
+		sort.Slice(order, func(i, j int) bool {
+			si, sj := score[order[i]], score[order[j]]
+			if si != sj {
+				return si > sj
+			}
+			return order[i] < order[j]
+		})
+	}
+
+	return &feeder{order: order, batches: opts.numBatches()}
+}
+
+// next returns the next batch of not-yet-dead leaf pairs, or nil when
+// exhausted. Batch sizes grow geometrically: the first batches are small
+// (fine-grained early-termination checks while a quick win is still
+// possible), later ones cover exponentially more (so a run that must
+// exhaust the leaves pays at most a logarithmic number of propagation
+// rounds instead of NumBatches of them — each round re-propagates relevance
+// deltas across the matched product graph).
+func (f *feeder) next(e *engine) []int32 {
+	if f.pos >= len(f.order) {
+		return nil
+	}
+	size := len(f.order) >> uint(f.batches-1-f.round)
+	if f.round >= f.batches-1 {
+		size = len(f.order)
+	}
+	if size < 1 {
+		size = 1
+	}
+	f.round++
+	var batch []int32
+	for f.pos < len(f.order) && len(batch) < size {
+		q := f.order[f.pos]
+		f.pos++
+		if e.status[q] == statusDead {
+			continue
+		}
+		batch = append(batch, q)
+	}
+	return batch
+}
+
+// done reports whether all leaf pairs have been handed out.
+func (f *feeder) done() bool { return f.pos >= len(f.order) }

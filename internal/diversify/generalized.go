@@ -1,0 +1,132 @@
+package diversify
+
+import (
+	"divtopk/internal/core"
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+	"divtopk/internal/ranking"
+)
+
+// TopKDivGeneral is the generalized diversified top-k of Prop. 6: TopKDiv
+// with the default δr/δd swapped for arbitrary generalized relevance and
+// distance functions of §3.4. As long as dist is a metric the reduction to
+// maximum dispersion still applies and the 2-approximation ratio carries
+// over (the relevance side only needs monotonicity, which all registered
+// functions satisfy).
+//
+// rel scores a match from its exact relevant set (plus the descendant-match
+// context); dist measures dissimilarity of two matches. Relevance values
+// are normalized by their maximum over the match set so the λ balance
+// behaves like the C_uo normalization of the default instantiation.
+func TopKDivGeneral(g *graph.Graph, p *pattern.Pattern, k int, lambda float64,
+	rel ranking.RelevanceFunc, dist ranking.DistanceFunc) (*Result, error) {
+
+	params := ranking.DiversifyParams{Lambda: lambda, K: k}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	gen, err := core.RankedGeneralized(g, p, max(k, 1), rel)
+	if err != nil {
+		return nil, err
+	}
+	params.Cuo = gen.Cuo
+	res := &Result{Params: params, Stats: gen.Stats, GlobalMatch: gen.GlobalMatch}
+	if !gen.GlobalMatch {
+		return res, nil
+	}
+
+	pool := gen.All
+	scores := gen.Scores
+	// Normalize relevance to [0,1] by the pool maximum (the generalized
+	// counterpart of δ'r = δr/C_uo).
+	maxScore := 0.0
+	for _, s := range scores {
+		if s > maxScore {
+			maxScore = s
+		}
+	}
+	normRel := make([]float64, len(pool))
+	for i, s := range scores {
+		if maxScore > 0 {
+			normRel[i] = s / maxScore
+		}
+	}
+	distOf := func(i, j int) float64 {
+		return dist.Dist(ranking.DistanceInput{
+			R1: pool[i].R, R2: pool[j].R,
+			V1: pool[i].Node, V2: pool[j].Node,
+			NumNodes: g.NumNodes(), Graph: g,
+		})
+	}
+	fOf := func(sel []int) float64 {
+		nr := make([]float64, len(sel))
+		for i, idx := range sel {
+			nr[i] = normRel[idx]
+		}
+		return params.F(nr, func(a, b int) float64 { return distOf(sel[a], sel[b]) })
+	}
+
+	if len(pool) <= k {
+		sel := make([]int, len(pool))
+		for i := range sel {
+			sel[i] = i
+		}
+		for _, idx := range sel {
+			res.Matches = append(res.Matches, pool[idx])
+		}
+		res.F = fOf(sel)
+		return res, nil
+	}
+
+	taken := make([]bool, len(pool))
+	var picked []int
+	for len(picked)+1 < k {
+		bi, bj, best := -1, -1, -1.0
+		for i := 0; i < len(pool); i++ {
+			if taken[i] {
+				continue
+			}
+			for j := i + 1; j < len(pool); j++ {
+				if taken[j] {
+					continue
+				}
+				f := params.FPrime(normRel[i], normRel[j], distOf(i, j))
+				if f > best {
+					best, bi, bj = f, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		taken[bi], taken[bj] = true, true
+		picked = append(picked, bi, bj)
+	}
+	if len(picked) < k {
+		bi, best := -1, -1.0
+		for i := 0; i < len(pool); i++ {
+			if taken[i] {
+				continue
+			}
+			if f := fOf(append(picked[:len(picked):len(picked)], i)); f > best {
+				best, bi = f, i
+			}
+		}
+		if bi >= 0 {
+			picked = append(picked, bi)
+		}
+	}
+
+	for _, idx := range picked {
+		res.Matches = append(res.Matches, pool[idx])
+	}
+	res.F = fOf(picked)
+	return res, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

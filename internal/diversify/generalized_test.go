@@ -1,0 +1,118 @@
+package diversify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"divtopk/internal/ranking"
+	"divtopk/internal/testutil"
+)
+
+func TestTopKDivGeneralDefaultEquivalence(t *testing.T) {
+	// With relevant-set-size relevance and relevant-set Jaccard distance,
+	// the generalized algorithm optimizes the same objective as TopKDiv up
+	// to the normalization constant (pool max vs C_uo); the selected set's
+	// quality must be comparable.
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	gen, err := TopKDivGeneral(g, p, 2, 0.5, ranking.RelSetSize{}, ranking.RelSetJaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gen.GlobalMatch || len(gen.Matches) != 2 {
+		t.Fatalf("result: %+v", gen)
+	}
+	// The pair must include PM1 (the diversity anchor at λ=0.5; Example 9).
+	hasPM1 := false
+	for _, m := range gen.Matches {
+		if m.Relevance == 4 {
+			hasPM1 = true
+		}
+	}
+	if !hasPM1 {
+		t.Fatalf("generalized default missed the diversity anchor: %+v", gen.Matches)
+	}
+}
+
+func TestTopKDivGeneralNeighborhoodDiversity(t *testing.T) {
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	gen, err := TopKDivGeneral(g, p, 2, 1.0, ranking.RelSetSize{}, ranking.NeighborhoodDiversity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Matches) != 2 {
+		t.Fatalf("matches = %d", len(gen.Matches))
+	}
+	// Pure diversity with neighbourhood distance: the selected pair must
+	// have disjoint relevant sets (PM1 with one of PM2/PM3/PM4 — their
+	// intersection with PM1 is empty except ST2 for PM2).
+	inter := gen.Matches[0].R.IntersectCount(gen.Matches[1].R)
+	if inter > 1 {
+		t.Fatalf("pure-diversity pair overlaps in %d nodes", inter)
+	}
+}
+
+func TestTopKDivGeneralDistanceDiversity(t *testing.T) {
+	// Distance-based diversity needs graph BFS; exercise it end to end.
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	gen, err := TopKDivGeneral(g, p, 3, 0.5, ranking.PreferenceAttachment{}, ranking.DistanceDiversity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Matches) != 3 {
+		t.Fatalf("matches = %d", len(gen.Matches))
+	}
+	if gen.F <= 0 {
+		t.Fatalf("F = %v", gen.F)
+	}
+}
+
+func TestTopKDivGeneralPoolSmallerThanK(t *testing.T) {
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	gen, err := TopKDivGeneral(g, p, 10, 0.5, ranking.RelSetSize{}, ranking.RelSetJaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen.Matches) != 4 {
+		t.Fatalf("want all 4 matches, got %d", len(gen.Matches))
+	}
+}
+
+func TestTopKDivGeneralBadLambda(t *testing.T) {
+	g, _ := testutil.Figure1()
+	p := testutil.Figure1Pattern()
+	if _, err := TopKDivGeneral(g, p, 2, 2.0, ranking.RelSetSize{}, ranking.RelSetJaccard{}); err == nil {
+		t.Fatal("lambda > 1 accepted")
+	}
+}
+
+func TestTopKDivGeneralRandomSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(14)
+		g := testutil.RandomGraph(rng, n, rng.Intn(4*n)+n, labels)
+		p := testutil.RandomPattern(rng, 1+rng.Intn(3), rng.Intn(3), labels, trial%2 == 0)
+		gen, err := TopKDivGeneral(g, p, 2, 0.5, ranking.CommonNeighbors{}, ranking.NeighborhoodDiversity{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !gen.GlobalMatch {
+			continue
+		}
+		if math.IsNaN(gen.F) || gen.F < 0 {
+			t.Fatalf("trial %d: F = %v", trial, gen.F)
+		}
+		seen := map[int32]bool{}
+		for _, m := range gen.Matches {
+			if seen[int32(m.Node)] {
+				t.Fatalf("trial %d: duplicate member", trial)
+			}
+			seen[int32(m.Node)] = true
+		}
+	}
+}

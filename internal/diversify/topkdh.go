@@ -1,0 +1,162 @@
+package diversify
+
+import (
+	"fmt"
+
+	"divtopk/internal/bitset"
+	"divtopk/internal/core"
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+	"divtopk/internal/ranking"
+)
+
+// TopKDH is the early-termination diversification heuristic of §5.2. It
+// runs the incremental engine exactly like TopK (same propagation, same
+// Proposition-3 termination), but selects the returned set greedily by the
+// partial objective F”: per batch, newly discovered matches of the output
+// node either fill S (while |S| < k) or replace the member whose swap
+// maximizes F”(S\{v}∪{v'}) − F”(S), where F” evaluates relevance by the
+// current lower bounds v.l/C_uo and distance by the Jaccard of the current
+// partial relevant sets (Example 10).
+func TopKDH(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, opts core.Options) (*Result, error) {
+	params := ranking.DiversifyParams{Lambda: lambda, K: k}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+
+	sel := &swapSelector{k: k, params: &params}
+	opts.Hook = sel
+	engRes, err := core.TopK(g, p, k, opts)
+	if err != nil {
+		return nil, err
+	}
+	params.Cuo = engRes.Cuo
+	res := &Result{Params: params, Stats: engRes.Stats, GlobalMatch: engRes.GlobalMatch}
+	if !engRes.GlobalMatch {
+		return res, nil
+	}
+
+	// Map the selector's choice to the final engine state. (The handles
+	// referenced live state; the result carries the settled values.)
+	final := make(map[graph.NodeID]core.Match, len(engRes.All))
+	for _, m := range engRes.All {
+		final[m.Node] = m
+	}
+	for _, n := range sel.members {
+		if m, ok := final[n]; ok {
+			res.Matches = append(res.Matches, m)
+		}
+	}
+	// Note: with early termination the relevant sets behind res.Matches may
+	// be partial, so this F is the heuristic's own estimate. Use ExactF to
+	// score the selected set under the true diversification function (what
+	// the paper's Fig. 5(i) compares).
+	res.F = evalF(params, res.Matches)
+	return res, nil
+}
+
+// ExactF evaluates the true diversification function F on a set of output
+// matches, recomputing their exact relevant sets via full evaluation. It is
+// the scoring used when comparing TopKDH's answer quality against TopKDiv's
+// (the heuristic's own Result.F is based on possibly-partial sets).
+func ExactF(g *graph.Graph, p *pattern.Pattern, nodes []graph.NodeID, lambda float64, k int) (float64, error) {
+	params := ranking.DiversifyParams{Lambda: lambda, K: k}
+	if err := params.Validate(); err != nil {
+		return 0, err
+	}
+	base, err := core.MatchBaseline(g, p, k, true)
+	if err != nil {
+		return 0, err
+	}
+	params.Cuo = base.Cuo
+	byNode := make(map[graph.NodeID]core.Match, len(base.All))
+	for _, m := range base.All {
+		byNode[m.Node] = m
+	}
+	sel := make([]core.Match, 0, len(nodes))
+	for _, n := range nodes {
+		m, ok := byNode[n]
+		if !ok {
+			return 0, fmt.Errorf("diversify: node %d is not a match", n)
+		}
+		sel = append(sel, m)
+	}
+	return evalF(params, sel), nil
+}
+
+// TopKDAGDH is TopKDH restricted to DAG patterns, mirroring the paper's
+// experiment naming; it rejects cyclic patterns like TopKDAG does.
+func TopKDAGDH(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, opts core.Options) (*Result, error) {
+	if !p.IsDAG() {
+		return nil, core.ErrNotDAG
+	}
+	return TopKDH(g, p, k, lambda, opts)
+}
+
+// swapSelector maintains the heuristic set S across engine batches.
+type swapSelector struct {
+	k      int
+	params *ranking.DiversifyParams
+
+	members []graph.NodeID
+	sets    []*bitset.Set // live views of the members' partial R sets
+	handles []core.PairHandle
+}
+
+// Begin implements core.Hook: F” needs C_uo before the first swap.
+func (s *swapSelector) Begin(cuo int) { s.params.Cuo = cuo }
+
+// Batch implements core.Hook.
+func (s *swapSelector) Batch(newMatches []core.PairHandle) {
+	for _, h := range newMatches {
+		if len(s.members) < s.k {
+			s.add(h)
+			continue
+		}
+		s.trySwap(h)
+	}
+}
+
+func (s *swapSelector) add(h core.PairHandle) {
+	s.members = append(s.members, h.Node())
+	s.sets = append(s.sets, h.R())
+	s.handles = append(s.handles, h)
+}
+
+// trySwap replaces the member whose substitution by h maximizes the F” gain
+// (if any gain is positive).
+func (s *swapSelector) trySwap(h core.PairHandle) {
+	cur := s.fpp(-1, core.PairHandle{})
+	bestGain, bestIdx := 0.0, -1
+	for i := range s.members {
+		f := s.fpp(i, h)
+		if gain := f - cur; gain > bestGain {
+			bestGain, bestIdx = gain, i
+		}
+	}
+	if bestIdx >= 0 {
+		s.members[bestIdx] = h.Node()
+		s.sets[bestIdx] = h.R()
+		s.handles[bestIdx] = h
+	}
+}
+
+// fpp evaluates F” on the current members with member `replace` substituted
+// by h (replace = -1 evaluates the set as-is). Relevance uses the live lower
+// bounds, distance the live partial relevant sets.
+func (s *swapSelector) fpp(replace int, h core.PairHandle) float64 {
+	normRel := make([]float64, len(s.members))
+	sets := make([]*bitset.Set, len(s.members))
+	for i := range s.members {
+		if i == replace {
+			normRel[i] = s.params.NormRel(float64(h.Lower()))
+			sets[i] = h.R()
+		} else {
+			normRel[i] = s.params.NormRel(float64(s.handles[i].Lower()))
+			sets[i] = s.sets[i]
+		}
+	}
+	return s.params.F(normRel, func(i, j int) float64 {
+		return ranking.Distance(sets[i], sets[j])
+	})
+}

@@ -1,0 +1,159 @@
+// Package diversify implements the diversified top-k matching algorithms of
+// §5: TopKDiv, the 2-approximation that evaluates the whole match set and
+// greedily assembles k/2 pairs maximizing the pair objective F' (a reduction
+// to maximum dispersion [Hassin-Rubinstein-Tamir]); and TopKDH/TopKDAGDH,
+// the early-termination heuristics that ride the incremental engine of
+// internal/core and greedily swap matches to maximize the partial objective
+// F” as they are discovered.
+package diversify
+
+import (
+	"divtopk/internal/bitset"
+	"divtopk/internal/core"
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+	"divtopk/internal/ranking"
+)
+
+// Result is the outcome of a diversified top-k computation.
+type Result struct {
+	// Matches is the selected k-set (order: selection order, not ranked —
+	// F is a set objective).
+	Matches []core.Match
+	// F is the diversification objective value of Matches under the exact
+	// relevant sets available to the algorithm at termination.
+	F float64
+	// Params echoes λ, k and C_uo used.
+	Params ranking.DiversifyParams
+	// Stats carries the work counters of the underlying evaluation.
+	Stats core.Stats
+	// GlobalMatch reports whether G matches Q.
+	GlobalMatch bool
+}
+
+// TopKDiv is the 2-approximation of §5.1. It computes all matches of the
+// output node with their exact relevant sets (like the baseline Match),
+// normalizes relevance by C_uo, and then greedily picks ⌊k/2⌋ disjoint pairs
+// maximizing F'(v1,v2); for odd k a final single match maximizing the F gain
+// is added. The returned set S satisfies F(S) ≥ F(S*)/2.
+func TopKDiv(g *graph.Graph, p *pattern.Pattern, k int, lambda float64) (*Result, error) {
+	params := ranking.DiversifyParams{Lambda: lambda, K: k}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	base, err := core.MatchBaseline(g, p, k, true)
+	if err != nil {
+		return nil, err
+	}
+	params.Cuo = base.Cuo
+	res := &Result{Params: params, Stats: base.Stats, GlobalMatch: base.GlobalMatch}
+	if !base.GlobalMatch {
+		return res, nil
+	}
+
+	pool := base.All
+	if len(pool) <= k {
+		res.Matches = append(res.Matches, pool...)
+		res.F = evalF(params, res.Matches)
+		return res, nil
+	}
+
+	normRel := make([]float64, len(pool))
+	for i, m := range pool {
+		normRel[i] = params.NormRel(float64(m.Relevance))
+	}
+	taken := make([]bool, len(pool))
+	var picked []int
+
+	// ⌊k/2⌋ greedy pair selections by F'.
+	for len(picked)+1 < k {
+		bi, bj, best := -1, -1, -1.0
+		for i := 0; i < len(pool); i++ {
+			if taken[i] {
+				continue
+			}
+			for j := i + 1; j < len(pool); j++ {
+				if taken[j] {
+					continue
+				}
+				f := params.FPrime(normRel[i], normRel[j], ranking.Distance(pool[i].R, pool[j].R))
+				if f > best {
+					best, bi, bj = f, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		taken[bi], taken[bj] = true, true
+		picked = append(picked, bi, bj)
+	}
+
+	// Odd k: add the single match maximizing F(S ∪ {v}).
+	if len(picked) < k {
+		cur := make([]core.Match, len(picked))
+		for i, idx := range picked {
+			cur[i] = pool[idx]
+		}
+		bi, best := -1, -1.0
+		for i := 0; i < len(pool); i++ {
+			if taken[i] {
+				continue
+			}
+			f := evalF(params, append(cur[:len(cur):len(cur)], pool[i]))
+			if f > best {
+				best, bi = f, i
+			}
+		}
+		if bi >= 0 {
+			taken[bi] = true
+			picked = append(picked, bi)
+		}
+	}
+
+	for _, idx := range picked {
+		res.Matches = append(res.Matches, pool[idx])
+	}
+	res.F = evalF(params, res.Matches)
+	return res, nil
+}
+
+// evalF evaluates the diversification function F on a match slice using
+// exact set relevance and Jaccard distances.
+func evalF(params ranking.DiversifyParams, ms []core.Match) float64 {
+	sets := make([]*bitset.Set, len(ms))
+	for i, m := range ms {
+		sets[i] = m.R
+	}
+	return params.FSets(sets)
+}
+
+// BruteForceBest enumerates every k-subset of the pool and returns the
+// maximum F value. Exponential; used by tests to check the approximation
+// ratio and by tiny interactive queries.
+func BruteForceBest(params ranking.DiversifyParams, pool []core.Match, k int) float64 {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	best := -1.0
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			sel := make([]core.Match, k)
+			for i, j := range idx {
+				sel[i] = pool[j]
+			}
+			if f := evalF(params, sel); f > best {
+				best = f
+			}
+			return
+		}
+		for i := start; i <= len(pool)-(k-depth); i++ {
+			idx[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}

@@ -1,0 +1,203 @@
+package gen
+
+import (
+	"testing"
+
+	"divtopk/internal/graph"
+	"divtopk/internal/simulation"
+)
+
+func TestSyntheticShape(t *testing.T) {
+	g := Synthetic(SynthConfig{N: 2000, M: 4000, Seed: 1})
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// Edge dedup can only lose a handful on this density.
+	if g.NumEdges() < 3800 || g.NumEdges() > 4000 {
+		t.Fatalf("edges = %d, want ~4000", g.NumEdges())
+	}
+	if got := g.Dict().Size(); got > 15 {
+		t.Fatalf("labels = %d, want <= 15", got)
+	}
+	// Scale-free-ness, weakly: the max degree should far exceed the mean.
+	s := graph.ComputeStats(g)
+	if s.MaxInDegree < 10*int(s.AvgDegree) {
+		t.Errorf("max in-degree %d does not look preferential (avg %.1f)", s.MaxInDegree, s.AvgDegree)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	a := Synthetic(SynthConfig{N: 500, M: 1000, Seed: 42})
+	b := Synthetic(SynthConfig{N: 500, M: 1000, Seed: 42})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed must give the same graph")
+	}
+	for v := graph.NodeID(0); v < 500; v++ {
+		if a.Label(v) != b.Label(v) {
+			t.Fatal("labels differ under the same seed")
+		}
+	}
+	c := Synthetic(SynthConfig{N: 500, M: 1000, Seed: 43})
+	same := true
+	for v := graph.NodeID(0); v < 500; v++ {
+		if a.Label(v) != c.Label(v) {
+			same = false
+			break
+		}
+	}
+	if same && a.NumEdges() == c.NumEdges() {
+		t.Error("different seeds should give different graphs")
+	}
+}
+
+func TestCitationIsDAG(t *testing.T) {
+	g := CitationLike(3000, 8000, 7)
+	s := graph.ComputeStats(g)
+	if !s.IsDAG {
+		t.Fatal("citation graph must be a DAG")
+	}
+	// Years must be non-increasing along edges (papers cite older papers).
+	for v := graph.NodeID(0); v < graph.NodeID(g.NumNodes()); v++ {
+		yv, _ := g.Attr(v, "year")
+		for _, w := range g.Out(v) {
+			yw, _ := g.Attr(w, "year")
+			if yw.Int > yv.Int {
+				t.Fatalf("edge %d->%d goes forward in time (%d -> %d)", v, w, yv.Int, yw.Int)
+			}
+		}
+	}
+}
+
+func TestAmazonAndYouTubeCyclic(t *testing.T) {
+	a := graph.ComputeStats(AmazonLike(2000, 6000, 3))
+	if a.IsDAG {
+		t.Error("amazon-like graph should contain cycles")
+	}
+	y := YouTubeLike(2000, 6000, 3)
+	ys := graph.ComputeStats(y)
+	if ys.IsDAG {
+		t.Error("youtube-like graph should contain cycles")
+	}
+	// Attributes present and C mirrors the label.
+	for v := graph.NodeID(0); v < 50; v++ {
+		c, ok := y.Attr(v, "C")
+		if !ok || c.Str != y.Label(v) {
+			t.Fatalf("node %d: C=%v label=%s", v, c, y.Label(v))
+		}
+		for _, key := range []string{"A", "V", "R"} {
+			if _, ok := y.Attr(v, key); !ok {
+				t.Fatalf("node %d missing attr %s", v, key)
+			}
+		}
+		r, _ := y.Attr(v, "R")
+		if r.Int < 1 || r.Int > 5 {
+			t.Fatalf("rate out of range: %d", r.Int)
+		}
+	}
+}
+
+func TestGeneratedPatternsMatch(t *testing.T) {
+	// DAG patterns on citation-like data, cyclic on youtube-like: every
+	// instance-guided pattern must have a non-empty Mu(Q,G,uo).
+	cit := CitationLike(3000, 9000, 11)
+	dags, err := Suite(cit, PatternConfig{Nodes: 4, Edges: 6, Seed: 5}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range dags {
+		if !p.IsDAG() {
+			t.Fatalf("pattern %d not a DAG: %s", i, p)
+		}
+		res := simulation.Compute(cit, p)
+		if !res.Matched || len(res.MatchesOf(p.Output())) == 0 {
+			t.Fatalf("DAG pattern %d unmatched: %s", i, p)
+		}
+	}
+
+	yt := YouTubeLike(3000, 10000, 11)
+	cycs, err := Suite(yt, PatternConfig{Nodes: 4, Edges: 8, Cyclic: true, Predicates: true, Seed: 9}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range cycs {
+		if p.IsDAG() {
+			t.Fatalf("pattern %d should be cyclic: %s", i, p)
+		}
+		res := simulation.Compute(yt, p)
+		if !res.Matched || len(res.MatchesOf(p.Output())) == 0 {
+			t.Fatalf("cyclic pattern %d unmatched: %s", i, p)
+		}
+	}
+}
+
+func TestGenerateSizes(t *testing.T) {
+	g := Synthetic(SynthConfig{N: 3000, M: 9000, Seed: 2})
+	p, err := Generate(g, PatternConfig{Nodes: 6, Edges: 9, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumNodes() != 6 {
+		t.Fatalf("nodes = %d, want 6", p.NumNodes())
+	}
+	if p.NumEdges() < 5 || p.NumEdges() > 9 {
+		t.Fatalf("edges = %d, want within [5,9]", p.NumEdges())
+	}
+	if p.Output() != 0 {
+		t.Fatal("output must be the instance root")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(graph.NewBuilder().Build(), PatternConfig{Nodes: 2, Edges: 1}); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := Generate(Synthetic(SynthConfig{N: 10, M: 10, Seed: 1}), PatternConfig{Nodes: 0}); err == nil {
+		t.Error("zero-node pattern accepted")
+	}
+	// A DAG graph cannot yield cyclic patterns.
+	dag := CitationLike(200, 400, 5)
+	if _, err := Generate(dag, PatternConfig{Nodes: 3, Edges: 5, Cyclic: true, Seed: 1}); err == nil {
+		t.Error("cyclic pattern mined from a DAG")
+	}
+}
+
+func TestFig4Patterns(t *testing.T) {
+	q1, q2 := Fig4Q1(), Fig4Q2()
+	if q1.IsDAG() {
+		t.Error("Q1 must be cyclic")
+	}
+	if !q2.IsDAG() {
+		t.Error("Q2 must be a DAG")
+	}
+	if err := q1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := q2.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Both must match a reasonably sized YouTube-like graph.
+	g := YouTubeLike(20000, 70000, 4)
+	r1 := simulation.Compute(g, q1)
+	if !r1.Matched || len(r1.MatchesOf(q1.Output())) == 0 {
+		t.Error("Q1 has no matches on the YouTube-like graph")
+	}
+	r2 := simulation.Compute(g, q2)
+	if !r2.Matched || len(r2.MatchesOf(q2.Output())) == 0 {
+		t.Error("Q2 has no matches on the YouTube-like graph")
+	}
+}
+
+func TestSuiteDistinct(t *testing.T) {
+	g := Synthetic(SynthConfig{N: 2000, M: 6000, Seed: 8})
+	ps, err := Suite(g, PatternConfig{Nodes: 4, Edges: 5, Seed: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, p := range ps {
+		distinct[p.String()] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("suite should produce varied patterns")
+	}
+}

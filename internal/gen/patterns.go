@@ -1,0 +1,297 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+)
+
+// PatternConfig controls instance-guided pattern generation, mirroring the
+// paper's four generator parameters: |Vp|, |Ep|, the label function fv
+// (taken from the mined instance), and the output node uo (the instance
+// root).
+type PatternConfig struct {
+	// Nodes and Edges request the pattern size |Q| = (|Vp|, |Ep|). Edges
+	// below Nodes-1 are raised to Nodes-1 (the spanning tree minimum); if
+	// the mined instance cannot support all requested extra edges the
+	// pattern comes out slightly sparser.
+	Nodes, Edges int
+	// Cyclic asks for at least one directed cycle in Q (mined from
+	// reciprocal instance edges); when impossible the generator retries
+	// from other roots and eventually returns an error.
+	Cyclic bool
+	// Predicates, when true, attaches attribute predicates satisfied by the
+	// instance nodes (YouTube-style search conditions).
+	Predicates bool
+	// Shape constrains the spanning tree: ShapeRandom (default) attaches new
+	// nodes to random existing ones, ShapeChain builds a path (maximum
+	// height), ShapeStar attaches everything to the root (height 1). Used by
+	// the pattern-shape ablation of §6 ("TopK performs better for patterns
+	// with smaller height").
+	Shape Shape
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Shape constrains the tree skeleton of generated patterns.
+type Shape int
+
+// The supported skeleton shapes.
+const (
+	ShapeRandom Shape = iota
+	ShapeChain
+	ShapeStar
+)
+
+// Generate mines a pattern of the requested shape out of g. The returned
+// pattern is instance-guided: some concrete subgraph of g realizes it, so
+// Mu(Q,G,uo) is guaranteed non-empty (the root instance matches the output
+// node). Returns an error when g is too sparse to support the shape.
+func Generate(g *graph.Graph, cfg PatternConfig) (*pattern.Pattern, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("gen: pattern needs at least 1 node")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	const tries = 64
+	var lastErr error
+	for t := 0; t < tries; t++ {
+		p, err := generateOnce(g, cfg, rng)
+		if err == nil {
+			return p, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("gen: no instance found after %d tries: %w", tries, lastErr)
+}
+
+func generateOnce(g *graph.Graph, cfg PatternConfig, rng *rand.Rand) (*pattern.Pattern, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("empty graph")
+	}
+	// Root: prefer nodes with successors so the tree can grow.
+	var root graph.NodeID
+	for t := 0; ; t++ {
+		root = graph.NodeID(rng.Intn(n))
+		if g.OutDegree(root) > 0 || cfg.Nodes == 1 {
+			break
+		}
+		if t > 32 {
+			return nil, fmt.Errorf("no node with successors")
+		}
+	}
+
+	inst := []graph.NodeID{root}
+	used := map[graph.NodeID]bool{root: true}
+	parent := []int{-1}
+	// Grow a spanning out-tree over distinct instance nodes.
+	for len(inst) < cfg.Nodes {
+		// Pick an expandable pattern node per the requested shape.
+		var cand []int
+		switch cfg.Shape {
+		case ShapeChain:
+			cand = []int{len(inst) - 1}
+		case ShapeStar:
+			cand = []int{0}
+		default:
+			cand = rng.Perm(len(inst))
+		}
+		grown := false
+		for _, pi := range cand {
+			for _, w := range shuffled(rng, g.Out(inst[pi])) {
+				if !used[w] {
+					used[w] = true
+					parent = append(parent, pi)
+					inst = append(inst, w)
+					grown = true
+					break
+				}
+			}
+			if grown {
+				break
+			}
+		}
+		if !grown {
+			return nil, fmt.Errorf("instance walk stuck at %d nodes", len(inst))
+		}
+	}
+
+	p := pattern.New()
+	for _, v := range inst {
+		p.AddNode(g.Label(v))
+	}
+	for i := 1; i < len(inst); i++ {
+		// Tree edges derive from real instance edges; cannot fail.
+		if err := p.AddEdge(parent[i], i); err != nil {
+			return nil, err
+		}
+	}
+	_ = p.SetOutput(0)
+
+	// Extra edges: instance-consistent pairs (a,b) with a real edge
+	// inst[a] -> inst[b]. Cyclic patterns need at least one back edge
+	// (creating a directed cycle with the tree path).
+	want := cfg.Edges - (cfg.Nodes - 1)
+	haveCycle := false
+	if want > 0 || cfg.Cyclic {
+		type cand struct{ a, b int }
+		var backs, forwards []cand
+		anc := ancestors(parent)
+		for a := 0; a < len(inst); a++ {
+			for b := 0; b < len(inst); b++ {
+				if a == b || (parent[b] == a) {
+					continue
+				}
+				if !g.HasEdge(inst[a], inst[b]) {
+					continue
+				}
+				if anc[a][b] { // b is an ancestor of a: edge a->b closes a cycle
+					backs = append(backs, cand{a, b})
+				} else {
+					forwards = append(forwards, cand{a, b})
+				}
+			}
+		}
+		if cfg.Cyclic && len(backs) == 0 {
+			return nil, fmt.Errorf("no cycle-closing instance edge")
+		}
+		rng.Shuffle(len(backs), func(i, j int) { backs[i], backs[j] = backs[j], backs[i] })
+		rng.Shuffle(len(forwards), func(i, j int) { forwards[i], forwards[j] = forwards[j], forwards[i] })
+		added := 0
+		if cfg.Cyclic {
+			if err := p.AddEdge(backs[0].a, backs[0].b); err == nil {
+				added++
+				haveCycle = true
+			}
+			backs = backs[1:]
+		}
+		pool := forwards
+		if cfg.Cyclic {
+			pool = append(pool, backs...)
+		}
+		for _, c := range pool {
+			if added >= want {
+				break
+			}
+			if err := p.AddEdge(c.a, c.b); err == nil {
+				added++
+			}
+		}
+	}
+	if cfg.Cyclic && !haveCycle {
+		return nil, fmt.Errorf("could not close a cycle")
+	}
+
+	if cfg.Predicates {
+		attachPredicates(g, p, inst, rng)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// attachPredicates decorates ~half the pattern nodes with predicates that
+// the corresponding instance nodes satisfy, preserving non-emptiness.
+func attachPredicates(g *graph.Graph, p *pattern.Pattern, inst []graph.NodeID, rng *rand.Rand) {
+	for i, v := range inst {
+		if rng.Intn(2) == 1 {
+			continue
+		}
+		for _, key := range g.AttrKeys(v) {
+			val, _ := g.Attr(v, key)
+			var pr pattern.Predicate
+			switch val.Kind {
+			case graph.KindInt:
+				// Thresholds are set well clear of the instance value so the
+				// predicate keeps a healthy share of candidates (the paper's
+				// conditions like R>2 out of 5 are mild filters, not point
+				// lookups).
+				if rng.Intn(2) == 0 {
+					pr = pattern.AttrGt(key, val.Int/2)
+				} else {
+					pr = pattern.AttrLe(key, val.Int*2)
+				}
+			case graph.KindString:
+				pr = pattern.AttrEq(key, val.Str)
+			}
+			_ = p.AddPred(i, pr)
+			break // one predicate per node keeps selectivity moderate
+		}
+	}
+}
+
+// ancestors[a][b] reports whether b is a (proper) ancestor of a in the tree.
+func ancestors(parent []int) []map[int]bool {
+	out := make([]map[int]bool, len(parent))
+	for i := range parent {
+		out[i] = map[int]bool{}
+		for p := parent[i]; p >= 0; p = parent[p] {
+			out[i][p] = true
+		}
+	}
+	return out
+}
+
+func shuffled(rng *rand.Rand, xs []graph.NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, len(xs))
+	copy(out, xs)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// Suite generates count patterns of one shape, seeded consecutively — the
+// equivalent of the paper's fixed query sets (e.g. "10 cyclic patterns on
+// YouTube of size (4,8)").
+func Suite(g *graph.Graph, cfg PatternConfig, count int) ([]*pattern.Pattern, error) {
+	out := make([]*pattern.Pattern, 0, count)
+	for i := 0; i < count; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		p, err := Generate(g, c)
+		if err != nil {
+			return nil, fmt.Errorf("gen: suite pattern %d: %w", i, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Fig4Q1 is the cyclic case-study pattern Q1 of Fig. 4(a): top music videos
+// (R>2) mutually related with entertainment videos (R>2) that also
+// recommend a heavily watched video (V>5000).
+func Fig4Q1() *pattern.Pattern {
+	p := pattern.New()
+	music := p.AddNode("music", pattern.AttrGt("R", 2))
+	ent := p.AddNode("entertainment", pattern.AttrGt("R", 2))
+	watched := p.AddNode("music", pattern.AttrGt("V", 5000))
+	mustEdge(p, music, ent)
+	mustEdge(p, ent, music) // the cycle of Q1
+	mustEdge(p, ent, watched)
+	_ = p.SetOutput(music)
+	return p
+}
+
+// Fig4Q2 is the DAG case-study pattern Q2 of Fig. 4(b): top comedy videos
+// (R>3) with recommendation requirements on entertainment age/views.
+func Fig4Q2() *pattern.Pattern {
+	p := pattern.New()
+	comedy := p.AddNode("comedy", pattern.AttrGt("R", 3))
+	ent := p.AddNode("entertainment", pattern.AttrGt("A", 500))
+	watched := p.AddNode("comedy", pattern.AttrGt("V", 7000))
+	aged := p.AddNode("music", pattern.AttrGt("A", 800))
+	mustEdge(p, comedy, ent)
+	mustEdge(p, comedy, watched)
+	mustEdge(p, ent, aged)
+	mustEdge(p, watched, aged)
+	_ = p.SetOutput(comedy)
+	return p
+}
+
+func mustEdge(p *pattern.Pattern, u, v int) {
+	if err := p.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}

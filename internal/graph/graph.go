@@ -1,0 +1,310 @@
+// Package graph implements the data-graph substrate of the paper: directed
+// graphs G = (V, E, L) whose nodes carry a label from a finite alphabet Σ and,
+// optionally, typed attributes (the "multiple attributes" extension of §2.2
+// that the paper's YouTube/Amazon/Citation patterns rely on, e.g. C="music",
+// R>2, V>5000).
+//
+// Graphs are built with a Builder and immutable afterwards. Adjacency is
+// stored in CSR (compressed sparse row) form, in both directions: the
+// matching algorithms traverse successors when evaluating pattern edges and
+// predecessors when propagating match and relevance information upward.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node of a data graph. IDs are dense: a graph with n
+// nodes uses exactly the IDs 0..n-1.
+type NodeID = int32
+
+// LabelID identifies an interned label of a Dict.
+type LabelID int32
+
+// ValueKind discriminates the type of an attribute Value.
+type ValueKind uint8
+
+// The supported attribute kinds.
+const (
+	KindInt ValueKind = iota
+	KindString
+)
+
+// Value is a typed attribute value attached to a node.
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	Str  string
+}
+
+// IntValue returns an integer attribute value.
+func IntValue(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// StrValue returns a string attribute value.
+func StrValue(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// String renders the value for debugging and the text file format.
+func (v Value) String() string {
+	if v.Kind == KindInt {
+		return fmt.Sprintf("%d", v.Int)
+	}
+	return v.Str
+}
+
+// Equal reports whether two values have the same kind and content.
+func (v Value) Equal(w Value) bool { return v == w }
+
+// Dict interns label strings to dense LabelIDs so that label comparisons in
+// the inner matching loops are integer comparisons.
+type Dict struct {
+	byName map[string]LabelID
+	names  []string
+}
+
+// NewDict returns an empty label dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]LabelID)}
+}
+
+// Intern returns the ID for name, assigning a fresh one if needed.
+func (d *Dict) Intern(name string) LabelID {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := LabelID(len(d.names))
+	d.byName[name] = id
+	d.names = append(d.names, name)
+	return id
+}
+
+// ID returns the ID for name and whether it is known.
+func (d *Dict) ID(name string) (LabelID, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the label string for id.
+func (d *Dict) Name(id LabelID) string { return d.names[id] }
+
+// Size returns the number of interned labels.
+func (d *Dict) Size() int { return len(d.names) }
+
+// Names returns all interned labels in ID order. The caller must not modify
+// the returned slice.
+func (d *Dict) Names() []string { return d.names }
+
+// Graph is an immutable directed labeled graph. Use a Builder to create one.
+type Graph struct {
+	n      int
+	m      int
+	labels []LabelID
+	attrs  []map[string]Value // nil entries for attribute-free nodes
+	dict   *Dict
+
+	outOff []int32
+	outAdj []NodeID
+	inOff  []int32
+	inAdj  []NodeID
+
+	byLabel map[LabelID][]NodeID
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Size returns |G| = |V| + |E|, the size measure used throughout the paper.
+func (g *Graph) Size() int { return g.n + g.m }
+
+// Dict returns the label dictionary of the graph.
+func (g *Graph) Dict() *Dict { return g.dict }
+
+// LabelIDOf returns the interned label of node v.
+func (g *Graph) LabelIDOf(v NodeID) LabelID { return g.labels[v] }
+
+// Label returns the label string of node v.
+func (g *Graph) Label(v NodeID) string { return g.dict.Name(g.labels[v]) }
+
+// Out returns the successors of v. The caller must not modify the slice.
+func (g *Graph) Out(v NodeID) []NodeID { return g.outAdj[g.outOff[v]:g.outOff[v+1]] }
+
+// In returns the predecessors of v. The caller must not modify the slice.
+func (g *Graph) In(v NodeID) []NodeID { return g.inAdj[g.inOff[v]:g.inOff[v+1]] }
+
+// OutDegree returns the number of successors of v.
+func (g *Graph) OutDegree(v NodeID) int { return int(g.outOff[v+1] - g.outOff[v]) }
+
+// InDegree returns the number of predecessors of v.
+func (g *Graph) InDegree(v NodeID) int { return int(g.inOff[v+1] - g.inOff[v]) }
+
+// Attr returns the attribute value stored under key for node v.
+func (g *Graph) Attr(v NodeID, key string) (Value, bool) {
+	if g.attrs[v] == nil {
+		return Value{}, false
+	}
+	val, ok := g.attrs[v][key]
+	return val, ok
+}
+
+// AttrKeys returns the attribute keys of node v in sorted order.
+func (g *Graph) AttrKeys(v NodeID) []string {
+	if g.attrs[v] == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(g.attrs[v]))
+	for k := range g.attrs[v] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// NodesWithLabelID returns all nodes labeled l, in ascending ID order.
+// The caller must not modify the returned slice.
+func (g *Graph) NodesWithLabelID(l LabelID) []NodeID { return g.byLabel[l] }
+
+// NodesWithLabel returns all nodes whose label string is name.
+func (g *Graph) NodesWithLabel(name string) []NodeID {
+	id, ok := g.dict.ID(name)
+	if !ok {
+		return nil
+	}
+	return g.byLabel[id]
+}
+
+// HasEdge reports whether the edge (u, v) exists. It binary-searches the
+// sorted successor list of u.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	succ := g.Out(u)
+	i := sort.Search(len(succ), func(i int) bool { return succ[i] >= v })
+	return i < len(succ) && succ[i] == v
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Duplicate edges are dropped at Build time; self-loops are kept (data graphs
+// in the wild contain them and simulation handles them naturally).
+type Builder struct {
+	labels []LabelID
+	attrs  []map[string]Value
+	edges  [][2]NodeID
+	dict   *Dict
+}
+
+// NewBuilder returns an empty Builder with a fresh label dictionary.
+func NewBuilder() *Builder {
+	return &Builder{dict: NewDict()}
+}
+
+// NewBuilderWithDict returns an empty Builder that interns labels into dict,
+// allowing several graphs to share an alphabet.
+func NewBuilderWithDict(dict *Dict) *Builder {
+	return &Builder{dict: dict}
+}
+
+// NumNodes returns the number of nodes added so far.
+func (b *Builder) NumNodes() int { return len(b.labels) }
+
+// AddNode appends a node with the given label and optional attributes and
+// returns its ID.
+func (b *Builder) AddNode(label string, attrs map[string]Value) NodeID {
+	id := NodeID(len(b.labels))
+	b.labels = append(b.labels, b.dict.Intern(label))
+	var m map[string]Value
+	if len(attrs) > 0 {
+		m = make(map[string]Value, len(attrs))
+		for k, v := range attrs {
+			m[k] = v
+		}
+	}
+	b.attrs = append(b.attrs, m)
+	return id
+}
+
+// SetAttr sets one attribute on an existing node.
+func (b *Builder) SetAttr(v NodeID, key string, val Value) error {
+	if int(v) >= len(b.labels) || v < 0 {
+		return fmt.Errorf("graph: SetAttr on unknown node %d", v)
+	}
+	if b.attrs[v] == nil {
+		b.attrs[v] = make(map[string]Value, 1)
+	}
+	b.attrs[v][key] = val
+	return nil
+}
+
+// AddEdge appends the directed edge (u, v).
+func (b *Builder) AddEdge(u, v NodeID) error {
+	n := NodeID(len(b.labels))
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("graph: edge (%d,%d) references unknown node (have %d nodes)", u, v, n)
+	}
+	b.edges = append(b.edges, [2]NodeID{u, v})
+	return nil
+}
+
+// Build finalizes the graph. The Builder must not be used afterwards.
+func (b *Builder) Build() *Graph {
+	n := len(b.labels)
+	// Sort and deduplicate edges so successor lists are sorted and unique.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i][0] != b.edges[j][0] {
+			return b.edges[i][0] < b.edges[j][0]
+		}
+		return b.edges[i][1] < b.edges[j][1]
+	})
+	edges := b.edges[:0]
+	for i, e := range b.edges {
+		if i > 0 && e == b.edges[i-1] {
+			continue
+		}
+		edges = append(edges, e)
+	}
+	m := len(edges)
+
+	g := &Graph{
+		n:      n,
+		m:      m,
+		labels: b.labels,
+		attrs:  b.attrs,
+		dict:   b.dict,
+		outOff: make([]int32, n+1),
+		outAdj: make([]NodeID, m),
+		inOff:  make([]int32, n+1),
+		inAdj:  make([]NodeID, m),
+	}
+
+	for _, e := range edges {
+		g.outOff[e[0]+1]++
+		g.inOff[e[1]+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	outNext := make([]int32, n)
+	inNext := make([]int32, n)
+	copy(outNext, g.outOff[:n])
+	copy(inNext, g.inOff[:n])
+	for _, e := range edges {
+		g.outAdj[outNext[e[0]]] = e[1]
+		outNext[e[0]]++
+		g.inAdj[inNext[e[1]]] = e[0]
+		inNext[e[1]]++
+	}
+	// In-adjacency within each node is filled in ascending source order
+	// because edges were sorted by (src, dst); re-sorting per node keeps the
+	// invariant explicit even if the fill order changes.
+	for v := 0; v < n; v++ {
+		in := g.inAdj[g.inOff[v]:g.inOff[v+1]]
+		sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	}
+
+	g.byLabel = make(map[LabelID][]NodeID)
+	for v, l := range g.labels {
+		g.byLabel[l] = append(g.byLabel[l], NodeID(v))
+	}
+	return g
+}

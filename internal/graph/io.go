@@ -1,0 +1,142 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text file format for data graphs, one directive per line:
+//
+//	# comment
+//	node <id> <label> [key=value ...]
+//	edge <src> <dst>
+//
+// Node IDs must be dense (0..n-1) but may appear in any order; values are
+// stored as integers when they parse as such, strings otherwise (quote with
+// no spaces; the format is deliberately simple). This is the on-disk format
+// of cmd/graphgen and cmd/topkmatch.
+
+// Write serializes g to w in the text format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# divtopk graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		fmt.Fprintf(bw, "node %d %s", v, g.Label(v))
+		for _, k := range g.AttrKeys(v) {
+			val, _ := g.Attr(v, k)
+			fmt.Fprintf(bw, " %s=%s", k, val)
+		}
+		fmt.Fprintln(bw)
+	}
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		for _, u := range g.Out(v) {
+			fmt.Fprintf(bw, "edge %d %d\n", v, u)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the text format. It validates density of node IDs
+// and edge endpoints and reports the first error with its line number.
+func Read(r io.Reader) (*Graph, error) {
+	type nodeDecl struct {
+		label string
+		attrs map[string]Value
+	}
+	nodes := make(map[NodeID]nodeDecl)
+	var edges [][2]NodeID
+	maxID := NodeID(-1)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: node needs id and label", lineNo)
+			}
+			id, err := parseNodeID(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			if _, dup := nodes[id]; dup {
+				return nil, fmt.Errorf("graph: line %d: duplicate node %d", lineNo, id)
+			}
+			decl := nodeDecl{label: fields[2]}
+			if len(fields) > 3 {
+				decl.attrs = make(map[string]Value, len(fields)-3)
+				for _, kv := range fields[3:] {
+					k, v, ok := strings.Cut(kv, "=")
+					if !ok || k == "" {
+						return nil, fmt.Errorf("graph: line %d: bad attribute %q", lineNo, kv)
+					}
+					decl.attrs[k] = parseValue(v)
+				}
+			}
+			nodes[id] = decl
+			if id > maxID {
+				maxID = id
+			}
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: edge needs src and dst", lineNo)
+			}
+			src, err := parseNodeID(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			dst, err := parseNodeID(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+			}
+			edges = append(edges, [2]NodeID{src, dst})
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+
+	n := int(maxID) + 1
+	if len(nodes) != n {
+		return nil, fmt.Errorf("graph: node IDs not dense: %d declarations, max id %d", len(nodes), maxID)
+	}
+	b := NewBuilder()
+	for id := NodeID(0); id < NodeID(n); id++ {
+		decl := nodes[id]
+		b.AddNode(decl.label, decl.attrs)
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+func parseNodeID(s string) (NodeID, error) {
+	id, err := strconv.ParseInt(s, 10, 32)
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("bad node id %q", s)
+	}
+	return NodeID(id), nil
+}
+
+// parseValue interprets v as an integer when possible, else as a string.
+func parseValue(v string) Value {
+	if i, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return IntValue(i)
+	}
+	return StrValue(v)
+}

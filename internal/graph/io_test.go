@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestIORoundtrip(t *testing.T) {
+	g := buildTest(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func assertGraphsEqual(t *testing.T, g, g2 *Graph) {
+	t.Helper()
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip size mismatch: %d/%d vs %d/%d",
+			g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+	}
+	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		if g.Label(v) != g2.Label(v) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+		a, b := g.Out(v), g2.Out(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+		for _, k := range g.AttrKeys(v) {
+			want, _ := g.Attr(v, k)
+			got, ok := g2.Attr(v, k)
+			if !ok || got != want {
+				t.Fatalf("attr %s mismatch at %d: %v vs %v", k, v, got, want)
+			}
+		}
+	}
+}
+
+func TestIORoundtripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(30)
+		g := randomGraph(rng, n, rng.Intn(4*n), []string{"x", "y", "z"})
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertGraphsEqual(t, g, g2)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"bad directive", "frob 1 2\n"},
+		{"node missing label", "node 0\n"},
+		{"bad node id", "node x a\n"},
+		{"negative node id", "node -1 a\n"},
+		{"duplicate node", "node 0 a\nnode 0 b\n"},
+		{"edge arity", "edge 0\n"},
+		{"edge bad src", "node 0 a\nedge x 0\n"},
+		{"edge unknown node", "node 0 a\nedge 0 1\n"},
+		{"sparse ids", "node 0 a\nnode 2 b\n"},
+		{"bad attr", "node 0 a =v\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadEmptyAndComments(t *testing.T) {
+	g, err := Read(strings.NewReader("# nothing but comments\n\n  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatal("empty input should give empty graph")
+	}
+}
+
+func TestReadAttrTypes(t *testing.T) {
+	g, err := Read(strings.NewReader("node 0 video C=music V=5000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := g.Attr(0, "C"); v.Kind != KindString || v.Str != "music" {
+		t.Fatalf("C = %+v", v)
+	}
+	if v, _ := g.Attr(0, "V"); v.Kind != KindInt || v.Int != 5000 {
+		t.Fatalf("V = %+v", v)
+	}
+}

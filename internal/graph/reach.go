@@ -1,0 +1,103 @@
+package graph
+
+import "divtopk/internal/bitset"
+
+// Reachable returns the set of nodes reachable from v by a path of one or
+// more edges (v itself is included only if it lies on a cycle). This is the
+// reachability notion behind the paper's relevant sets: "descendants" of a
+// node are the targets of non-empty paths.
+func Reachable(g *Graph, from NodeID) *bitset.Set {
+	out := bitset.New(g.NumNodes())
+	queue := make([]NodeID, 0, 16)
+	for _, w := range g.Out(from) {
+		if out.Add(int(w)) {
+			queue = append(queue, w)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, w := range g.Out(v) {
+			if out.Add(int(w)) {
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out
+}
+
+// BFSDist returns the directed BFS distance (in edges) from src to every
+// node; unreachable nodes get -1. Used by the distance-based diversity
+// function of §3.4.
+func BFSDist(g *Graph, src NodeID) []int32 {
+	dist := make([]int32, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Out(v) {
+			if dist[w] == -1 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the length of the shortest directed path from src to dst,
+// or -1 if dst is unreachable. It stops the BFS as soon as dst is settled.
+func Distance(g *Graph, src, dst NodeID) int32 {
+	if src == dst {
+		return 0
+	}
+	dist := make(map[NodeID]int32, 64)
+	queue := []NodeID{src}
+	dist[src] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Out(v) {
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[v] + 1
+				if w == dst {
+					return dist[w]
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}
+
+// InducedSubgraph returns the subgraph of g induced by keep (a set of node
+// IDs) plus a mapping from new IDs back to the original ones. Attribute maps
+// are shared, not copied. It is used to materialize the "graphs induced by
+// relevant sets" of the paper's case study (Fig. 4).
+func InducedSubgraph(g *Graph, keep []NodeID) (*Graph, []NodeID) {
+	idx := make(map[NodeID]NodeID, len(keep))
+	b := NewBuilderWithDict(g.Dict())
+	orig := make([]NodeID, 0, len(keep))
+	for _, v := range keep {
+		if _, ok := idx[v]; ok {
+			continue
+		}
+		nv := b.AddNode(g.Label(v), nil)
+		b.attrs[nv] = g.attrs[v]
+		idx[v] = nv
+		orig = append(orig, v)
+	}
+	for v, nv := range idx {
+		for _, w := range g.Out(v) {
+			if nw, ok := idx[w]; ok {
+				// Node IDs come from idx, so AddEdge cannot fail.
+				_ = b.AddEdge(nv, nw)
+			}
+		}
+	}
+	return b.Build(), orig
+}

@@ -1,0 +1,170 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"divtopk/internal/graph"
+)
+
+// Text file format for patterns, one directive per line:
+//
+//	# comment
+//	node <id> <label> [*] [attr<op>value ...]
+//	edge <u> <v>
+//
+// '*' marks the output node (exactly one). Predicate operators: = != < <= > >= ~
+// Values parse as integers when possible, strings otherwise.
+
+// Write serializes p in the text format.
+func Write(w io.Writer, p *Pattern) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# divtopk pattern: %d nodes, %d edges\n", p.NumNodes(), p.NumEdges())
+	for u := 0; u < p.NumNodes(); u++ {
+		fmt.Fprintf(bw, "node %d %s", u, p.Label(u))
+		if u == p.Output() {
+			fmt.Fprint(bw, " *")
+		}
+		for _, pr := range p.Preds(u) {
+			fmt.Fprintf(bw, " %s", pr)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, e := range p.Edges() {
+		fmt.Fprintf(bw, "edge %d %d\n", e[0], e[1])
+	}
+	return bw.Flush()
+}
+
+// Read parses a pattern in the text format and validates it.
+func Read(r io.Reader) (*Pattern, error) {
+	type nodeDecl struct {
+		label  string
+		output bool
+		preds  []Predicate
+	}
+	nodes := make(map[int]nodeDecl)
+	var edges [][2]int
+	maxID := -1
+
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("pattern: line %d: node needs id and label", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("pattern: line %d: bad node id %q", lineNo, fields[1])
+			}
+			if _, dup := nodes[id]; dup {
+				return nil, fmt.Errorf("pattern: line %d: duplicate node %d", lineNo, id)
+			}
+			decl := nodeDecl{label: fields[2]}
+			for _, tok := range fields[3:] {
+				if tok == "*" {
+					decl.output = true
+					continue
+				}
+				pr, err := ParsePredicate(tok)
+				if err != nil {
+					return nil, fmt.Errorf("pattern: line %d: %v", lineNo, err)
+				}
+				decl.preds = append(decl.preds, pr)
+			}
+			nodes[id] = decl
+			if id > maxID {
+				maxID = id
+			}
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("pattern: line %d: edge needs src and dst", lineNo)
+			}
+			src, err1 := strconv.Atoi(fields[1])
+			dst, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("pattern: line %d: bad edge endpoints", lineNo)
+			}
+			edges = append(edges, [2]int{src, dst})
+		default:
+			return nil, fmt.Errorf("pattern: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("pattern: read: %w", err)
+	}
+
+	n := maxID + 1
+	if len(nodes) != n {
+		return nil, fmt.Errorf("pattern: node IDs not dense: %d declarations, max id %d", len(nodes), maxID)
+	}
+	p := New()
+	outputs := 0
+	for id := 0; id < n; id++ {
+		decl := nodes[id]
+		p.AddNode(decl.label, decl.preds...)
+		if decl.output {
+			outputs++
+			if err := p.SetOutput(id); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if outputs != 1 {
+		return nil, fmt.Errorf("pattern: need exactly one output node marked '*', got %d", outputs)
+	}
+	for _, e := range edges {
+		if err := p.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// predicate operators ordered longest-first so "<=" wins over "<".
+var opSyntax = []struct {
+	tok string
+	op  Op
+}{
+	{"!=", OpNe}, {"<=", OpLe}, {">=", OpGe}, {"=", OpEq}, {"<", OpLt}, {">", OpGt}, {"~", OpContains},
+}
+
+// ParsePredicate parses a single attr<op>value token, e.g. "R>2", "C=music",
+// "title~graph".
+func ParsePredicate(tok string) (Predicate, error) {
+	for _, o := range opSyntax {
+		if i := strings.Index(tok, o.tok); i > 0 {
+			attr := tok[:i]
+			raw := tok[i+len(o.tok):]
+			if raw == "" {
+				return Predicate{}, fmt.Errorf("predicate %q has no value", tok)
+			}
+			var val graph.Value
+			if iv, err := strconv.ParseInt(raw, 10, 64); err == nil && o.op != OpContains {
+				val = graph.IntValue(iv)
+			} else {
+				val = graph.StrValue(strings.Trim(raw, `"`))
+			}
+			pr := Predicate{Attr: attr, Op: o.op, Val: val}
+			if err := pr.validate(); err != nil {
+				return Predicate{}, err
+			}
+			return pr, nil
+		}
+	}
+	return Predicate{}, fmt.Errorf("cannot parse predicate %q", tok)
+}

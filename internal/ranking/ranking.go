@@ -1,0 +1,113 @@
+// Package ranking implements the ranking machinery of §3: the relevance
+// function δr (relevant-set size), the distance function δd (Jaccard
+// distance of relevant sets), the bi-criteria diversification function F
+// balanced by λ, the pair objective F' used by the 2-approximation TopKDiv,
+// and the generalized relevance/distance functions of §3.4.
+package ranking
+
+import (
+	"fmt"
+
+	"divtopk/internal/bitset"
+)
+
+// Relevance returns δr(u,v) = |R(u,v)| given a relevant set.
+func Relevance(r *bitset.Set) float64 { return float64(r.Count()) }
+
+// Distance returns δd(v1,v2) = 1 − |R1 ∩ R2| / |R1 ∪ R2| (§3.2). Two empty
+// sets have distance 0: matches with identical (empty) impact are
+// indistinguishable. δd is a metric (symmetric, triangle inequality), which
+// the 2-approximation of TopKDiv relies on.
+func Distance(r1, r2 *bitset.Set) float64 { return 1 - bitset.Jaccard(r1, r2) }
+
+// DiversifyParams carries the fixed inputs of the diversification function:
+// the user balance λ ∈ [0,1], the requested k, and the normalization
+// constant C_uo of §3.3 (total candidates of the output node's descendant
+// query nodes).
+type DiversifyParams struct {
+	Lambda float64
+	K      int
+	Cuo    int
+}
+
+// Validate checks the parameter ranges.
+func (p DiversifyParams) Validate() error {
+	if p.Lambda < 0 || p.Lambda > 1 {
+		return fmt.Errorf("ranking: lambda %v outside [0,1]", p.Lambda)
+	}
+	if p.K < 1 {
+		return fmt.Errorf("ranking: k %d < 1", p.K)
+	}
+	return nil
+}
+
+// NormRel returns δ'r = δr / C_uo, the normalized relevance of §3.3. With an
+// empty candidate space (C_uo = 0) every relevance is 0.
+func (p DiversifyParams) NormRel(rel float64) float64 {
+	if p.Cuo == 0 {
+		return 0
+	}
+	return rel / float64(p.Cuo)
+}
+
+// diversityScale returns 2λ/(k−1), the scaling of the pairwise distance sum.
+// For k = 1 the distance sum is empty and the scale is irrelevant; 0 keeps
+// F well-defined (F degenerates to pure normalized relevance).
+func (p DiversifyParams) diversityScale() float64 {
+	if p.K <= 1 {
+		return 0
+	}
+	return 2 * p.Lambda / float64(p.K-1)
+}
+
+// F evaluates the diversification function of §3.3 on a match set S given
+// its normalized-relevance values and a pairwise distance callback:
+//
+//	F(S) = (1−λ) Σ δ'r(uo,vi)  +  2λ/(k−1) Σ_{i<j} δd(vi,vj)
+//
+// normRel[i] must already be normalized (δr/C_uo); dist(i,j) must be
+// symmetric. k is taken from the params, not len(normRel), so partial sets
+// evaluate under the same scaling as full ones (as TopKDH's F” does).
+func (p DiversifyParams) F(normRel []float64, dist func(i, j int) float64) float64 {
+	sum := 0.0
+	for _, r := range normRel {
+		sum += r
+	}
+	total := (1 - p.Lambda) * sum
+	scale := p.diversityScale()
+	if scale != 0 {
+		dsum := 0.0
+		for i := 0; i < len(normRel); i++ {
+			for j := i + 1; j < len(normRel); j++ {
+				dsum += dist(i, j)
+			}
+		}
+		total += scale * dsum
+	}
+	return total
+}
+
+// FSets evaluates F on explicit relevant sets: relevance is |set|/C_uo and
+// distance is the Jaccard distance. This is the form used on final results.
+func (p DiversifyParams) FSets(sets []*bitset.Set) float64 {
+	normRel := make([]float64, len(sets))
+	for i, s := range sets {
+		normRel[i] = p.NormRel(Relevance(s))
+	}
+	return p.F(normRel, func(i, j int) float64 { return Distance(sets[i], sets[j]) })
+}
+
+// FPrime is the pair objective of TopKDiv (§5.1):
+//
+//	F'(v1,v2) = (1−λ)/(k−1) · (δ'r(v1)+δ'r(v2)) + 2λ/(k−1) · δd(v1,v2)
+//
+// Selecting k/2 disjoint pairs greedily by F' simulates the 2-approximation
+// for maximum dispersion [Hassin-Rubinstein-Tamir]: summing F' over *all*
+// C(k,2) pairs of a k-set S gives each member's relevance k−1 times, so
+// Σ_{i<j} F'(vi,vj) = F(S) — the reduction identity of §5.1.
+func (p DiversifyParams) FPrime(normRel1, normRel2, dist float64) float64 {
+	if p.K <= 1 {
+		return (1 - p.Lambda) * (normRel1 + normRel2)
+	}
+	return (1-p.Lambda)/float64(p.K-1)*(normRel1+normRel2) + 2*p.Lambda/float64(p.K-1)*dist
+}

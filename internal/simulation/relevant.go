@@ -1,0 +1,215 @@
+package simulation
+
+import (
+	"divtopk/internal/bitset"
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+)
+
+// The product graph has one node per alive candidate pair (u,v) and an edge
+// (u,v) → (u',v') whenever (u,u') ∈ Ep, (v,v') ∈ E, and both pairs are
+// alive. The relevant set R(u,v) of §3.1 is exactly the set of *data nodes*
+// of the pairs reachable from (u,v) by a non-empty path in the product graph
+// restricted to M(Q,G) — which also makes precise the paper's observation
+// (Example 8) that a match on a product cycle contains itself in its own
+// relevant set.
+//
+// Run over the *candidate* product graph (alive = all candidates) the same
+// reachability yields R̂(u,v) ⊇ R(u,v), whose cardinality is the tight upper
+// bound h(u,v) that reproduces the h values of the paper's Examples 7 and 8
+// (see internal/core/bounds.go).
+
+// productAdj returns an adjacency callback over pairs of ci restricted to
+// alive pairs. A nil alive mask means all candidate pairs are alive.
+func productAdj(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex, alive []bool) graph.AdjFunc {
+	return func(id int32, emit func(int32)) {
+		if alive != nil && !alive[id] {
+			return
+		}
+		u := int(ci.U[id])
+		v := ci.V[id]
+		for _, uc := range p.Out(u) {
+			for _, w := range g.Out(v) {
+				pid := ci.Pair(uc, w)
+				if pid >= 0 && (alive == nil || alive[pid]) {
+					emit(pid)
+				}
+			}
+		}
+	}
+}
+
+// RelevantResult carries relevant sets (or just their sizes) for the
+// candidates of one root query node, typically the output node uo.
+type RelevantResult struct {
+	Space *RelSpace
+	// Sizes[i] = |R(root, Lists[root][i])| for alive pairs, -1 otherwise.
+	Sizes []int32
+	// Sets[i] is the relevant set over Space, nil unless keepSets was set
+	// (or the pair is dead).
+	Sets []*bitset.Set
+}
+
+// ComputeRelevant computes the relevant sets of every alive candidate of
+// root. alive selects the pair universe (nil = all candidates = the R̂ upper
+// bound; Result.InSim = the paper's R over M(Q,G)). keepSets retains each
+// root pair's bitset; with keepSets=false only the sizes survive and interior
+// bitsets are freed as soon as every predecessor has consumed them, keeping
+// peak memory proportional to the frontier of the condensed product DAG.
+func ComputeRelevant(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex,
+	an *pattern.Analysis, space *RelSpace, alive []bool, root int, keepSets bool) *RelevantResult {
+
+	lo, hi := ci.PairRange(root)
+	res := &RelevantResult{
+		Space: space,
+		Sizes: make([]int32, hi-lo),
+		Sets:  make([]*bitset.Set, hi-lo),
+	}
+	for i := range res.Sizes {
+		res.Sizes[i] = -1
+	}
+
+	// Pairs that matter: candidates of root and of query nodes reachable
+	// from root. Other pairs are isolated singletons below (their adjacency
+	// is suppressed), so they cost nothing.
+	relQ := make([]bool, p.NumNodes())
+	relQ[root] = true
+	for u := 0; u < p.NumNodes(); u++ {
+		if an.OutputDesc[u] {
+			relQ[u] = true
+		}
+	}
+	// OutputDesc is relative to p.Output(); when root differs (multi-output
+	// extension), recompute reachability from root.
+	if root != p.Output() {
+		for i := range relQ {
+			relQ[i] = i == root
+		}
+		stack := []int{root}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range p.Out(u) {
+				if !relQ[w] {
+					relQ[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+
+	adj := productAdj(g, p, ci, alive)
+	restricted := func(id int32, emit func(int32)) {
+		if !relQ[ci.U[id]] {
+			return
+		}
+		adj(id, emit)
+	}
+	cond := graph.Condense(ci.NumPairs(), restricted)
+
+	sets := make([]*bitset.Set, cond.NumComps)
+	pending := make([]int, cond.NumComps)
+	keep := make([]bool, cond.NumComps) // comps holding root pairs: retain
+	for c := 0; c < cond.NumComps; c++ {
+		pending[c] = len(cond.Pred[c])
+	}
+	for id := lo; id < hi; id++ {
+		if alive == nil || alive[id] {
+			keep[cond.Comp[id]] = true
+		}
+	}
+
+	release := func(c int32) {
+		pending[c]--
+		if pending[c] == 0 && !keep[c] {
+			sets[c] = nil
+		}
+	}
+
+	for c := 0; c < cond.NumComps; c++ {
+		// Skip singleton comps of irrelevant or dead pairs cheaply.
+		if len(cond.Members[c]) == 1 && len(cond.Succ[c]) == 0 && !cond.Nontrivial[c] {
+			id := cond.Members[c][0]
+			if !relQ[ci.U[id]] || (alive != nil && !alive[id]) {
+				continue
+			}
+		}
+		// Invariant: sets[c] = data nodes reachable from c's pairs in >= 0
+		// steps *including c's own members* — i.e. what a predecessor comp
+		// sees through c. A pair's own relevant set is the >= 1 step variant:
+		// for trivial comps it is recorded before self-insertion, for
+		// nontrivial comps after (mutual reachability puts members in their
+		// own relevant sets, cf. Example 8 where DB3 ∈ R(DB,DB3)).
+		s := space.NewSet()
+		for _, succ := range cond.Succ[c] {
+			if sets[succ] != nil {
+				s.UnionWith(sets[succ])
+			}
+			release(int32(succ))
+		}
+		if cond.Nontrivial[c] {
+			for _, id := range cond.Members[c] {
+				if idx := space.Index(ci.V[id]); idx >= 0 {
+					s.Add(int(idx))
+				}
+			}
+			for _, id := range cond.Members[c] {
+				recordRoot(res, ci, lo, hi, id, s, keepSets)
+			}
+		} else {
+			id := cond.Members[c][0]
+			recordRoot(res, ci, lo, hi, id, s, keepSets)
+			if idx := space.Index(ci.V[id]); idx >= 0 {
+				s.Add(int(idx))
+			}
+		}
+		sets[c] = s
+		if pending[c] == 0 && !keep[c] {
+			sets[c] = nil
+		}
+	}
+	return res
+}
+
+// recordRoot stores the set/size for pairs of the root query node.
+func recordRoot(res *RelevantResult, ci *CandidateIndex, lo, hi, id int32,
+	shared *bitset.Set, keepSets bool) {
+	if id < lo || id >= hi {
+		return
+	}
+	i := id - lo
+	res.Sizes[i] = int32(shared.Count())
+	if keepSets {
+		res.Sets[i] = shared.Clone()
+	}
+}
+
+// RelevantSetNaive computes R(u,v) by a direct DFS over the product graph,
+// returning data nodes. It is the reference implementation used by tests
+// (and by tiny interactive queries); O(product size) per call.
+func RelevantSetNaive(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex,
+	alive []bool, u int, v graph.NodeID) map[graph.NodeID]bool {
+
+	start := ci.Pair(u, v)
+	if start < 0 || (alive != nil && !alive[start]) {
+		return nil
+	}
+	adj := productAdj(g, p, ci, alive)
+	seen := make(map[int32]bool)
+	out := make(map[graph.NodeID]bool)
+	var stack []int32
+	visit := func(id int32) {
+		if !seen[id] {
+			seen[id] = true
+			out[ci.V[id]] = true
+			stack = append(stack, id)
+		}
+	}
+	adj(start, visit)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		adj(id, visit)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package simulation
+
+import (
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+)
+
+// Result is the maximum simulation relation M(Q,G) of §2.1, represented over
+// the candidate pair IDs of a CandidateIndex.
+type Result struct {
+	CI *CandidateIndex
+	// InSim[pair] reports whether the pair survives refinement, i.e. belongs
+	// to the maximum relation satisfying the child condition of simulation.
+	InSim []bool
+	// Matched reports whether G matches Q: every query node has at least one
+	// surviving pair. When false, the paper defines M(Q,G) = ∅ and therefore
+	// Mu(Q,G,uo) = ∅; InSim is still populated for diagnostics.
+	Matched bool
+}
+
+// Compute evaluates the maximum simulation of p in g by counting-based
+// refinement: every candidate pair starts alive, and a pair (u,v) dies when
+// for some query edge (u,u') no successor of v is an alive candidate of u'.
+// Each pair keeps one counter per outgoing query edge; the death of a pair
+// decrements the counters of its candidate predecessors, cascading in
+// O(Σ_(u,u')∈Ep Σ_{v∈can(u')} deg_in(v)) ⊆ O(|Ep||E|) total time — the
+// O(|G||Q| + |G|²) bound of the paper with the usual tighter accounting.
+func Compute(g *graph.Graph, p *pattern.Pattern) *Result {
+	ci := BuildCandidates(g, p)
+	return ComputeWithCandidates(g, p, ci)
+}
+
+// ComputeWithCandidates is Compute with a prebuilt candidate index, so
+// callers that already paid for the index (the engine, the baseline) can
+// share it.
+func ComputeWithCandidates(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex) *Result {
+	nq := p.NumNodes()
+	total := ci.NumPairs()
+	inSim := make([]bool, total)
+	for i := range inSim {
+		inSim[i] = true
+	}
+
+	// childBase[pair] is the first counter slot of the pair; one slot per
+	// outgoing query edge of its query node, in pattern.Out order.
+	childBase := make([]int32, total+1)
+	for id := 0; id < total; id++ {
+		childBase[id+1] = childBase[id] + int32(len(p.Out(int(ci.U[id]))))
+	}
+	cnt := make([]int32, childBase[total])
+
+	var dead []int32 // worklist of freshly killed pairs
+	kill := func(id int32) {
+		if inSim[id] {
+			inSim[id] = false
+			dead = append(dead, id)
+		}
+	}
+
+	// Initialize counters: cnt[(u,v), j] = |succ(v) ∩ can(u_j')|.
+	for u := 0; u < nq; u++ {
+		children := p.Out(u)
+		lo, hi := ci.PairRange(u)
+		for id := lo; id < hi; id++ {
+			v := ci.V[id]
+			base := childBase[id]
+			for j, uc := range children {
+				c := int32(0)
+				for _, w := range g.Out(v) {
+					if ci.Pair(uc, w) >= 0 {
+						c++
+					}
+				}
+				cnt[base+int32(j)] = c
+				if c == 0 {
+					kill(id)
+				}
+			}
+		}
+	}
+
+	// childSlot[u][uc] = position of edge (u,uc) within p.Out(u). Query
+	// edges are unique (pattern.AddEdge rejects duplicates).
+	childSlot := make([]map[int]int32, nq)
+	for u := 0; u < nq; u++ {
+		m := make(map[int]int32, len(p.Out(u)))
+		for j, uc := range p.Out(u) {
+			m[uc] = int32(j)
+		}
+		childSlot[u] = m
+	}
+
+	// Cascade removals.
+	for len(dead) > 0 {
+		id := dead[len(dead)-1]
+		dead = dead[:len(dead)-1]
+		u := int(ci.U[id])
+		v := ci.V[id]
+		for _, up := range p.In(u) {
+			slot := childSlot[up][u]
+			for _, w := range g.In(v) {
+				pid := ci.Pair(up, w)
+				if pid < 0 || !inSim[pid] {
+					continue
+				}
+				s := childBase[pid] + slot
+				cnt[s]--
+				if cnt[s] == 0 {
+					kill(pid)
+				}
+			}
+		}
+	}
+
+	res := &Result{CI: ci, InSim: inSim, Matched: true}
+	for u := 0; u < nq; u++ {
+		lo, hi := ci.PairRange(u)
+		any := false
+		for id := lo; id < hi; id++ {
+			if inSim[id] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			res.Matched = false
+			break
+		}
+	}
+	return res
+}
+
+// MatchesOf returns the alive matches of query node u in ascending data-node
+// order, or nil when G does not match Q (M(Q,G) = ∅ per §2.1).
+func (r *Result) MatchesOf(u int) []graph.NodeID {
+	if !r.Matched {
+		return nil
+	}
+	lo, hi := r.CI.PairRange(u)
+	out := make([]graph.NodeID, 0, hi-lo)
+	for id := lo; id < hi; id++ {
+		if r.InSim[id] {
+			out = append(out, r.CI.V[id])
+		}
+	}
+	return out
+}
+
+// Contains reports whether (u, v) is in M(Q,G).
+func (r *Result) Contains(u int, v graph.NodeID) bool {
+	if !r.Matched {
+		return false
+	}
+	id := r.CI.Pair(u, v)
+	return id >= 0 && r.InSim[id]
+}
+
+// NumMatches returns |M(Q,G)|, the total number of matched pairs (0 when G
+// does not match Q).
+func (r *Result) NumMatches() int {
+	if !r.Matched {
+		return 0
+	}
+	n := 0
+	for _, ok := range r.InSim {
+		if ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+// Package testutil provides shared fixtures for the test suites: most
+// importantly a faithful reconstruction of the paper's running example
+// (Fig. 1), against which every worked example of the paper (Examples 1-10)
+// is asserted, and random graph/pattern generators for property tests.
+package testutil
+
+import (
+	"fmt"
+	"math/rand"
+
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+)
+
+// Figure1 reconstructs the collaboration network G of Fig. 1(b). The edge
+// set is derived so that *all* facts stated in Examples 1-10 hold
+// simultaneously:
+//
+//   - M(Q,G) = {(PM,PMi)} ∪ {(DB,DBj)} ∪ {(PRG,PRGi)} ∪ {(ST,STi)},
+//     i ∈ [1,4], j ∈ [1,3] — 15 pairs (Examples 1, 3);
+//   - R(PM,PM1) = {DB1,PRG1,ST1,ST2}, R(PM,PM2) = {DB2,DB3,PRG2,PRG3,PRG4,
+//     ST2,ST3,ST4}, R(PM,PM3) = R(PM,PM4) = {DB2,DB3,PRG2,PRG3,ST3,ST4}
+//     (Example 4);
+//   - δd(PM3,PM4)=0, δd(PM1,PM2)=10/11, δd(PM2,PM3)=1/4, δd(PM1,PM3)=1
+//     (Example 5);
+//   - for the DAG pattern Q1 of Example 7, PM2's candidate successors are
+//     {PRG3,PRG4,DB2} and PM3's are {PRG3,DB2}, giving the boolean
+//     equations and the h values 3 and 2 of its vector table;
+//   - the DB/PRG cycle of G is DB2→PRG2→DB3→PRG3→DB2, giving the boolean
+//     equations of Example 8 and h(DB2)=6, h(PRG4)=7;
+//   - PM2 reaches more people than any other PM (the social-impact claim of
+//     Example 1).
+//
+// Returned is the graph plus a map from node names ("PM1", "DB2", ...) to IDs.
+func Figure1() (*graph.Graph, map[string]graph.NodeID) {
+	b := graph.NewBuilder()
+	names := []string{
+		"PM1", "PM2", "PM3", "PM4",
+		"DB1", "DB2", "DB3",
+		"PRG1", "PRG2", "PRG3", "PRG4",
+		"ST1", "ST2", "ST3", "ST4",
+		"BA1", "UD1", "UD2",
+	}
+	id := make(map[string]graph.NodeID, len(names))
+	for _, n := range names {
+		label := n[:len(n)-1]
+		id[n] = b.AddNode(label, nil)
+	}
+	edges := [][2]string{
+		{"PM1", "DB1"}, {"PM1", "PRG1"}, {"PM1", "BA1"},
+		{"PM2", "DB2"}, {"PM2", "PRG3"}, {"PM2", "PRG4"}, {"PM2", "UD1"},
+		{"PM3", "DB2"}, {"PM3", "PRG3"},
+		{"PM4", "DB2"}, {"PM4", "PRG2"}, {"PM4", "UD2"},
+		{"DB1", "PRG1"}, {"DB1", "ST1"},
+		{"PRG1", "DB1"}, {"PRG1", "ST1"}, {"PRG1", "ST2"},
+		{"DB2", "PRG2"}, {"DB2", "ST3"},
+		{"PRG2", "DB3"}, {"PRG2", "ST4"},
+		{"DB3", "PRG3"}, {"DB3", "ST4"},
+		{"PRG3", "DB2"}, {"PRG3", "ST3"},
+		{"PRG4", "DB2"}, {"PRG4", "ST2"}, {"PRG4", "ST3"},
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(id[e[0]], id[e[1]]); err != nil {
+			panic(fmt.Sprintf("testutil: %v", err))
+		}
+	}
+	return b.Build(), id
+}
+
+// Figure1Pattern builds the pattern Q of Fig. 1(a): PM* supervises a DB and
+// a PRG who supervised each other (directly or indirectly) and who each
+// supervised an ST.
+func Figure1Pattern() *pattern.Pattern {
+	p := pattern.New()
+	pm := p.AddNode("PM")
+	db := p.AddNode("DB")
+	prg := p.AddNode("PRG")
+	st := p.AddNode("ST")
+	mustEdge(p, pm, db)
+	mustEdge(p, pm, prg)
+	mustEdge(p, db, prg)
+	mustEdge(p, prg, db)
+	mustEdge(p, db, st)
+	mustEdge(p, prg, st)
+	if err := p.SetOutput(pm); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Example7Pattern builds the DAG pattern Q1 of Example 7 with edge set
+// {(PM,DB), (PM,PRG), (PRG,DB)} and output node PM.
+func Example7Pattern() *pattern.Pattern {
+	p := pattern.New()
+	pm := p.AddNode("PM")
+	db := p.AddNode("DB")
+	prg := p.AddNode("PRG")
+	mustEdge(p, pm, db)
+	mustEdge(p, pm, prg)
+	mustEdge(p, prg, db)
+	if err := p.SetOutput(pm); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func mustEdge(p *pattern.Pattern, u, v int) {
+	if err := p.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RandomGraph builds a random labeled digraph for property tests.
+func RandomGraph(rng *rand.Rand, n, m int, labels []string) *graph.Graph {
+	b := graph.NewBuilder()
+	for i := 0; i < n; i++ {
+		b.AddNode(labels[rng.Intn(len(labels))], nil)
+	}
+	for i := 0; i < m; i++ {
+		// Endpoints are in range, so AddEdge cannot fail.
+		_ = b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// RandomPattern builds a random connected pattern whose node 0 is the output
+// and reaches every other query node (a spanning out-tree plus extra edges).
+// With cyclic=false the extra edges only go from lower to higher index, so
+// the pattern is a DAG; with cyclic=true back edges are allowed.
+func RandomPattern(rng *rand.Rand, nodes, extraEdges int, labels []string, cyclic bool) *pattern.Pattern {
+	p := pattern.New()
+	for i := 0; i < nodes; i++ {
+		p.AddNode(labels[rng.Intn(len(labels))])
+	}
+	for i := 1; i < nodes; i++ {
+		mustEdge(p, rng.Intn(i), i) // tree edge from an earlier node
+	}
+	for t := 0; t < extraEdges; t++ {
+		u, v := rng.Intn(nodes), rng.Intn(nodes)
+		if !cyclic && u >= v {
+			u, v = v, u
+			if u == v {
+				continue
+			}
+		}
+		// Duplicate edges are rejected; just skip them.
+		_ = p.AddEdge(u, v)
+	}
+	_ = p.SetOutput(0)
+	return p
+}
+
+// NonRootPattern returns a random pattern whose output node is NOT a root:
+// it picks a random non-zero node as output.
+func NonRootPattern(rng *rand.Rand, nodes, extraEdges int, labels []string, cyclic bool) *pattern.Pattern {
+	p := RandomPattern(rng, nodes, extraEdges, labels, cyclic)
+	if nodes > 1 {
+		_ = p.SetOutput(1 + rng.Intn(nodes-1))
+	}
+	return p
+}

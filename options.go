@@ -1,0 +1,69 @@
+package divtopk
+
+import "divtopk/internal/core"
+
+// Option tunes TopK and TopKDiversified.
+type Option func(*options)
+
+type options struct {
+	engine   core.Options
+	baseline bool
+	approx   bool
+}
+
+func buildOptions(opts []Option) options {
+	var o options
+	// The facade defaults to the amortized per-graph label-count index (the
+	// paper's design); WithTightBounds restores the per-query tight bound.
+	o.engine.Bounds = core.BoundLabelCount
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// WithRandomSelection switches the engine to the paper's non-optimized leaf
+// selection (the TopKnopt/TopKDAGnopt baselines): unvisited leaf candidates
+// are fed in seeded random order instead of the covering heuristic.
+func WithRandomSelection(seed int64) Option {
+	return func(o *options) {
+		o.engine.Strategy = core.StrategyRandom
+		o.engine.Seed = seed
+	}
+}
+
+// WithBatches sets the number of leaf feeding batches (default 16): more
+// batches mean finer-grained early-termination checks at slightly more
+// bookkeeping.
+func WithBatches(n int) Option {
+	return func(o *options) { o.engine.NumBatches = n }
+}
+
+// WithLooseBounds replaces the default cached label-count upper-bound index
+// by the cheapest overcounting variant (see the bounds ablation in
+// EXPERIMENTS.md).
+func WithLooseBounds() Option {
+	return func(o *options) { o.engine.Bounds = core.BoundCheap }
+}
+
+// WithTightBounds computes the per-query candidate-product upper bounds —
+// the tightest index, reproducing the h values of the paper's Examples 7-8
+// exactly — instead of the amortized per-graph label-count index. Tighter
+// bounds terminate earlier but cost a product traversal per query.
+func WithTightBounds() Option {
+	return func(o *options) { o.engine.Bounds = core.BoundTight }
+}
+
+// WithBaseline evaluates the query with the find-all Match algorithm
+// instead of the early-termination engine (the paper's baseline; exact
+// relevances, no early termination).
+func WithBaseline() Option {
+	return func(o *options) { o.baseline = true }
+}
+
+// WithApproximation makes TopKDiversified use the 2-approximation TopKDiv
+// (evaluates the full match set, guarantees F(S) ≥ F(S*)/2) instead of the
+// early-termination heuristic TopKDH.
+func WithApproximation() Option {
+	return func(o *options) { o.approx = true }
+}
