@@ -17,8 +17,8 @@ import (
 // A Graph lazily builds and caches the descendant-label bound index the
 // first time TopK runs on it, so repeated queries amortize it the way the
 // paper's precomputed index does. A Graph is not safe for concurrent TopK
-// calls until one query has completed per label set (warm the cache with a
-// throwaway query first, or serialize access).
+// calls until one query has completed per label set; wrap it in a Matcher —
+// which warms the whole index up front — to serve concurrent queries.
 type Graph struct {
 	g      *graph.Graph
 	bounds *core.BoundsCache
@@ -240,6 +240,12 @@ type Stats struct {
 type Result struct {
 	// Matches holds up to k matches sorted by descending relevance.
 	Matches []Match
+	// All holds every match discovered before termination, sorted the same
+	// way (Matches is its prefix). Under early termination this is the
+	// examined subset of the candidates, not all of Mu(Q,G,uo). To keep
+	// large result pools cheap, RelevantSet is expanded only for the
+	// Matches prefix; entries beyond it carry bounds but no set.
+	All []Match
 	// GlobalMatch reports whether G matches Q at all.
 	GlobalMatch bool
 	// Stats summarizes the work done.
@@ -281,7 +287,7 @@ func TopK(g *Graph, p *Pattern, k int, opts ...Option) (*Result, error) {
 		err error
 	)
 	if o.baseline {
-		res, err = core.MatchBaseline(g.g, p.p, k, true)
+		res, err = core.MatchBaselineOpts(g.g, p.p, k, true, o.engine)
 	} else {
 		eng := o.engine
 		if eng.Cache == nil && eng.Bounds != core.BoundTight {
@@ -307,7 +313,7 @@ func TopKDiversified(g *Graph, p *Pattern, k int, lambda float64, opts ...Option
 		err error
 	)
 	if o.approx {
-		res, err = diversify.TopKDiv(g.g, p.p, k, lambda)
+		res, err = diversify.TopKDivOpts(g.g, p.p, k, lambda, o.engine)
 	} else {
 		eng := o.engine
 		if eng.Cache == nil && eng.Bounds != core.BoundTight {
@@ -331,8 +337,19 @@ func TopKDiversified(g *Graph, p *Pattern, k int, lambda float64, opts ...Option
 
 func convertResult(g *Graph, res *core.Result) *Result {
 	out := &Result{GlobalMatch: res.GlobalMatch, Stats: convertStats(res.Stats)}
-	for _, m := range res.Matches {
-		out.Matches = append(out.Matches, convertMatchWithSpace(g, m, res.Space))
+	top := len(res.Matches)
+	for i, m := range res.All {
+		if i < top {
+			// Only the returned top-k expand their relevant-set bitsets to
+			// node slices; doing it for the whole pool would make every
+			// query pay O(|All|·|space|) for data most callers never read.
+			out.All = append(out.All, convertMatchWithSpace(g, m, res.Space))
+		} else {
+			out.All = append(out.All, convertMatch(g, m))
+		}
+	}
+	if top <= len(out.All) {
+		out.Matches = out.All[:top]
 	}
 	return out
 }

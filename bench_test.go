@@ -14,9 +14,13 @@ package divtopk
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"divtopk/internal/bench"
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+	"divtopk/internal/simulation"
 )
 
 // reportFigure runs one harness experiment per benchmark iteration and
@@ -69,6 +73,92 @@ func BenchmarkLambda(b *testing.B)         { reportFigure(b, bench.Lambda) }
 func BenchmarkAblationBounds(b *testing.B) { reportFigure(b, bench.AblationBounds) }
 func BenchmarkAblationShape(b *testing.B)  { reportFigure(b, bench.AblationShape) }
 func BenchmarkMRScaleTrend(b *testing.B)   { reportFigure(b, bench.MRScale) }
+
+// Sequential-vs-parallel benchmarks. The pair
+// BenchmarkBuildCandidatesSequential / BenchmarkBuildCandidatesParallel (and
+// likewise the TopKDiv pair) measures the same deterministic computation on
+// a 150k-node generator graph with one worker versus all cores; on a >= 4
+// core machine the parallel variant should win by well over 1.5x. See also
+// BenchmarkParallelScaling for the full worker-count sweep.
+
+var parallelBenchState struct {
+	once sync.Once
+	g    *Graph
+	q    *Pattern
+	gg   *graph.Graph
+	pp   *pattern.Pattern
+}
+
+// parallelBenchInputs generates (once) the large graph and pattern shared by
+// the sequential-vs-parallel benchmarks.
+func parallelBenchInputs(b *testing.B) (*Graph, *Pattern, *graph.Graph, *pattern.Pattern) {
+	b.Helper()
+	s := &parallelBenchState
+	s.once.Do(func() {
+		s.g = NewYouTubeLike(150_000, 750_000, 1)
+		q, err := GeneratePattern(s.g, 6, 10, true, true, 5)
+		if err != nil {
+			panic(err)
+		}
+		s.q = q
+		s.gg = s.g.Unwrap().(*graph.Graph)
+		s.pp = q.UnwrapPattern().(*pattern.Pattern)
+	})
+	return s.g, s.q, s.gg, s.pp
+}
+
+func benchBuildCandidates(b *testing.B, workers int) {
+	_, _, gg, pp := parallelBenchInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ci := simulation.BuildCandidatesParallel(gg, pp, workers)
+		if ci.NumPairs() == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+func BenchmarkBuildCandidatesSequential(b *testing.B) { benchBuildCandidates(b, 1) }
+func BenchmarkBuildCandidatesParallel(b *testing.B)   { benchBuildCandidates(b, 0) }
+
+func benchTopKDiv(b *testing.B, workers int) {
+	g, q, _, _ := parallelBenchInputs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TopKDiversified(g, q, 10, 0.5, WithApproximation(), Parallelism(workers)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopKDivSequential(b *testing.B) { benchTopKDiv(b, 1) }
+func BenchmarkTopKDivParallel(b *testing.B)   { benchTopKDiv(b, 0) }
+
+// BenchmarkParallelScaling runs the harness's worker-count sweep (see
+// internal/bench.ParallelScaling) and reports the parallel speedups as
+// metrics.
+func BenchmarkParallelScaling(b *testing.B) { reportFigure(b, bench.ParallelScaling) }
+
+// BenchmarkBatchTopK measures Matcher.BatchTopK throughput: many concurrent
+// queries sharing one warmed session, the serving-path scenario.
+func BenchmarkBatchTopK(b *testing.B) {
+	g := NewYouTubeLike(12_000, 120_000, 1)
+	var patterns []*Pattern
+	for seed := int64(1); seed <= 16; seed++ {
+		q, err := GeneratePattern(g, 4, 8, true, true, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		patterns = append(patterns, q)
+	}
+	m := NewMatcher(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.BatchTopK(patterns, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkQueryTopK measures a single early-termination query end to end
 // on a prebuilt graph (the per-query latency a library user sees).

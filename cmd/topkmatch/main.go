@@ -32,6 +32,7 @@ func main() {
 	approx := flag.Bool("approx", false, "use the 2-approximation TopKDiv for -diversify")
 	lambda := flag.Float64("lambda", 0.5, "diversification balance λ in [0,1]")
 	seed := flag.Int64("seed", 1, "seed for the nopt strategy")
+	par := flag.Int("parallelism", 0, "worker goroutines (0 = all cores, 1 = sequential)")
 	flag.Parse()
 
 	if *graphPath == "" || *patternPath == "" {
@@ -44,25 +45,25 @@ func main() {
 
 	start := time.Now()
 	if *div {
-		runDiversified(g, p, *k, *lambda, *approx)
+		runDiversified(g, p, *k, *lambda, *approx, *par)
 	} else {
-		runTopK(g, p, *k, *algo, *seed)
+		runTopK(g, p, *k, *algo, *seed, *par)
 	}
 	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Microsecond))
 }
 
-func runTopK(g *graph.Graph, p *pattern.Pattern, k int, algo string, seed int64) {
+func runTopK(g *graph.Graph, p *pattern.Pattern, k int, algo string, seed int64, par int) {
 	var (
 		res *core.Result
 		err error
 	)
 	switch algo {
 	case "match":
-		res, err = core.MatchBaseline(g, p, k, false)
+		res, err = core.MatchBaselineOpts(g, p, k, false, core.Options{Parallelism: par})
 	case "topknopt":
-		res, err = core.TopK(g, p, k, core.Options{Strategy: core.StrategyRandom, Seed: seed})
+		res, err = core.TopK(g, p, k, core.Options{Strategy: core.StrategyRandom, Seed: seed, Parallelism: par})
 	case "topk":
-		res, err = core.TopK(g, p, k, core.Options{})
+		res, err = core.TopK(g, p, k, core.Options{Parallelism: par})
 	default:
 		fatal(fmt.Errorf("unknown algo %q", algo))
 	}
@@ -84,15 +85,15 @@ func runTopK(g *graph.Graph, p *pattern.Pattern, k int, algo string, seed int64)
 		res.Stats.MatchesFound, res.Stats.CandidatesOfOutput, res.Stats.Batches, res.Stats.EarlyTerminated)
 }
 
-func runDiversified(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, approx bool) {
+func runDiversified(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, approx bool, par int) {
 	var (
 		res *diversify.Result
 		err error
 	)
 	if approx {
-		res, err = diversify.TopKDiv(g, p, k, lambda)
+		res, err = diversify.TopKDivOpts(g, p, k, lambda, core.Options{Parallelism: par})
 	} else {
-		res, err = diversify.TopKDH(g, p, k, lambda, core.Options{})
+		res, err = diversify.TopKDH(g, p, k, lambda, core.Options{Parallelism: par})
 	}
 	if err != nil {
 		fatal(err)

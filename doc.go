@@ -38,7 +38,27 @@
 //		fmt.Println(m.Node, m.Relevance)
 //	}
 //
-// See the examples/ directory for runnable end-to-end scenarios, DESIGN.md
-// for the architecture, and EXPERIMENTS.md for the reproduction of the
-// paper's evaluation.
+// # Sessions and parallelism
+//
+// A Matcher is a reusable, concurrency-safe query session: it warms the
+// graph's descendant-label bound index once at construction and then serves
+// any number of concurrent queries, including whole batches over a bounded
+// worker pool:
+//
+//	m := divtopk.NewMatcher(g)
+//	results, _ := m.BatchTopK(patterns, 10)
+//
+// Single queries also parallelize internally (candidate computation, the
+// diversified greedy scans). The Parallelism option controls the worker
+// count for both layers: the default uses all cores, Parallelism(1)
+// reproduces the sequential engine exactly, and every setting returns
+// identical results — the parallel sections are deterministic.
+//
+// The module builds and tests with the standard toolchain:
+//
+//	go build ./... && go test ./...
+//
+// See the examples/ directory for runnable end-to-end scenarios, README.md
+// for an overview, DESIGN.md for the architecture, and EXPERIMENTS.md for
+// the reproduction of the paper's evaluation.
 package divtopk

@@ -1,0 +1,3 @@
+module divtopk
+
+go 1.24

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"divtopk/internal/core"
+	"divtopk/internal/diversify"
+	"divtopk/internal/gen"
+	"divtopk/internal/simulation"
+)
+
+// parallelWorkerSteps lists the worker counts of the scaling sweep: powers
+// of two up to the machine, always including 1 (the sequential baseline).
+func parallelWorkerSteps() []int {
+	steps := []int{1}
+	for w := 2; w <= runtime.NumCPU(); w *= 2 {
+		steps = append(steps, w)
+	}
+	return steps
+}
+
+// ParallelScaling measures the two intra-query parallel sections against
+// their sequential baselines across worker counts: candidate computation
+// (BuildCandidatesParallel) and the diversified 2-approximation TopKDiv
+// (whose greedy pair scan fans out by row). Series report milliseconds plus
+// the speedup over one worker; results are identical across rows by
+// construction, which the harness asserts.
+func ParallelScaling(sc Scale) *Figure {
+	d := newDatasets(sc)
+	g := d.youtube()
+	p, err := gen.Generate(g, gen.PatternConfig{
+		Nodes: 4, Edges: 8, Cyclic: true, Predicates: true, Seed: sc.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fig := &Figure{
+		ID:     "parallel",
+		Title:  "sequential vs parallel execution (candidates, TopKDiv)",
+		XLabel: "workers",
+		YLabel: "time",
+		Series: []string{"cand(ms)", "cand speedup", "TopKDiv(ms)", "TopKDiv speedup"},
+		Notes:  "identical results at every worker count; speedup should grow with cores until the sections' serial fraction dominates",
+	}
+
+	refPairs := -1
+	var refF float64
+	var candBase, divBase float64
+	for _, w := range parallelWorkerSteps() {
+		t0 := time.Now()
+		var pairs int
+		for i := 0; i < sc.Queries; i++ {
+			pairs = simulation.BuildCandidatesParallel(g, p, w).NumPairs()
+		}
+		candMS := float64(time.Since(t0).Microseconds()) / 1000 / float64(sc.Queries)
+
+		t0 = time.Now()
+		res, err := diversify.TopKDivOpts(g, p, sc.K, 0.5, core.Options{Parallelism: w})
+		if err != nil {
+			panic(err)
+		}
+		divMS := float64(time.Since(t0).Microseconds()) / 1000
+
+		if refPairs == -1 {
+			refPairs, refF = pairs, res.F
+			candBase, divBase = candMS, divMS
+		} else if pairs != refPairs || res.F != refF {
+			panic(fmt.Sprintf("bench: parallel run diverged at %d workers: pairs %d vs %d, F %v vs %v",
+				w, pairs, refPairs, res.F, refF))
+		}
+		fig.Rows = append(fig.Rows, Row{
+			X:    fmt.Sprintf("%d", w),
+			Vals: []float64{candMS, candBase / candMS, divMS, divBase / divMS},
+		})
+	}
+	return fig
+}

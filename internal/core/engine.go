@@ -122,7 +122,7 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, k int, opts Options) (*engine
 		uo: p.Output(), nq: p.NumNodes(),
 	}
 	e.an = pattern.Analyze(p)
-	e.ci = simulation.BuildCandidates(g, p)
+	e.ci = simulation.BuildCandidatesParallel(g, p, opts.Workers())
 	e.space = simulation.BuildRelSpace(g, p, e.ci, e.an)
 	e.stats.PairsTotal = e.ci.NumPairs()
 	e.uoLo, e.uoHi = e.ci.PairRange(e.uo)

@@ -17,6 +17,14 @@ import (
 // returned matches (the diversified algorithms need them; pure top-k
 // callers can drop them).
 func MatchBaseline(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool) (*Result, error) {
+	return MatchBaselineOpts(g, p, k, keepSets, Options{})
+}
+
+// MatchBaselineOpts is MatchBaseline with engine options; only
+// Options.Parallelism is consulted (the baseline has no feeding strategy or
+// bounds to tune). Candidate computation fans out over data-node shards;
+// the result is identical for every worker count.
+func MatchBaselineOpts(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool, opts Options) (*Result, error) {
 	if err := validateInputs(g, k); err != nil {
 		return nil, err
 	}
@@ -24,7 +32,8 @@ func MatchBaseline(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool) (*R
 		return nil, err
 	}
 
-	sim := simulation.Compute(g, p)
+	ci := simulation.BuildCandidatesParallel(g, p, opts.Workers())
+	sim := simulation.ComputeWithCandidates(g, p, ci)
 	an := pattern.Analyze(p)
 	space := simulation.BuildRelSpace(g, p, sim.CI, an)
 	res := &Result{

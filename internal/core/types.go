@@ -18,6 +18,7 @@ import (
 
 	"divtopk/internal/bitset"
 	"divtopk/internal/graph"
+	"divtopk/internal/parallel"
 	"divtopk/internal/simulation"
 )
 
@@ -99,7 +100,17 @@ type Options struct {
 	// Hook, if non-nil, observes each batch; used by the diversified
 	// heuristic TopKDH to maintain its swap set incrementally.
 	Hook Hook
+	// Parallelism bounds the worker goroutines used by the parallel
+	// sections of a single query (candidate computation; the diversified
+	// greedy scans). 0 means runtime.NumCPU(); 1 reproduces the sequential
+	// execution exactly. Results are identical for every setting — the
+	// parallel paths are deterministic by construction.
+	Parallelism int
 }
+
+// Workers returns the normalized worker count for the options (see
+// Parallelism).
+func (o Options) Workers() int { return parallel.Workers(o.Parallelism) }
 
 func (o Options) numBatches() int {
 	if o.NumBatches <= 0 {

@@ -11,6 +11,7 @@ import (
 	"divtopk/internal/bitset"
 	"divtopk/internal/core"
 	"divtopk/internal/graph"
+	"divtopk/internal/parallel"
 	"divtopk/internal/pattern"
 	"divtopk/internal/ranking"
 )
@@ -37,11 +38,21 @@ type Result struct {
 // maximizing F'(v1,v2); for odd k a final single match maximizing the F gain
 // is added. The returned set S satisfies F(S) ≥ F(S*)/2.
 func TopKDiv(g *graph.Graph, p *pattern.Pattern, k int, lambda float64) (*Result, error) {
+	return TopKDivOpts(g, p, k, lambda, core.Options{})
+}
+
+// TopKDivOpts is TopKDiv with engine options; only Options.Parallelism is
+// consulted. It parallelizes the two measured hot spots — candidate
+// computation inside the find-all baseline, and the O(|M|²) greedy pair
+// scan, which fans out by row with a per-worker argmax and a deterministic
+// lexicographic reduce — so every worker count selects exactly the pairs the
+// sequential scan selects.
+func TopKDivOpts(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, opts core.Options) (*Result, error) {
 	params := ranking.DiversifyParams{Lambda: lambda, K: k}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	base, err := core.MatchBaseline(g, p, k, true)
+	base, err := core.MatchBaselineOpts(g, p, k, true, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -66,22 +77,9 @@ func TopKDiv(g *graph.Graph, p *pattern.Pattern, k int, lambda float64) (*Result
 	var picked []int
 
 	// ⌊k/2⌋ greedy pair selections by F'.
+	workers := opts.Workers()
 	for len(picked)+1 < k {
-		bi, bj, best := -1, -1, -1.0
-		for i := 0; i < len(pool); i++ {
-			if taken[i] {
-				continue
-			}
-			for j := i + 1; j < len(pool); j++ {
-				if taken[j] {
-					continue
-				}
-				f := params.FPrime(normRel[i], normRel[j], ranking.Distance(pool[i].R, pool[j].R))
-				if f > best {
-					best, bi, bj = f, i, j
-				}
-			}
-		}
+		bi, bj := bestPair(params, pool, normRel, taken, workers)
 		if bi < 0 {
 			break
 		}
@@ -116,6 +114,61 @@ func TopKDiv(g *graph.Graph, p *pattern.Pattern, k int, lambda float64) (*Result
 	}
 	res.F = evalF(params, res.Matches)
 	return res, nil
+}
+
+// pairArg is one worker's argmax over its stripe of rows of the pair scan.
+type pairArg struct {
+	i, j int
+	f    float64
+}
+
+// bestPair returns the untaken pair (i, j), i < j, maximizing F', resolving
+// ties to the first pair in row-major order — the pair the sequential scan
+// returns. Rows are dealt to workers round-robin (row i scans n-i-1 columns,
+// so striding balances the triangular workload); each worker keeps a local
+// argmax with the same strict-improvement rule as the sequential loop, and
+// the final reduce breaks F' ties lexicographically, which restores the
+// global row-major-first winner. Returns (-1, -1) when fewer than two
+// untaken matches remain.
+func bestPair(params ranking.DiversifyParams, pool []core.Match, normRel []float64, taken []bool, workers int) (int, int) {
+	n := len(pool)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	args := make([]pairArg, workers)
+	parallel.ForEach(workers, workers, func(w int) {
+		best := pairArg{i: -1, j: -1, f: -1.0}
+		for i := w; i < n; i += workers {
+			if taken[i] {
+				continue
+			}
+			ri, rSet := normRel[i], pool[i].R
+			for j := i + 1; j < n; j++ {
+				if taken[j] {
+					continue
+				}
+				f := params.FPrime(ri, normRel[j], ranking.Distance(rSet, pool[j].R))
+				if f > best.f {
+					best = pairArg{i: i, j: j, f: f}
+				}
+			}
+		}
+		args[w] = best
+	})
+	win := pairArg{i: -1, j: -1, f: -1.0}
+	for _, a := range args {
+		if a.i < 0 {
+			continue
+		}
+		if win.i < 0 || a.f > win.f ||
+			(a.f == win.f && (a.i < win.i || (a.i == win.i && a.j < win.j))) {
+			win = a
+		}
+	}
+	return win.i, win.j
 }
 
 // evalF evaluates the diversification function F on a match slice using

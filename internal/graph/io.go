@@ -6,6 +6,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
 )
 
 // Text file format for data graphs, one directive per line:
@@ -15,18 +16,55 @@ import (
 //	edge <src> <dst>
 //
 // Node IDs must be dense (0..n-1) but may appear in any order; values are
-// stored as integers when they parse as such, strings otherwise (quote with
-// no spaces; the format is deliberately simple). This is the on-disk format
-// of cmd/graphgen and cmd/topkmatch.
+// stored as integers when they parse as such, strings otherwise (the format
+// is deliberately simple and unquoted). This is the on-disk format of
+// cmd/graphgen and cmd/topkmatch.
+//
+// Because the format is whitespace-delimited with '='-separated attributes,
+// not every in-memory graph is encodable: labels and attribute keys must be
+// non-empty and free of whitespace and '=', and string attribute values
+// must be free of whitespace and '=' and must not themselves parse as
+// integers (Read would silently change their type). Write rejects
+// unencodable graphs with an error instead of emitting a file Read would
+// reject or mis-parse, so a successful Write always round-trips.
 
-// Write serializes g to w in the text format.
+// checkToken validates one emitted token (label, key or string value).
+func checkToken(kind string, v NodeID, s string) error {
+	if s == "" && kind != "string value" {
+		return fmt.Errorf("graph: write: node %d: empty %s is not encodable", v, kind)
+	}
+	// Read tokenizes with strings.Fields, which splits on unicode.IsSpace —
+	// so any Unicode space (NBSP, U+2000…) is unencodable, not just ASCII.
+	if strings.ContainsRune(s, '=') || strings.IndexFunc(s, unicode.IsSpace) >= 0 {
+		return fmt.Errorf("graph: write: node %d: %s %q contains whitespace or '=' and is not encodable", v, kind, s)
+	}
+	return nil
+}
+
+// Write serializes g to w in the text format. It returns an error — before
+// writing the offending line — when g contains a label, attribute key or
+// string value the format cannot represent (see the format comment above).
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# divtopk graph: %d nodes, %d edges\n", g.NumNodes(), g.NumEdges())
 	for v := NodeID(0); v < NodeID(g.NumNodes()); v++ {
+		if err := checkToken("label", v, g.Label(v)); err != nil {
+			return err
+		}
 		fmt.Fprintf(bw, "node %d %s", v, g.Label(v))
 		for _, k := range g.AttrKeys(v) {
 			val, _ := g.Attr(v, k)
+			if err := checkToken("attribute key", v, k); err != nil {
+				return err
+			}
+			if val.Kind == KindString {
+				if err := checkToken("string value", v, val.Str); err != nil {
+					return fmt.Errorf("%w (key %q)", err, k)
+				}
+				if _, err := strconv.ParseInt(val.Str, 10, 64); err == nil {
+					return fmt.Errorf("graph: write: node %d: string value %q of key %q would re-parse as an integer and is not encodable", v, val.Str, k)
+				}
+			}
 			fmt.Fprintf(bw, " %s=%s", k, val)
 		}
 		fmt.Fprintln(bw)
@@ -46,8 +84,12 @@ func Read(r io.Reader) (*Graph, error) {
 		label string
 		attrs map[string]Value
 	}
+	type edgeDecl struct {
+		src, dst NodeID
+		line     int
+	}
 	nodes := make(map[NodeID]nodeDecl)
-	var edges [][2]NodeID
+	var edges []edgeDecl
 	maxID := NodeID(-1)
 
 	sc := bufio.NewScanner(r)
@@ -99,7 +141,7 @@ func Read(r io.Reader) (*Graph, error) {
 			if err != nil {
 				return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
 			}
-			edges = append(edges, [2]NodeID{src, dst})
+			edges = append(edges, edgeDecl{src: src, dst: dst, line: lineNo})
 		default:
 			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
 		}
@@ -112,14 +154,26 @@ func Read(r io.Reader) (*Graph, error) {
 	if len(nodes) != n {
 		return nil, fmt.Errorf("graph: node IDs not dense: %d declarations, max id %d", len(nodes), maxID)
 	}
+	// Validate edge endpoints against the declared node range here rather
+	// than deferring to Builder.AddEdge, so the error carries the line
+	// number like every other parse error. (Edges may precede their node
+	// declarations, hence the post-pass.)
+	for _, e := range edges {
+		for _, end := range [2]NodeID{e.src, e.dst} {
+			if int(end) >= n {
+				return nil, fmt.Errorf("graph: line %d: edge (%d,%d): endpoint %d beyond declared nodes (have %d)",
+					e.line, e.src, e.dst, end, n)
+			}
+		}
+	}
 	b := NewBuilder()
 	for id := NodeID(0); id < NodeID(n); id++ {
 		decl := nodes[id]
 		b.AddNode(decl.label, decl.attrs)
 	}
 	for _, e := range edges {
-		if err := b.AddEdge(e[0], e[1]); err != nil {
-			return nil, err
+		if err := b.AddEdge(e.src, e.dst); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", e.line, err)
 		}
 	}
 	return b.Build(), nil

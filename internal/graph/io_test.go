@@ -110,3 +110,137 @@ func TestReadAttrTypes(t *testing.T) {
 		t.Fatalf("V = %+v", v)
 	}
 }
+
+func TestWriteRejectsUnencodableValues(t *testing.T) {
+	build := func(mutate func(b *Builder)) *Graph {
+		b := NewBuilder()
+		b.AddNode("a", nil)
+		mutate(b)
+		return b.Build()
+	}
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"value with space", build(func(b *Builder) {
+			_ = b.SetAttr(0, "k", StrValue("two words"))
+		})},
+		{"value with equals", build(func(b *Builder) {
+			_ = b.SetAttr(0, "k", StrValue("a=b"))
+		})},
+		{"value with newline", build(func(b *Builder) {
+			_ = b.SetAttr(0, "k", StrValue("a\nb"))
+		})},
+		{"value with unicode space", build(func(b *Builder) {
+			_ = b.SetAttr(0, "k", StrValue("a\u00a0b"))
+		})},
+		{"value re-parses as int", build(func(b *Builder) {
+			_ = b.SetAttr(0, "k", StrValue("42"))
+		})},
+		{"key with space", build(func(b *Builder) {
+			_ = b.SetAttr(0, "bad key", IntValue(1))
+		})},
+		{"key with equals", build(func(b *Builder) {
+			_ = b.SetAttr(0, "k=v", IntValue(1))
+		})},
+		{"empty key", build(func(b *Builder) {
+			_ = b.SetAttr(0, "", IntValue(1))
+		})},
+		{"label with space", func() *Graph {
+			b := NewBuilder()
+			b.AddNode("two words", nil)
+			return b.Build()
+		}()},
+	}
+	for _, c := range cases {
+		var buf bytes.Buffer
+		if err := Write(&buf, c.g); err == nil {
+			t.Errorf("%s: Write succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestWriteAllowsEncodableValues(t *testing.T) {
+	b := NewBuilder()
+	b.AddNode("a", map[string]Value{
+		"s":     StrValue("music"),
+		"empty": StrValue(""),
+		"i":     IntValue(-7),
+		"mixed": StrValue("4x2"),
+	})
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestReadEdgeRangeErrorHasLineNumber(t *testing.T) {
+	cases := []struct {
+		name, in, wantLine string
+	}{
+		{"edge after nodes", "node 0 a\nnode 1 b\nedge 1 5\n", "line 3"},
+		{"edge before nodes", "edge 3 0\nnode 0 a\n", "line 1"},
+		{"edge with no nodes", "edge 0 0\n", "line 1"},
+	}
+	for _, c := range cases {
+		_, err := Read(strings.NewReader(c.in))
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantLine) {
+			t.Errorf("%s: error %q does not name %s", c.name, err, c.wantLine)
+		}
+	}
+}
+
+// TestIORoundtripPropertyAttrs is the randomized Write/Read round-trip
+// property test over graphs with typed attributes: every graph Write
+// accepts must come back from Read structurally identical, attributes and
+// value types included.
+func TestIORoundtripPropertyAttrs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	strValues := []string{"music", "film_clip", "x", "", "4x2", "a-b.c", "#tag"}
+	keys := []string{"C", "R", "V", "year", "group"}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		b := NewBuilder()
+		labels := []string{"video", "user", "paper"}
+		for i := 0; i < n; i++ {
+			id := b.AddNode(labels[rng.Intn(len(labels))], nil)
+			for _, k := range keys {
+				switch rng.Intn(3) {
+				case 0:
+					_ = b.SetAttr(id, k, IntValue(int64(rng.Intn(10000)-5000)))
+				case 1:
+					_ = b.SetAttr(id, k, StrValue(strValues[rng.Intn(len(strValues))]))
+				}
+			}
+		}
+		for i := 0; i < rng.Intn(3*n); i++ {
+			_ = b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		assertGraphsEqual(t, g, g2)
+		// assertGraphsEqual walks g's attrs; also check g2 gained none.
+		for v := NodeID(0); v < NodeID(n); v++ {
+			if len(g2.AttrKeys(v)) != len(g.AttrKeys(v)) {
+				t.Fatalf("trial %d: node %d attr count changed", trial, v)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ package simulation
 import (
 	"divtopk/internal/bitset"
 	"divtopk/internal/graph"
+	"divtopk/internal/parallel"
 	"divtopk/internal/pattern"
 )
 
@@ -34,28 +35,63 @@ type CandidateIndex struct {
 	pos [][]int32
 }
 
-// BuildCandidates computes the candidate index of p against g.
+// BuildCandidates computes the candidate index of p against g sequentially.
+// It is BuildCandidatesParallel with a single worker.
 func BuildCandidates(g *graph.Graph, p *pattern.Pattern) *CandidateIndex {
+	return BuildCandidatesParallel(g, p, 1)
+}
+
+// BuildCandidatesParallel computes the candidate index of p against g with
+// up to workers goroutines (workers <= 0 means all cores). Each query node's
+// label list is filtered over contiguous data-node shards in parallel and
+// the per-shard survivors are concatenated in shard order, so the result is
+// bit-for-bit identical to the sequential scan for every worker count.
+// Filtering is the per-query hot path this parallelizes: it evaluates the
+// search condition (label + attribute predicates) once per (query node,
+// labeled data node) pair.
+func BuildCandidatesParallel(g *graph.Graph, p *pattern.Pattern, workers int) *CandidateIndex {
+	workers = parallel.Workers(workers)
 	nq := p.NumNodes()
 	ci := &CandidateIndex{
 		Lists:   make([][]graph.NodeID, nq),
 		Offsets: make([]int32, nq+1),
 		pos:     make([][]int32, nq),
 	}
+
+	// One job per (query node, data-node shard); jobs are emitted in
+	// (u, shard) order so concatenation preserves ascending node order.
+	type job struct {
+		u      int
+		lo, hi int
+		out    []graph.NodeID
+	}
+	var jobs []job
 	for u := 0; u < nq; u++ {
-		var list []graph.NodeID
-		for _, v := range g.NodesWithLabel(p.Label(u)) {
-			if p.MatchesNode(g, u, v) {
-				list = append(list, v)
+		nodes := g.NodesWithLabel(p.Label(u))
+		for _, s := range parallel.Shards(len(nodes), workers) {
+			jobs = append(jobs, job{u: u, lo: s[0], hi: s[1]})
+		}
+	}
+	parallel.ForEach(len(jobs), workers, func(i int) {
+		j := &jobs[i]
+		nodes := g.NodesWithLabel(p.Label(j.u))
+		for _, v := range nodes[j.lo:j.hi] {
+			if p.MatchesNode(g, j.u, v) {
+				j.out = append(j.out, v)
 			}
 		}
-		ci.Lists[u] = list
-		ci.Offsets[u+1] = ci.Offsets[u] + int32(len(list))
+	})
+	for i := range jobs {
+		ci.Lists[jobs[i].u] = append(ci.Lists[jobs[i].u], jobs[i].out...)
 	}
+	for u := 0; u < nq; u++ {
+		ci.Offsets[u+1] = ci.Offsets[u] + int32(len(ci.Lists[u]))
+	}
+
 	total := int(ci.Offsets[nq])
 	ci.U = make([]int32, total)
 	ci.V = make([]graph.NodeID, total)
-	for u := 0; u < nq; u++ {
+	parallel.ForEach(nq, workers, func(u int) {
 		ci.pos[u] = make([]int32, g.NumNodes())
 		for i, v := range ci.Lists[u] {
 			id := ci.Offsets[u] + int32(i)
@@ -63,7 +99,7 @@ func BuildCandidates(g *graph.Graph, p *pattern.Pattern) *CandidateIndex {
 			ci.V[id] = v
 			ci.pos[u][v] = int32(i) + 1
 		}
-	}
+	})
 	return ci
 }
 

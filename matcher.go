@@ -1,0 +1,121 @@
+package divtopk
+
+import (
+	"fmt"
+
+	"divtopk/internal/parallel"
+)
+
+// Matcher is a reusable query session over one Graph. Construction pays the
+// per-graph index cost once — the full descendant-label bound index (which
+// internally performs the SCC/reachability work of the paper's §4.1 index) —
+// after which the Matcher is safe for concurrent use from many goroutines:
+// every query path reads the warmed, immutable index.
+//
+// Options passed to NewMatcher become the session defaults; options passed
+// to an individual query are applied on top of them.
+type Matcher struct {
+	g       *Graph
+	base    []Option
+	workers int
+}
+
+// NewMatcher builds the session indexes of g and returns a Matcher.
+// Parallelism given here bounds the batch worker pool as well as the
+// per-query parallel sections (default: all cores).
+func NewMatcher(g *Graph, opts ...Option) *Matcher {
+	o := buildOptions(opts)
+	// Warm the bound index for every label up front: the lazy per-label path
+	// is not synchronized, so a fully warmed cache is what makes concurrent
+	// queries race-free.
+	g.boundsCache().Warm(nil)
+	return &Matcher{
+		g:       g,
+		base:    opts,
+		workers: parallel.Workers(o.engine.Parallelism),
+	}
+}
+
+// Graph returns the session's graph.
+func (m *Matcher) Graph() *Graph { return m.g }
+
+// merged layers per-call options over the session defaults.
+func (m *Matcher) merged(opts []Option) []Option {
+	if len(opts) == 0 {
+		return m.base
+	}
+	out := make([]Option, 0, len(m.base)+len(opts))
+	out = append(out, m.base...)
+	return append(out, opts...)
+}
+
+// TopK answers one top-k query on the session; see the package-level TopK.
+// Safe to call from multiple goroutines.
+func (m *Matcher) TopK(p *Pattern, k int, opts ...Option) (*Result, error) {
+	return TopK(m.g, p, k, m.merged(opts)...)
+}
+
+// TopKDiversified answers one diversified top-k query on the session; see
+// the package-level TopKDiversified. Safe to call from multiple goroutines.
+func (m *Matcher) TopKDiversified(p *Pattern, k int, lambda float64, opts ...Option) (*DiversifiedResult, error) {
+	return TopKDiversified(m.g, p, k, lambda, m.merged(opts)...)
+}
+
+// batchOptions prepares the option slice for one query of a batch: the
+// worker pool already runs one query per core, so per-query parallelism
+// defaults to 1 inside a batch (no oversubscription) unless the caller set
+// Parallelism explicitly.
+func (m *Matcher) batchOptions(opts []Option) []Option {
+	merged := m.merged(opts)
+	// n <= 0 is the documented "all cores" default, so any non-positive
+	// setting counts as unset here.
+	if buildOptions(merged).engine.Parallelism <= 0 {
+		merged = append(merged[:len(merged):len(merged)], Parallelism(1))
+	}
+	return merged
+}
+
+// BatchTopK answers one top-k query per pattern concurrently over the
+// session's bounded worker pool and returns the results in input order. On
+// error it reports the first failing query by position; queries that
+// already finished are discarded.
+func (m *Matcher) BatchTopK(patterns []*Pattern, k int, opts ...Option) ([]*Result, error) {
+	merged := m.batchOptions(opts)
+	results := make([]*Result, len(patterns))
+	errs := make([]error, len(patterns))
+	pool := parallel.NewPool(m.workers)
+	for i := range patterns {
+		pool.Go(func() {
+			results[i], errs[i] = TopK(m.g, patterns[i], k, merged...)
+		})
+	}
+	pool.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("divtopk: batch query %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// BatchTopKDiversified is BatchTopK for diversified queries: one
+// TopKDiversified call per pattern, fanned out over the session pool,
+// results in input order.
+func (m *Matcher) BatchTopKDiversified(patterns []*Pattern, k int, lambda float64, opts ...Option) ([]*DiversifiedResult, error) {
+	merged := m.batchOptions(opts)
+	results := make([]*DiversifiedResult, len(patterns))
+	errs := make([]error, len(patterns))
+	pool := parallel.NewPool(m.workers)
+	for i := range patterns {
+		pool.Go(func() {
+			results[i], errs[i] = TopKDiversified(m.g, patterns[i], k, lambda, merged...)
+		})
+	}
+	pool.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("divtopk: batch query %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -67,3 +67,14 @@ func WithBaseline() Option {
 func WithApproximation() Option {
 	return func(o *options) { o.approx = true }
 }
+
+// Parallelism bounds the number of worker goroutines a query (and a
+// Matcher's batch APIs) may use. n <= 0 — the default — means
+// runtime.NumCPU(); 1 runs fully sequentially, reproducing the
+// single-threaded engine bit-for-bit. Any value returns identical results:
+// the parallel sections (candidate computation, the diversified greedy
+// scans, batch fan-out) are deterministic by construction, so this knob
+// trades wall-clock time only.
+func Parallelism(n int) Option {
+	return func(o *options) { o.engine.Parallelism = n }
+}
