@@ -2,6 +2,7 @@ package divtopk
 
 import (
 	"io"
+	"sync"
 
 	"divtopk/internal/core"
 	"divtopk/internal/diversify"
@@ -16,19 +17,21 @@ import (
 //
 // A Graph lazily builds and caches the descendant-label bound index the
 // first time TopK runs on it, so repeated queries amortize it the way the
-// paper's precomputed index does. A Graph is not safe for concurrent TopK
-// calls until one query has completed per label set; wrap it in a Matcher —
-// which warms the whole index up front — to serve concurrent queries.
+// paper's precomputed index does. A bare Graph is safe for concurrent TopK
+// calls: the index is created once and fills per label under a lock, so
+// cold concurrent queries merely serialize on index construction. Wrap the
+// Graph in a Matcher — which warms the whole index up front — to serve
+// concurrent queries without that cold-start contention.
 type Graph struct {
-	g      *graph.Graph
-	bounds *core.BoundsCache
+	g          *graph.Graph
+	boundsOnce sync.Once
+	bounds     *core.BoundsCache
 }
 
-// boundsCache returns the lazily created per-graph bound index.
+// boundsCache returns the lazily created per-graph bound index, creating it
+// exactly once even under concurrent first queries.
 func (g *Graph) boundsCache() *core.BoundsCache {
-	if g.bounds == nil {
-		g.bounds = core.NewBoundsCache(g.g, true)
-	}
+	g.boundsOnce.Do(func() { g.bounds = core.NewBoundsCache(g.g, true) })
 	return g.bounds
 }
 

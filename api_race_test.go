@@ -1,0 +1,38 @@
+package divtopk
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBareGraphConcurrentFirstTopK exercises the boundsCache sync.Once
+// guard and the BoundsCache lazy-fill lock: two goroutines issue the first
+// TopK on a bare Graph (no Matcher, cold index) at the same time. Run under
+// -race this is the regression test for the unsynchronized lazy init —
+// before the guard the two queries raced on g.bounds and on the per-label
+// count map.
+func TestBareGraphConcurrentFirstTopK(t *testing.T) {
+	g := NewYouTubeLike(1_500, 12_000, 3)
+	q, err := GeneratePattern(g, 4, 6, true, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 2
+	results := make([]*Result, goroutines)
+	errs := make([]error, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = TopK(g, q, 5)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < goroutines; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+	}
+	assertResultsIdentical(t, "concurrent-first", results[0], results[1])
+}

@@ -1,0 +1,200 @@
+// Command divtopkd is the query-serving daemon: it loads named graphs,
+// warms a Matcher session (full bound index + result cache) per graph, and
+// serves (diversified) top-k queries over an HTTP JSON API with
+// per-request timeouts, k/parallelism caps, and singleflight-deduplicated
+// caching.
+//
+// Serve two graphs:
+//
+//	divtopkd -listen :8372 -graph social=social.txt -graph cite=cite.txt
+//
+// Query it:
+//
+//	curl -s localhost:8372/v1/query -d '{"graph":"social","pattern":"node 0 PM *\nnode 1 DB\nedge 0 1\n","k":10}'
+//	curl -s localhost:8372/v1/query/diversified -d '{"graph":"social","pattern":"...","k":10,"lambda":0.5}'
+//	curl -s localhost:8372/v1/graphs
+//	curl -s localhost:8372/healthz
+//
+// Measure it (self-contained: generates a graph and a query workload,
+// serves on a loopback port, fires the load generator, prints throughput,
+// latency percentiles and cache hit rate):
+//
+//	divtopkd -loadgen -loadgen-requests 5000 -loadgen-concurrency 32
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"divtopk"
+	"divtopk/internal/bench"
+	"divtopk/internal/server"
+)
+
+func main() {
+	var graphs []struct{ name, path string }
+	listen := flag.String("listen", ":8372", "listen address")
+	flag.Func("graph", "name=path of a graph file in the text format (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		graphs = append(graphs, struct{ name, path string }{name, path})
+		return nil
+	})
+	cacheEntries := flag.Int("cache", 4096, "result-cache entries per graph session (0 disables caching)")
+	parallelism := flag.Int("parallelism", 0, "session worker goroutines (0 = all cores)")
+	maxK := flag.Int("max-k", 1000, "cap on the requested k")
+	maxParallelism := flag.Int("max-parallelism", 0, "cap on per-request parallelism (0 = all cores)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "evaluation worker pool size (0 = 2x cores)")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request timeout")
+	maxTimeout := flag.Duration("max-timeout", time.Minute, "cap on the per-request timeout")
+
+	loadgen := flag.Bool("loadgen", false, "run the self-contained load generator instead of serving")
+	lgRequests := flag.Int("loadgen-requests", 5000, "loadgen: total requests")
+	lgConcurrency := flag.Int("loadgen-concurrency", 16, "loadgen: concurrent clients")
+	lgDistinct := flag.Int("loadgen-distinct", 8, "loadgen: distinct queries cycled through")
+	lgK := flag.Int("loadgen-k", 10, "loadgen: k per query")
+	lgLambda := flag.Float64("loadgen-lambda", 0.5, "loadgen: lambda for -loadgen-diversified")
+	lgDiversified := flag.Bool("loadgen-diversified", false, "loadgen: use /v1/query/diversified")
+	lgNodes := flag.Int("loadgen-nodes", 8_000, "loadgen: generated graph nodes")
+	lgEdges := flag.Int("loadgen-edges", 80_000, "loadgen: generated graph edges")
+	flag.Parse()
+
+	opts := []divtopk.Option{divtopk.Parallelism(*parallelism)}
+	if *cacheEntries > 0 {
+		opts = append(opts, divtopk.WithCache(*cacheEntries))
+	}
+	cfg := server.Config{
+		MaxK:           *maxK,
+		MaxParallelism: *maxParallelism,
+		MaxConcurrent:  *maxConcurrent,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+
+	if *loadgen {
+		runLoadgen(cfg, opts, *lgRequests, *lgConcurrency, *lgDistinct, *lgK, *lgLambda, *lgDiversified, *lgNodes, *lgEdges)
+		return
+	}
+
+	if len(graphs) == 0 {
+		fmt.Fprintln(os.Stderr, "divtopkd: at least one -graph name=path is required (or -loadgen)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	reg := server.NewRegistry(opts...)
+	for _, g := range graphs {
+		start := time.Now()
+		if err := reg.LoadFile(g.name, g.path); err != nil {
+			log.Fatal(err)
+		}
+		m, _ := reg.Get(g.name)
+		log.Printf("graph %q: %d nodes, %d edges (warmed in %s)",
+			g.name, m.Graph().NumNodes(), m.Graph().NumEdges(), time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{
+		Addr:    *listen,
+		Handler: server.New(reg, cfg).Handler(),
+		// Slow clients must not bypass the per-request budget: the query
+		// timeout only starts once the body is decoded, so the transport
+		// bounds header/body reads itself. Writes get the budget plus slack
+		// for the response.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      *maxTimeout + 30*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+	log.Printf("serving %d graph(s) on %s", reg.Len(), *listen)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}
+
+// runLoadgen generates a graph and a distinct-query workload, serves them
+// on a loopback port, and fires the bench load generator at it.
+func runLoadgen(cfg server.Config, opts []divtopk.Option, requests, concurrency, distinct, k int, lambda float64, diversified bool, nodes, edges int) {
+	log.Printf("loadgen: generating graph (%d nodes, %d edges)", nodes, edges)
+	g := divtopk.NewYouTubeLike(nodes, edges, 1)
+	var patterns []string
+	for seed := int64(1); len(patterns) < distinct; seed++ {
+		// Bound the retries: on a degenerate graph (too small or too sparse
+		// to mine instances from) the generator fails for every seed, and an
+		// unbounded loop would hang the benchmark silently.
+		if seed > int64(8*distinct) {
+			log.Fatalf("loadgen: generated only %d of %d patterns after %d seeds; use a larger -loadgen-nodes/-loadgen-edges", len(patterns), distinct, seed-1)
+		}
+		q, err := divtopk.GeneratePattern(g, 4, 6, seed%2 == 0, false, seed)
+		if err != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := divtopk.WritePattern(&buf, q); err != nil {
+			log.Fatal(err)
+		}
+		patterns = append(patterns, buf.String())
+	}
+
+	start := time.Now()
+	reg := server.NewRegistry(opts...)
+	if err := reg.Add("bench", g); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loadgen: session warmed in %s", time.Since(start).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: server.New(reg, cfg).Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	defer srv.Close()
+
+	baseURL := "http://" + ln.Addr().String()
+	log.Printf("loadgen: %d requests, %d clients, %d distinct queries against %s",
+		requests, concurrency, len(patterns), baseURL)
+	rep, err := bench.ServeLoad(bench.ServingConfig{
+		BaseURL:     baseURL,
+		Graph:       "bench",
+		Patterns:    patterns,
+		K:           k,
+		Lambda:      lambda,
+		Diversified: diversified,
+		Requests:    requests,
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+}

@@ -54,6 +54,16 @@
 // reproduces the sequential engine exactly, and every setting returns
 // identical results — the parallel sections are deterministic.
 //
+// # Serving
+//
+// WithCache equips a Matcher with a result cache (LRU keyed by a canonical
+// query fingerprint, singleflight admission), and cmd/divtopkd builds the
+// full serving layer on top: named graphs behind an HTTP JSON API with
+// per-request timeouts, k/parallelism caps and structured errors. Because
+// the engines are deterministic, a cached response is byte-identical to a
+// fresh evaluation. See internal/server and the README's "Serving"
+// section.
+//
 // The module builds and tests with the standard toolchain:
 //
 //	go build ./... && go test ./...

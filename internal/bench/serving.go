@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ServingConfig drives the serving-layer load generator: a closed-loop
+// HTTP client pool firing (diversified) top-k queries at a running divtopkd
+// and measuring what the serving subsystem actually delivers — throughput,
+// latency percentiles, and the cache hit rate that repeated traffic earns.
+// The generator deliberately speaks plain HTTP/JSON rather than importing
+// the server package, so it measures exactly what an external client sees.
+type ServingConfig struct {
+	// BaseURL is the daemon address, e.g. "http://127.0.0.1:8372".
+	BaseURL string
+	// Graph names the registered graph to query.
+	Graph string
+	// Patterns holds pattern texts; requests cycle through them, so
+	// len(Patterns) is the number of distinct queries (and, with caching,
+	// the number of evaluations the whole run should cost).
+	Patterns []string
+	// K and Lambda parameterize the queries; Diversified selects the
+	// /v1/query/diversified endpoint.
+	K           int
+	Lambda      float64
+	Diversified bool
+	// Requests is the total request count, spread over Concurrency workers.
+	Requests    int
+	Concurrency int
+	// TimeoutMS is forwarded as the per-request budget (0 = server default).
+	TimeoutMS int64
+}
+
+// ServingReport is the outcome of one load-generation run.
+type ServingReport struct {
+	Requests   int
+	Errors     int
+	Elapsed    time.Duration
+	Throughput float64 // successful requests per second
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+	// Cache totals are read from /v1/graphs after the run; HitRate counts
+	// hits and coalesced waiters against all served queries.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheCoalesced uint64
+	HitRate        float64
+}
+
+// String renders the report as the one-stop summary cmd/divtopkd prints.
+func (r *ServingReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests: %d (%d errors) in %s\n", r.Requests, r.Errors, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "throughput: %.0f req/s\n", r.Throughput)
+	fmt.Fprintf(&b, "latency: p50=%s p95=%s p99=%s max=%s\n",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	fmt.Fprintf(&b, "cache: %d hits, %d coalesced, %d misses (hit rate %.1f%%)",
+		r.CacheHits, r.CacheCoalesced, r.CacheMisses, 100*r.HitRate)
+	return b.String()
+}
+
+// servingRequest mirrors the daemon's query body (kept local: the load
+// generator is an external client by design).
+type servingRequest struct {
+	Graph     string  `json:"graph"`
+	Pattern   string  `json:"pattern"`
+	K         int     `json:"k"`
+	Lambda    float64 `json:"lambda,omitempty"`
+	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// ServeLoad runs the load generator and collects the report. A non-2xx
+// response counts as an error; the run itself only fails on transport or
+// configuration problems.
+func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
+	if cfg.BaseURL == "" || cfg.Graph == "" || len(cfg.Patterns) == 0 {
+		return nil, fmt.Errorf("bench: serving config needs BaseURL, Graph and Patterns")
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1000
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	endpoint := cfg.BaseURL + "/v1/query"
+	if cfg.Diversified {
+		endpoint = cfg.BaseURL + "/v1/query/diversified"
+	}
+
+	// Pre-encode one body per distinct pattern; workers cycle through them.
+	bodies := make([][]byte, len(cfg.Patterns))
+	for i, p := range cfg.Patterns {
+		raw, err := json.Marshal(servingRequest{
+			Graph: cfg.Graph, Pattern: p, K: cfg.K, Lambda: cfg.Lambda, TimeoutMS: cfg.TimeoutMS,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bodies[i] = raw
+	}
+
+	before, err := fetchCacheTotals(cfg.BaseURL, cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+
+	// Size the connection pool to the worker count: the default transport
+	// keeps only 2 idle connections per host, which would make most
+	// requests pay a fresh TCP dial and skew the very latencies this
+	// generator exists to measure.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Concurrency,
+		MaxIdleConnsPerHost: cfg.Concurrency,
+	}}
+	latencies := make([]time.Duration, cfg.Requests)
+	errs := make([]bool, cfg.Requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	per := (cfg.Requests + cfg.Concurrency - 1) / cfg.Concurrency
+	for w := 0; w < cfg.Concurrency; w++ {
+		lo, hi := w*per, min((w+1)*per, cfg.Requests)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				t0 := time.Now()
+				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
+				if err != nil {
+					latencies[i] = time.Since(t0)
+					errs[i] = true
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = true
+				}
+				// Drain before stopping the clock: latency covers the full
+				// body transfer (what an external client experiences), and
+				// the drained connection is reused.
+				var sink bytes.Buffer
+				_, _ = sink.ReadFrom(resp.Body)
+				resp.Body.Close()
+				latencies[i] = time.Since(t0)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := fetchCacheTotals(cfg.BaseURL, cfg.Graph)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &ServingReport{Requests: cfg.Requests, Elapsed: elapsed}
+	// Percentiles cover successful requests only: a refused connection
+	// returns in microseconds and would drag the distribution toward zero
+	// right when the server is at its worst.
+	okLat := make([]time.Duration, 0, len(latencies))
+	for i, e := range errs {
+		if e {
+			rep.Errors++
+		} else {
+			okLat = append(okLat, latencies[i])
+		}
+	}
+	ok := cfg.Requests - rep.Errors
+	if elapsed > 0 {
+		rep.Throughput = float64(ok) / elapsed.Seconds()
+	}
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	pct := func(p float64) time.Duration {
+		if len(okLat) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(okLat)-1))
+		return okLat[idx]
+	}
+	rep.P50, rep.P95, rep.P99 = pct(0.50), pct(0.95), pct(0.99)
+	if len(okLat) > 0 {
+		rep.Max = okLat[len(okLat)-1]
+	}
+	rep.CacheHits = after.Hits - before.Hits
+	rep.CacheMisses = after.Misses - before.Misses
+	rep.CacheCoalesced = after.Coalesced - before.Coalesced
+	if total := rep.CacheHits + rep.CacheMisses + rep.CacheCoalesced; total > 0 {
+		rep.HitRate = float64(rep.CacheHits+rep.CacheCoalesced) / float64(total)
+	}
+	return rep, nil
+}
+
+// cacheTotals is the slice of /v1/graphs the generator reads.
+type cacheTotals struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+}
+
+// fetchCacheTotals reads the named graph's cache counters off /v1/graphs.
+func fetchCacheTotals(baseURL, graph string) (cacheTotals, error) {
+	resp, err := http.Get(baseURL + "/v1/graphs")
+	if err != nil {
+		return cacheTotals{}, fmt.Errorf("bench: reading cache stats: %w", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Graphs []struct {
+			Name  string      `json:"name"`
+			Cache cacheTotals `json:"cache"`
+		} `json:"graphs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return cacheTotals{}, fmt.Errorf("bench: decoding /v1/graphs: %w", err)
+	}
+	for _, g := range body.Graphs {
+		if g.Name == graph {
+			return g.Cache, nil
+		}
+	}
+	return cacheTotals{}, fmt.Errorf("bench: graph %q not registered on the server", graph)
+}

@@ -1,0 +1,150 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	load := func(v string) func() (any, error) {
+		return func() (any, error) { return v, nil }
+	}
+	if v, _ := c.Do("a", load("va")); v != "va" {
+		t.Fatalf("got %v", v)
+	}
+	c.Do("b", load("vb"))
+	c.Do("a", load("never")) // refresh a: b is now the LRU entry
+	c.Do("c", load("vc"))    // evicts b
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", s.Entries)
+	}
+	// a survived the eviction because Do("a") refreshed its recency...
+	evals := 0
+	c.Do("a", func() (any, error) { evals++; return nil, nil })
+	if evals != 0 {
+		t.Fatal("a should still be cached")
+	}
+	// ...and b is the entry that went.
+	c.Do("b", func() (any, error) { evals++; return "vb2", nil })
+	if evals != 1 {
+		t.Fatalf("b should have been evicted and re-evaluated, evals=%d", evals)
+	}
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	c := New(8)
+	const n = 16
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	evals := 0
+	var wg sync.WaitGroup
+	var once sync.Once
+	results := make([]any, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _ = c.Do("k", func() (any, error) {
+				once.Do(func() { close(started) })
+				<-gate
+				evals++
+				return 42, nil
+			})
+		}(i)
+	}
+	<-started // the leader is inside fn; let followers pile up, then release
+	close(gate)
+	wg.Wait()
+	if evals != 1 {
+		t.Fatalf("evals = %d, want exactly 1", evals)
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Fatalf("caller %d got %v", i, r)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", s.Misses)
+	}
+	if s.Hits+s.Coalesced != n-1 {
+		t.Fatalf("hits+coalesced = %d, want %d", s.Hits+s.Coalesced, n-1)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New(4)
+	boom := errors.New("boom")
+	if _, err := c.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	evals := 0
+	v, err := c.Do("k", func() (any, error) { evals++; return "ok", nil })
+	if err != nil || v != "ok" || evals != 1 {
+		t.Fatalf("error was cached: v=%v err=%v evals=%d", v, err, evals)
+	}
+}
+
+func TestPanickingLoaderDoesNotWedgeKey(t *testing.T) {
+	c := New(4)
+	started := make(chan struct{})
+	waiterDone := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p == nil {
+				t.Error("leader's panic did not propagate")
+			}
+		}()
+		c.Do("k", func() (any, error) {
+			close(started)
+			<-started // already closed; just a visible ordering point
+			panic("boom")
+		})
+	}()
+	<-started
+	// A caller coalescing onto the doomed flight must unblock with an
+	// error, not hang (we may also race past the flight teardown and become
+	// the next leader — either way Do must return).
+	go func() {
+		_, err := c.Do("k", func() (any, error) { return "recovered", nil })
+		waiterDone <- err
+	}()
+	select {
+	case <-waiterDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do wedged after the loader panicked")
+	}
+	// The key is not poisoned: a fresh evaluation succeeds.
+	v, err := c.Do("k", func() (any, error) { return "ok", nil })
+	if err != nil || (v != "ok" && v != "recovered") {
+		t.Fatalf("post-panic Do = %v, %v", v, err)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				key := fmt.Sprintf("k%d", j%32)
+				v, err := c.Do(key, func() (any, error) { return key, nil })
+				if err != nil || v != key {
+					t.Errorf("Do(%s) = %v, %v", key, v, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"divtopk/internal/graph"
 	"divtopk/internal/pattern"
 	"divtopk/internal/simulation"
@@ -15,12 +17,19 @@ import (
 // that amortization is what makes the engine's per-query cost beat the
 // find-all baseline, exactly as in the paper's experiments.
 //
-// A BoundsCache is safe for concurrent use by independent queries only if
-// fully warmed (see Warm); the lazy path is not synchronized.
+// A BoundsCache is safe for concurrent use: each label's counts are
+// computed at most once (concurrent requesters of a cold label wait for the
+// in-flight computation instead of duplicating or racing on it), and the
+// traversal itself runs outside the lock, so queries over warmed labels
+// are never blocked by a cold fill. Warm precomputes all labels up front
+// to eliminate cold-start waits entirely.
 type BoundsCache struct {
-	g      *graph.Graph
-	mode   graph.DescMode
+	g    *graph.Graph
+	mode graph.DescMode
+
+	mu     sync.RWMutex
 	counts map[graph.LabelID][]int32
+	flight map[graph.LabelID]chan struct{}
 }
 
 // NewBoundsCache creates an empty cache over g. exact selects exact
@@ -31,15 +40,22 @@ func NewBoundsCache(g *graph.Graph, exact bool) *BoundsCache {
 	if !exact {
 		mode = graph.DescLoose
 	}
-	return &BoundsCache{g: g, mode: mode, counts: make(map[graph.LabelID][]int32)}
+	return &BoundsCache{
+		g:      g,
+		mode:   mode,
+		counts: make(map[graph.LabelID][]int32),
+		flight: make(map[graph.LabelID]chan struct{}),
+	}
 }
 
 // Warm precomputes the counts for the given labels (all graph labels when
-// nil), making subsequent use read-only.
+// nil), making subsequent use contention-free.
 func (c *BoundsCache) Warm(labels []string) {
 	if labels == nil {
 		labels = c.g.Dict().Names()
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var ids []graph.LabelID
 	for _, name := range labels {
 		if id, ok := c.g.Dict().ID(name); ok {
@@ -54,12 +70,54 @@ func (c *BoundsCache) Warm(labels []string) {
 }
 
 func (c *BoundsCache) countsFor(l graph.LabelID) []int32 {
-	if cs, ok := c.counts[l]; ok {
+	for {
+		c.mu.RLock()
+		cs, ok := c.counts[l]
+		c.mu.RUnlock()
+		if ok {
+			return cs
+		}
+		// Cold label: either claim the computation or wait for whoever did.
+		// The traversal runs outside the lock, so queries on warm labels
+		// proceed while a cold fill is in flight.
+		c.mu.Lock()
+		if cs, ok := c.counts[l]; ok {
+			c.mu.Unlock()
+			return cs
+		}
+		if ch, ok := c.flight[l]; ok {
+			c.mu.Unlock()
+			<-ch
+			continue
+		}
+		ch := make(chan struct{})
+		c.flight[l] = ch
+		c.mu.Unlock()
+
+		// Settle the flight even if the traversal panics: waiters wake up
+		// (and, finding neither counts nor flight, recompute), instead of
+		// blocking forever on a channel nobody will close.
+		settled := false
+		defer func() {
+			if settled {
+				return
+			}
+			c.mu.Lock()
+			delete(c.flight, l)
+			c.mu.Unlock()
+			close(ch)
+		}()
+
+		cs = graph.DescendantLabelCounts(c.g, []graph.LabelID{l}, c.mode)[0]
+		settled = true
+
+		c.mu.Lock()
+		c.counts[l] = cs
+		delete(c.flight, l)
+		c.mu.Unlock()
+		close(ch)
 		return cs
 	}
-	cs := graph.DescendantLabelCounts(c.g, []graph.LabelID{l}, c.mode)[0]
-	c.counts[l] = cs
-	return cs
 }
 
 // computeUpperBounds initializes h(uo,v) for every candidate of the output

@@ -1,0 +1,95 @@
+package diversify
+
+import (
+	"testing"
+
+	"divtopk/internal/bitset"
+	"divtopk/internal/core"
+	"divtopk/internal/graph"
+	"divtopk/internal/ranking"
+)
+
+// tiePool builds n matches with the given relevances and pairwise-disjoint
+// relevant sets of matching sizes, so every pair at the same relevance
+// level has identical F' (disjoint sets ⇒ distance 1 for all pairs): the
+// selection is decided purely by the documented row-major tie-break.
+func tiePool(relevances []int) ([]core.Match, []float64, ranking.DiversifyParams) {
+	n := len(relevances)
+	space := 0
+	for _, r := range relevances {
+		space += r
+	}
+	params := ranking.DiversifyParams{Lambda: 0.5, K: 6, Cuo: space}
+	pool := make([]core.Match, n)
+	normRel := make([]float64, n)
+	next := 0
+	for i, rel := range relevances {
+		s := bitset.New(space)
+		for j := 0; j < rel; j++ {
+			s.Add(next)
+			next++
+		}
+		pool[i] = core.Match{Node: graph.NodeID(i), Relevance: rel, Exact: true, R: s}
+		normRel[i] = params.NormRel(float64(rel))
+	}
+	return pool, normRel, params
+}
+
+// TestBestPairRowMajorTieBreak asserts that on a pool where every pair has
+// exactly the same F', bestPair returns the row-major-first pair for every
+// worker count — the documented contract that makes the parallel scan
+// bit-for-bit identical to the sequential one.
+func TestBestPairRowMajorTieBreak(t *testing.T) {
+	pool, normRel, params := tiePool([]int{2, 2, 2, 2, 2, 2, 2, 2})
+	for workers := 1; workers <= 8; workers++ {
+		taken := make([]bool, len(pool))
+		if i, j := bestPair(params, pool, normRel, taken, workers); i != 0 || j != 1 {
+			t.Fatalf("workers=%d: first pair = (%d,%d), want row-major (0,1)", workers, i, j)
+		}
+		// With (0,1) taken, the next row-major tied pair is (2,3).
+		taken[0], taken[1] = true, true
+		if i, j := bestPair(params, pool, normRel, taken, workers); i != 2 || j != 3 {
+			t.Fatalf("workers=%d: second pair = (%d,%d), want (2,3)", workers, i, j)
+		}
+	}
+}
+
+// TestBestPairDeterministicAcrossParallelism consumes the whole pool pair
+// by pair — the greedy loop TopKDiv runs — on a pool engineered with two
+// exact F' tie classes (high-relevance matches 0..3, low-relevance matches
+// 4..7, all sets disjoint) and asserts every worker count 1..8 selects the
+// exact same pair sequence as the sequential scan.
+func TestBestPairDeterministicAcrossParallelism(t *testing.T) {
+	pool, normRel, params := tiePool([]int{5, 5, 5, 5, 1, 1, 1, 1})
+	sequence := func(workers int) [][2]int {
+		taken := make([]bool, len(pool))
+		var out [][2]int
+		for {
+			i, j := bestPair(params, pool, normRel, taken, workers)
+			if i < 0 {
+				return out
+			}
+			taken[i], taken[j] = true, true
+			out = append(out, [2]int{i, j})
+		}
+	}
+	want := sequence(1)
+	if len(want) != len(pool)/2 {
+		t.Fatalf("sequential scan picked %d pairs, want %d", len(want), len(pool)/2)
+	}
+	// The high-relevance tie class must drain first, in row-major order.
+	if want[0] != [2]int{0, 1} || want[1] != [2]int{2, 3} {
+		t.Fatalf("sequential sequence starts %v, want [0 1] then [2 3]", want[:2])
+	}
+	for workers := 2; workers <= 8; workers++ {
+		got := sequence(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d pairs vs %d sequential", workers, len(got), len(want))
+		}
+		for s := range want {
+			if got[s] != want[s] {
+				t.Fatalf("workers=%d: selection %d = %v, sequential picked %v", workers, s, got[s], want[s])
+			}
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package diversify
+
+import (
+	"testing"
+
+	"divtopk/internal/core"
+	"divtopk/internal/gen"
+	"divtopk/internal/graph"
+	"divtopk/internal/simulation"
+)
+
+// TestTopKDHReturnsMinKMu locks in the selector invariant behind the
+// missing-member fix: TopKDH must return exactly min(k, |Mu|) matches
+// whenever G matches Q — the selector fills S from every discovered match
+// and the engine discovers at least min(k, |Mu|) of them — and never
+// silently drop a selected member that it cannot find in the final engine
+// state.
+func TestTopKDHReturnsMinKMu(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"youtube":   gen.YouTubeLike(2_000, 20_000, 7),
+		"citation":  gen.CitationLike(2_000, 18_000, 8),
+		"synthetic": gen.Synthetic(gen.SynthConfig{N: 2_000, M: 19_000, Seed: 9}),
+	}
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				// Cyclic patterns cannot be mined from the citation DAG.
+				cyclic := seed%2 == 0 && name != "citation"
+				p, err := gen.Generate(g, gen.PatternConfig{
+					Nodes: 4, Edges: 6, Cyclic: cyclic, Predicates: seed%3 == 0, Seed: seed,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				mu := len(simulation.Compute(g, p).MatchesOf(p.Output()))
+				for _, k := range []int{1, 2, 5, 10, 50} {
+					res, err := TopKDH(g, p, k, 0.5, core.Options{})
+					if err != nil {
+						t.Fatalf("seed %d k %d: %v", seed, k, err)
+					}
+					want := 0
+					if res.GlobalMatch {
+						want = min(k, mu)
+					}
+					if len(res.Matches) != want {
+						t.Fatalf("seed %d k %d: |Matches| = %d, want min(k, |Mu|) = min(%d, %d) = %d",
+							seed, k, len(res.Matches), k, mu, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -37,15 +37,21 @@ func TopKDH(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, opts core
 	}
 
 	// Map the selector's choice to the final engine state. (The handles
-	// referenced live state; the result carries the settled values.)
+	// referenced live state; the result carries the settled values.) Every
+	// member was handed to the selector as a discovered match of uo, so it
+	// must appear in All; a miss means the engine and selector disagree
+	// about the discovered set, and silently dropping it would return fewer
+	// than min(k, |Mu|) matches with no signal.
 	final := make(map[graph.NodeID]core.Match, len(engRes.All))
 	for _, m := range engRes.All {
 		final[m.Node] = m
 	}
 	for _, n := range sel.members {
-		if m, ok := final[n]; ok {
-			res.Matches = append(res.Matches, m)
+		m, ok := final[n]
+		if !ok {
+			return nil, fmt.Errorf("diversify: internal error: selected match %d missing from final engine state", n)
 		}
+		res.Matches = append(res.Matches, m)
 	}
 	// Note: with early termination the relevant sets behind res.Matches may
 	// be partial, so this F is the heuristic's own estimate. Use ExactF to

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"divtopk"
+)
+
+// Config bounds what one request may cost. The zero value of any field
+// selects the default noted on it.
+type Config struct {
+	// MaxK caps the requested k (default 1000).
+	MaxK int
+	// MaxParallelism caps the per-query worker count a request may ask for
+	// (default runtime.NumCPU()); 0 in a request means the session default.
+	MaxParallelism int
+	// DefaultTimeout applies when a request carries no timeout_ms (default
+	// 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout (default 60s).
+	MaxTimeout time.Duration
+	// MaxConcurrent bounds the evaluation worker pool (default
+	// 2·runtime.NumCPU()). Requests beyond it queue until a slot frees or
+	// their timeout fires.
+	MaxConcurrent int
+	// MaxQueryBytes and MaxGraphBytes cap request bodies (defaults 1 MiB
+	// and 256 MiB).
+	MaxQueryBytes int64
+	MaxGraphBytes int64
+}
+
+// withDefaults resolves the zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxK <= 0 {
+		c.MaxK = 1000
+	}
+	if c.MaxParallelism <= 0 {
+		c.MaxParallelism = runtime.NumCPU()
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.NumCPU()
+	}
+	if c.MaxQueryBytes <= 0 {
+		c.MaxQueryBytes = 1 << 20
+	}
+	if c.MaxGraphBytes <= 0 {
+		c.MaxGraphBytes = 256 << 20
+	}
+	return c
+}
+
+// Server is the HTTP query-serving front end over a Registry.
+type Server struct {
+	reg *Registry
+	cfg Config
+	sem chan struct{}
+}
+
+// New returns a server over reg with cfg's limits (zero fields defaulted).
+func New(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{reg: reg, cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}
+}
+
+// Handler returns the API routes:
+//
+//	GET  /healthz              — liveness and graph count
+//	GET  /v1/graphs            — registered graphs with cache statistics
+//	POST /v1/graphs            — register a graph at runtime
+//	POST /v1/query             — top-k query
+//	POST /v1/query/diversified — diversified top-k query
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/query/diversified", func(w http.ResponseWriter, r *http.Request) {
+		s.handleQuery(w, r, true)
+	})
+	return mux
+}
+
+// QueryRequest is the body of POST /v1/query and /v1/query/diversified.
+type QueryRequest struct {
+	// Graph names a registered graph.
+	Graph string `json:"graph"`
+	// Pattern is the pattern in the text format (output node marked '*').
+	Pattern string `json:"pattern"`
+	// K is the number of matches requested (1..Config.MaxK).
+	K int `json:"k"`
+	// Lambda is the diversification balance λ ∈ [0,1] (diversified only).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Approx selects the 2-approximation TopKDiv (diversified only).
+	Approx bool `json:"approx,omitempty"`
+	// Baseline selects the find-all baseline engine (top-k only).
+	Baseline bool `json:"baseline,omitempty"`
+	// Strategy is "" or "covering" (default) or "random".
+	Strategy string `json:"strategy,omitempty"`
+	// Seed drives the random strategy.
+	Seed int64 `json:"seed,omitempty"`
+	// Batches overrides the engine's leaf-feeding batch count.
+	Batches int `json:"batches,omitempty"`
+	// Bounds is "" or "label-count" (default) or "tight" or "loose".
+	Bounds string `json:"bounds,omitempty"`
+	// Parallelism bounds this query's workers (0 = session default,
+	// capped at Config.MaxParallelism).
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS is the per-request budget in milliseconds (0 = server
+	// default, capped at Config.MaxTimeout).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// MatchJSON is one match in a response.
+type MatchJSON struct {
+	Node        int    `json:"node"`
+	Label       string `json:"label"`
+	Relevance   int    `json:"relevance"`
+	Upper       int    `json:"upper"`
+	Exact       bool   `json:"exact"`
+	RelevantSet []int  `json:"relevant_set,omitempty"`
+}
+
+// StatsJSON mirrors divtopk.Stats.
+type StatsJSON struct {
+	Candidates      int  `json:"candidates"`
+	Examined        int  `json:"examined"`
+	Batches         int  `json:"batches"`
+	EarlyTerminated bool `json:"early_terminated"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query.
+type QueryResponse struct {
+	GlobalMatch bool        `json:"global_match"`
+	Matches     []MatchJSON `json:"matches"`
+	Stats       StatsJSON   `json:"stats"`
+}
+
+// DiversifiedResponse is the body of a successful POST
+// /v1/query/diversified.
+type DiversifiedResponse struct {
+	GlobalMatch bool        `json:"global_match"`
+	F           float64     `json:"f"`
+	Matches     []MatchJSON `json:"matches"`
+	Stats       StatsJSON   `json:"stats"`
+}
+
+// NewQueryResponse converts a library Result to its wire form. Exported so
+// tests and clients can compare a direct Matcher call byte-for-byte with a
+// server response.
+func NewQueryResponse(res *divtopk.Result) QueryResponse {
+	return QueryResponse{
+		GlobalMatch: res.GlobalMatch,
+		Matches:     matchesJSON(res.Matches),
+		Stats:       statsJSON(res.Stats),
+	}
+}
+
+// NewDiversifiedResponse is NewQueryResponse for diversified results.
+func NewDiversifiedResponse(res *divtopk.DiversifiedResult) DiversifiedResponse {
+	return DiversifiedResponse{
+		GlobalMatch: res.GlobalMatch,
+		F:           res.F,
+		Matches:     matchesJSON(res.Matches),
+		Stats:       statsJSON(res.Stats),
+	}
+}
+
+func matchesJSON(ms []divtopk.Match) []MatchJSON {
+	out := make([]MatchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = MatchJSON{
+			Node:        m.Node,
+			Label:       m.Label,
+			Relevance:   m.Relevance,
+			Upper:       m.Upper,
+			Exact:       m.Exact,
+			RelevantSet: m.RelevantSet,
+		}
+	}
+	return out
+}
+
+func statsJSON(s divtopk.Stats) StatsJSON {
+	return StatsJSON{
+		Candidates:      s.Candidates,
+		Examined:        s.Examined,
+		Batches:         s.Batches,
+		EarlyTerminated: s.EarlyTerminated,
+	}
+}
+
+// ErrorResponse is the structured error body every failing request gets.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries a stable machine-readable code plus a human message.
+type ErrorDetail struct {
+	// Code is one of: bad_request, bad_pattern, unknown_graph, conflict,
+	// timeout, canceled, internal.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes and their HTTP status.
+const (
+	codeBadRequest   = "bad_request"
+	codeBadPattern   = "bad_pattern"
+	codeUnknownGraph = "unknown_graph"
+	codeConflict     = "conflict"
+	codeTimeout      = "timeout"
+	codeCanceled     = "canceled"
+	codeInternal     = "internal"
+)
+
+// statusClientClosedRequest is nginx's 499: the client dropped the
+// connection before the response was ready (distinct from a 504, where the
+// server ran out of budget).
+const statusClientClosedRequest = 499
+
+// writeError emits the structured error body with the given status.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorResponse{Error: ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
+}
+
+// writeJSON emits a success body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "graphs": s.reg.Len()})
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+// AddGraphRequest is the body of POST /v1/graphs.
+type AddGraphRequest struct {
+	Name string `json:"name"`
+	// Graph is the graph in the text format of cmd/graphgen.
+	Graph string `json:"graph"`
+}
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	var req AddGraphRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxGraphBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "graph name is required")
+		return
+	}
+	g, err := divtopk.ReadGraph(strings.NewReader(req.Graph))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "parsing graph: %v", err)
+		return
+	}
+	// Add warms the session index before registering, so this call can take
+	// a while on a large graph; once it returns the graph serves queries
+	// with no cold start. Duplicate names fail under Add's lock.
+	if err := s.reg.Add(req.Name, g); err != nil {
+		writeError(w, http.StatusConflict, codeConflict, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": req.Name, "nodes": g.NumNodes(), "edges": g.NumEdges(),
+	})
+}
+
+// requestTimeout clamps the requested budget to the configured bounds.
+func (s *Server) requestTimeout(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// buildOptions validates the per-query knobs and converts them to library
+// options. It returns a user-facing message on invalid input.
+func (s *Server) buildOptions(req *QueryRequest, diversified bool) ([]divtopk.Option, string) {
+	var opts []divtopk.Option
+	if req.K < 1 {
+		return nil, fmt.Sprintf("k must be >= 1 (got %d)", req.K)
+	}
+	if req.K > s.cfg.MaxK {
+		return nil, fmt.Sprintf("k %d exceeds the server cap %d", req.K, s.cfg.MaxK)
+	}
+	if req.Parallelism < 0 || req.Parallelism > s.cfg.MaxParallelism {
+		return nil, fmt.Sprintf("parallelism %d outside [0, %d]", req.Parallelism, s.cfg.MaxParallelism)
+	}
+	if req.Parallelism > 0 {
+		opts = append(opts, divtopk.Parallelism(req.Parallelism))
+	}
+	switch req.Strategy {
+	case "", "covering":
+	case "random":
+		opts = append(opts, divtopk.WithRandomSelection(req.Seed))
+	default:
+		return nil, fmt.Sprintf("unknown strategy %q (covering, random)", req.Strategy)
+	}
+	if req.Batches < 0 {
+		return nil, fmt.Sprintf("batches must be >= 0 (got %d)", req.Batches)
+	}
+	if req.Batches > 0 {
+		opts = append(opts, divtopk.WithBatches(req.Batches))
+	}
+	switch req.Bounds {
+	case "", "label-count":
+	case "tight":
+		opts = append(opts, divtopk.WithTightBounds())
+	case "loose":
+		opts = append(opts, divtopk.WithLooseBounds())
+	default:
+		return nil, fmt.Sprintf("unknown bounds %q (label-count, tight, loose)", req.Bounds)
+	}
+	if diversified {
+		if req.Lambda < 0 || req.Lambda > 1 {
+			return nil, fmt.Sprintf("lambda %v outside [0,1]", req.Lambda)
+		}
+		if req.Approx {
+			opts = append(opts, divtopk.WithApproximation())
+		}
+		if req.Baseline {
+			return nil, "baseline applies to /v1/query only"
+		}
+	} else {
+		if req.Approx {
+			return nil, "approx applies to /v1/query/diversified only"
+		}
+		if req.Baseline {
+			opts = append(opts, divtopk.WithBaseline())
+		}
+	}
+	return opts, ""
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, diversified bool) {
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxQueryBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
+		return
+	}
+	opts, msg := s.buildOptions(&req, diversified)
+	if msg != "" {
+		writeError(w, http.StatusBadRequest, codeBadRequest, "%s", msg)
+		return
+	}
+	m, ok := s.reg.Get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownGraph, "graph %q is not registered", req.Graph)
+		return
+	}
+	p, err := divtopk.ReadPattern(strings.NewReader(req.Pattern))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadPattern, "parsing pattern: %v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.requestTimeout(req.TimeoutMS))
+	defer cancel()
+	var resp any
+	if diversified {
+		resp, err = evaluate(ctx, s.sem, func() (any, error) {
+			res, err := m.TopKDiversified(p, req.K, req.Lambda, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return NewDiversifiedResponse(res), nil
+		})
+	} else {
+		resp, err = evaluate(ctx, s.sem, func() (any, error) {
+			res, err := m.TopK(p, req.K, opts...)
+			if err != nil {
+				return nil, err
+			}
+			return NewQueryResponse(res), nil
+		})
+	}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, codeTimeout,
+			"query exceeded its %s budget", s.requestTimeout(req.TimeoutMS))
+	case errors.Is(err, context.Canceled):
+		// The client went away; nobody reads this body, but access logs and
+		// metrics must not count the abort as a server timeout.
+		writeError(w, statusClientClosedRequest, codeCanceled, "client canceled the request")
+	default:
+		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+	}
+}
+
+// evaluate admits fn to the bounded worker pool and runs it, giving up the
+// wait — never the slot — when ctx expires: an abandoned evaluation keeps
+// running, releases its slot on completion, and (through the session cache's
+// singleflight) still lands its result in the cache, so a retry of a
+// timed-out query is typically a cache hit. The pool therefore cannot wedge:
+// every admitted evaluation returns its slot no matter how its caller left.
+func evaluate(ctx context.Context, sem chan struct{}, fn func() (any, error)) (any, error) {
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	type outcome struct {
+		v   any
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() { <-sem }()
+		var o outcome
+		// The evaluation runs outside net/http's per-connection recovery,
+		// so contain panics here: one poisoned query must cost one request
+		// an internal error, never the whole daemon.
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					o = outcome{nil, fmt.Errorf("evaluation panicked: %v", p)}
+				}
+			}()
+			v, err := fn()
+			o = outcome{v, err}
+		}()
+		done <- o
+	}()
+	select {
+	case o := <-done:
+		return o.v, o.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

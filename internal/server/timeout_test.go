@@ -1,0 +1,134 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"divtopk"
+)
+
+// TestEvaluateTimeoutReleasesSlot pins the admission mechanics acceptance
+// criterion (c) rests on: a caller that times out mid-evaluation gets
+// context.DeadlineExceeded, the evaluation keeps running, and its pool slot
+// is released when it finishes — never leaked.
+func TestEvaluateTimeoutReleasesSlot(t *testing.T) {
+	sem := make(chan struct{}, 1)
+	gate := make(chan struct{})
+	finished := make(chan struct{})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err := evaluate(ctx, sem, func() (any, error) {
+		<-gate
+		close(finished)
+		return "late", nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	// The abandoned evaluation still holds the slot...
+	select {
+	case sem <- struct{}{}:
+		t.Fatal("slot free while the evaluation is still running")
+	default:
+	}
+	// ...and returns it once it completes.
+	close(gate)
+	<-finished
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case sem <- struct{}{}:
+			return
+		case <-deadline:
+			t.Fatal("slot never released after the evaluation finished")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestEvaluateTimeoutWhileQueued covers the other admission path: a caller
+// whose context expires before a slot frees is turned away without ever
+// entering the pool.
+func TestEvaluateTimeoutWhileQueued(t *testing.T) {
+	sem := make(chan struct{}, 1)
+	sem <- struct{}{} // pool saturated
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	ran := false
+	_, err := evaluate(ctx, sem, func() (any, error) { ran = true; return nil, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if ran {
+		t.Fatal("fn ran despite the pool being saturated until after the deadline")
+	}
+}
+
+// TestTimeoutReturnsStructuredErrorWithoutWedgingPool is acceptance
+// criterion (c) end to end, made deterministic by saturating the one-slot
+// pool directly: the queued request times out with the structured error
+// body, and once the slot frees the server keeps serving.
+func TestTimeoutReturnsStructuredErrorWithoutWedgingPool(t *testing.T) {
+	g := divtopk.NewYouTubeLike(800, 7_000, 6)
+	q, err := divtopk.GeneratePattern(g, 3, 4, false, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pbuf bytes.Buffer
+	if err := divtopk.WritePattern(&pbuf, q); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(divtopk.WithCache(16))
+	if err := reg.Add("yt", g); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(reg, Config{MaxConcurrent: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(req QueryRequest) (int, []byte) {
+		raw, err := json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out bytes.Buffer
+		if _, err := out.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out.Bytes()
+	}
+
+	srv.sem <- struct{}{} // a long evaluation owns the only slot
+	status, body := post(QueryRequest{Graph: "yt", Pattern: pbuf.String(), K: 5, TimeoutMS: 5})
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want %d (%s)", status, http.StatusGatewayTimeout, body)
+	}
+	var errResp ErrorResponse
+	if err := json.Unmarshal(body, &errResp); err != nil {
+		t.Fatalf("timeout body is not the structured error: %v (%s)", err, body)
+	}
+	if errResp.Error.Code != codeTimeout {
+		t.Fatalf("error code = %q, want %q (%s)", errResp.Error.Code, codeTimeout, body)
+	}
+	if errResp.Error.Message == "" {
+		t.Fatal("timeout error has no message")
+	}
+
+	<-srv.sem // the long evaluation drains
+	if status, body := post(QueryRequest{Graph: "yt", Pattern: pbuf.String(), K: 5}); status != http.StatusOK {
+		t.Fatalf("post-timeout query: status %d: %s — pool wedged", status, body)
+	}
+}

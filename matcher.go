@@ -1,8 +1,13 @@
 package divtopk
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
+	"divtopk/internal/cache"
+	"divtopk/internal/core"
 	"divtopk/internal/parallel"
 )
 
@@ -13,31 +18,69 @@ import (
 // every query path reads the warmed, immutable index.
 //
 // Options passed to NewMatcher become the session defaults; options passed
-// to an individual query are applied on top of them.
+// to an individual query are applied on top of them. With WithCache the
+// session additionally memoizes results in an LRU keyed by a canonical
+// query fingerprint, with singleflight admission — the serving layer in
+// internal/server builds on exactly this.
 type Matcher struct {
 	g       *Graph
 	base    []Option
 	workers int
+	cache   *cache.Cache
+}
+
+// CacheStats is a snapshot of a Matcher's result-cache counters. Misses
+// counts actual engine evaluations; Coalesced counts queries that shared an
+// in-flight evaluation (singleflight); Hits counts queries served from a
+// stored entry. All counters are zero for a Matcher built without
+// WithCache.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
 }
 
 // NewMatcher builds the session indexes of g and returns a Matcher.
 // Parallelism given here bounds the batch worker pool as well as the
-// per-query parallel sections (default: all cores).
+// per-query parallel sections (default: all cores); WithCache sizes the
+// session result cache (default: none).
 func NewMatcher(g *Graph, opts ...Option) *Matcher {
 	o := buildOptions(opts)
 	// Warm the bound index for every label up front: the lazy per-label path
-	// is not synchronized, so a fully warmed cache is what makes concurrent
-	// queries race-free.
+	// is synchronized but serializes cold computations, so a fully warmed
+	// cache is what keeps concurrent queries contention-free.
 	g.boundsCache().Warm(nil)
-	return &Matcher{
+	m := &Matcher{
 		g:       g,
 		base:    opts,
 		workers: parallel.Workers(o.engine.Parallelism),
 	}
+	if o.cacheEntries > 0 {
+		m.cache = cache.New(o.cacheEntries)
+	}
+	return m
 }
 
 // Graph returns the session's graph.
 func (m *Matcher) Graph() *Graph { return m.g }
+
+// CacheStats returns a snapshot of the session result-cache counters (the
+// zero value when the Matcher was built without WithCache).
+func (m *Matcher) CacheStats() CacheStats {
+	if m.cache == nil {
+		return CacheStats{}
+	}
+	s := m.cache.Stats()
+	return CacheStats{
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Coalesced: s.Coalesced,
+		Evictions: s.Evictions,
+		Entries:   s.Entries,
+	}
+}
 
 // merged layers per-call options over the session defaults.
 func (m *Matcher) merged(opts []Option) []Option {
@@ -49,16 +92,114 @@ func (m *Matcher) merged(opts []Option) []Option {
 	return append(out, opts...)
 }
 
+// Query kinds for cache-key derivation.
+const (
+	kindTopK        = "topk:"
+	kindDiversified = "div:"
+)
+
+// queryKey returns the canonical cache key of one query: a hash over the
+// query kind, k, λ, every result-affecting option, and the pattern's text
+// serialization (deterministic, so structurally equal patterns share a
+// key). Parallelism is deliberately excluded — every worker count returns
+// identical results — and for the full-evaluation algorithms (baseline,
+// TopKDiv) the engine knobs that only steer early termination are
+// normalized away, so e.g. WithBatches(8) and WithBatches(32) share the
+// baseline's entry.
+func queryKey(kind string, p *Pattern, k int, lambda float64, o options) (string, error) {
+	// Each entry point consults only its own algorithm flag: TopK ignores
+	// approx and TopKDiversified ignores baseline, so the irrelevant flag is
+	// dropped from the key (a session default for one family must not split
+	// or collide the other family's entries).
+	baseline, approx := o.baseline, o.approx
+	var full bool
+	if kind == kindTopK {
+		approx = false
+		full = baseline
+	} else {
+		baseline = false
+		full = approx
+	}
+	strategy, seed, batches, bounds := o.engine.Strategy, o.engine.Seed, o.engine.NumBatches, o.engine.Bounds
+	if batches <= 0 {
+		batches = 16
+	}
+	if strategy != core.StrategyRandom {
+		seed = 0
+	}
+	if full {
+		// The full-evaluation algorithms never early-terminate, so the
+		// feeding/bound knobs cannot affect their results.
+		strategy, seed, batches, bounds = 0, 0, 0, 0
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%sk=%d|lambda=%g|baseline=%v|approx=%v|strategy=%d|seed=%d|batches=%d|bounds=%d\n",
+		kind, k, lambda, baseline, approx, strategy, seed, batches, bounds)
+	if err := WritePattern(&buf, p); err != nil {
+		return "", fmt.Errorf("divtopk: canonicalizing pattern for cache key: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return kind + hex.EncodeToString(sum[:]), nil
+}
+
 // TopK answers one top-k query on the session; see the package-level TopK.
-// Safe to call from multiple goroutines.
+// Safe to call from multiple goroutines. With WithCache the returned Result
+// may be shared with other callers and must be treated as read-only.
 func (m *Matcher) TopK(p *Pattern, k int, opts ...Option) (*Result, error) {
-	return TopK(m.g, p, k, m.merged(opts)...)
+	return m.topK(p, k, m.merged(opts))
+}
+
+// topK runs one top-k query with an already-merged option slice, consulting
+// the session cache when present.
+func (m *Matcher) topK(p *Pattern, k int, merged []Option) (*Result, error) {
+	if m.cache == nil {
+		return TopK(m.g, p, k, merged...)
+	}
+	key, err := queryKey(kindTopK, p, k, 0, buildOptions(merged))
+	if err != nil {
+		return nil, err
+	}
+	v, err := m.cache.Do(key, func() (any, error) {
+		res, err := TopK(m.g, p, k, merged...)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Result), nil
 }
 
 // TopKDiversified answers one diversified top-k query on the session; see
 // the package-level TopKDiversified. Safe to call from multiple goroutines.
+// With WithCache the returned DiversifiedResult may be shared with other
+// callers and must be treated as read-only.
 func (m *Matcher) TopKDiversified(p *Pattern, k int, lambda float64, opts ...Option) (*DiversifiedResult, error) {
-	return TopKDiversified(m.g, p, k, lambda, m.merged(opts)...)
+	return m.topKDiversified(p, k, lambda, m.merged(opts))
+}
+
+// topKDiversified is topK's counterpart for the diversified entry point.
+func (m *Matcher) topKDiversified(p *Pattern, k int, lambda float64, merged []Option) (*DiversifiedResult, error) {
+	if m.cache == nil {
+		return TopKDiversified(m.g, p, k, lambda, merged...)
+	}
+	key, err := queryKey(kindDiversified, p, k, lambda, buildOptions(merged))
+	if err != nil {
+		return nil, err
+	}
+	v, err := m.cache.Do(key, func() (any, error) {
+		res, err := TopKDiversified(m.g, p, k, lambda, merged...)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*DiversifiedResult), nil
 }
 
 // batchOptions prepares the option slice for one query of a batch: the
@@ -76,7 +217,8 @@ func (m *Matcher) batchOptions(opts []Option) []Option {
 }
 
 // BatchTopK answers one top-k query per pattern concurrently over the
-// session's bounded worker pool and returns the results in input order. On
+// session's bounded worker pool and returns the results in input order
+// (duplicate patterns share one evaluation when the session caches). On
 // error it reports the first failing query by position; queries that
 // already finished are discarded.
 func (m *Matcher) BatchTopK(patterns []*Pattern, k int, opts ...Option) ([]*Result, error) {
@@ -86,7 +228,7 @@ func (m *Matcher) BatchTopK(patterns []*Pattern, k int, opts ...Option) ([]*Resu
 	pool := parallel.NewPool(m.workers)
 	for i := range patterns {
 		pool.Go(func() {
-			results[i], errs[i] = TopK(m.g, patterns[i], k, merged...)
+			results[i], errs[i] = m.topK(patterns[i], k, merged)
 		})
 	}
 	pool.Wait()
@@ -108,7 +250,7 @@ func (m *Matcher) BatchTopKDiversified(patterns []*Pattern, k int, lambda float6
 	pool := parallel.NewPool(m.workers)
 	for i := range patterns {
 		pool.Go(func() {
-			results[i], errs[i] = TopKDiversified(m.g, patterns[i], k, lambda, merged...)
+			results[i], errs[i] = m.topKDiversified(patterns[i], k, lambda, merged)
 		})
 	}
 	pool.Wait()

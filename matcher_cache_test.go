@@ -1,0 +1,194 @@
+package divtopk
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMatcherCacheHitsAndKeying covers the session result cache: repeats
+// are hits, the key ignores Parallelism (documented to never change
+// results) but distinguishes k, λ, and algorithm choice.
+func TestMatcherCacheHitsAndKeying(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 2)
+	m := NewMatcher(g, WithCache(64))
+	q := patterns[0]
+
+	fresh, err := m.TopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := m.TopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != fresh {
+		t.Fatal("repeat query did not return the cached Result")
+	}
+	if s := m.CacheStats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("stats after repeat = %+v, want 1 miss 1 hit", s)
+	}
+
+	// Parallelism is excluded from the key: different worker counts share
+	// the entry (every setting returns identical results).
+	if _, err := m.TopK(q, 10, Parallelism(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopK(q, 10, Parallelism(4)); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CacheStats(); s.Misses != 1 {
+		t.Fatalf("parallelism changed the cache key: %+v", s)
+	}
+
+	// k, λ, the algorithm family and the second pattern all get their own
+	// entries.
+	if _, err := m.TopK(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopK(q, 5, WithBaseline()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopKDiversified(q, 5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopKDiversified(q, 5, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopKDiversified(q, 5, 0.7, WithApproximation()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopK(patterns[1], 5); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CacheStats(); s.Misses != 7 {
+		t.Fatalf("misses = %d, want 7 distinct evaluations", s.Misses)
+	}
+}
+
+// TestCacheKeyCrossFamilyFlags pins the key's flag scoping: each entry
+// point keys only on its own algorithm flag. An irrelevant session default
+// (approx for TopK, baseline for TopKDiversified) must neither collapse the
+// family's engine knobs into one entry (wrong cached results) nor split
+// entries that evaluate identically.
+func TestCacheKeyCrossFamilyFlags(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 1)
+	q := patterns[0]
+
+	// approx is diversified-only: with it as a session default, TopK calls
+	// with different engine knobs still need distinct entries...
+	m := NewMatcher(g, WithCache(64), WithApproximation())
+	if _, err := m.TopK(q, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopK(q, 10, WithBatches(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CacheStats(); s.Misses != 2 {
+		t.Fatalf("approx default collapsed TopK knob variants: %+v", s)
+	}
+	// ...while the approx diversified calls ignore the knobs and share one.
+	if _, err := m.TopKDiversified(q, 6, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopKDiversified(q, 6, 0.5, WithBatches(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CacheStats(); s.Misses != 3 {
+		t.Fatalf("approx diversified variants should share one entry: %+v", s)
+	}
+
+	// baseline is top-k-only: with it as a session default, TopKDH (the
+	// non-approx diversified path, which does consult the knobs) still
+	// needs distinct entries per knob setting.
+	m2 := NewMatcher(g, WithCache(64), WithBaseline())
+	if _, err := m2.TopKDiversified(q, 6, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.TopKDiversified(q, 6, 0.5, WithBatches(2)); err != nil {
+		t.Fatal(err)
+	}
+	if s := m2.CacheStats(); s.Misses != 2 {
+		t.Fatalf("baseline default collapsed TopKDH knob variants: %+v", s)
+	}
+}
+
+// TestMatcherCacheIdenticalToUncached asserts a cached session returns the
+// same answers as an uncached one — the determinism claim behind "a cached
+// result is byte-identical to a fresh evaluation".
+func TestMatcherCacheIdenticalToUncached(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 3)
+	plain := NewMatcher(g)
+	caching := NewMatcher(g, WithCache(16))
+	for _, q := range patterns {
+		a, err := plain.TopK(q, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for round := 0; round < 2; round++ { // round 1 is served from cache
+			b, err := caching.TopK(q, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, "cached-vs-fresh", a, b)
+		}
+	}
+}
+
+// TestMatcherCacheSingleflight asserts N concurrent identical queries on a
+// caching session cost exactly one engine evaluation.
+func TestMatcherCacheSingleflight(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 1)
+	m := NewMatcher(g, WithCache(16))
+	q := patterns[0]
+	const n = 16
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := m.TopK(q, 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	s := m.CacheStats()
+	if s.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 evaluation for %d concurrent identical queries", s.Misses, n)
+	}
+	if s.Hits+s.Coalesced != n-1 {
+		t.Fatalf("hits+coalesced = %d, want %d", s.Hits+s.Coalesced, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different Result pointer", i)
+		}
+	}
+}
+
+// TestBatchTopKSharesCache asserts the batch entry points thread through
+// the session cache: a batch of duplicate patterns costs one evaluation.
+func TestBatchTopKSharesCache(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 1)
+	m := NewMatcher(g, WithCache(16))
+	batch := make([]*Pattern, 12)
+	for i := range batch {
+		batch[i] = patterns[0]
+	}
+	results, err := m.BatchTopK(batch, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CacheStats(); s.Misses != 1 {
+		t.Fatalf("batch of identical queries cost %d evaluations, want 1", s.Misses)
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatalf("batch result %d not shared", i)
+		}
+	}
+}

@@ -6,9 +6,10 @@ import "divtopk/internal/core"
 type Option func(*options)
 
 type options struct {
-	engine   core.Options
-	baseline bool
-	approx   bool
+	engine       core.Options
+	baseline     bool
+	approx       bool
+	cacheEntries int
 }
 
 func buildOptions(opts []Option) options {
@@ -66,6 +67,18 @@ func WithBaseline() Option {
 // early-termination heuristic TopKDH.
 func WithApproximation() Option {
 	return func(o *options) { o.approx = true }
+}
+
+// WithCache equips a Matcher with a result cache of the given capacity (in
+// entries): an LRU keyed by a canonical fingerprint of (pattern, k, λ,
+// algorithm options) with singleflight admission, so N concurrent identical
+// queries cost one evaluation and repeated queries cost none. Because every
+// engine is deterministic, a cached result is identical to a fresh
+// evaluation; callers share the stored Result and must treat it as
+// read-only. The option is consulted by NewMatcher only — the package-level
+// TopK/TopKDiversified never cache — and entries <= 0 disables caching.
+func WithCache(entries int) Option {
+	return func(o *options) { o.cacheEntries = entries }
 }
 
 // Parallelism bounds the number of worker goroutines a query (and a
