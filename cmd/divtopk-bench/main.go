@@ -1,0 +1,164 @@
+// Command divtopk-bench runs the repository's tracked benchmark baseline:
+// fixed-seed ns/op + allocs/op measurements of every hot component —
+// candidates, simulation refinement, relevant sets, the find-all baseline,
+// the early-termination engine, TopKDiv and serving throughput — with the
+// frozen pre-CSR reference kernel measured side by side as the "before"
+// column and per-component speedups derived from the pair.
+//
+// The default configuration is the 150k-node generator graph the repo's
+// acceptance numbers are recorded on; -short shrinks it to CI size. The
+// report is printed as a table and, with -out, written as JSON
+// (BENCH_PR3.json is a committed run of this command):
+//
+//	go run ./cmd/divtopk-bench -out BENCH_PR3.json
+//	go run ./cmd/divtopk-bench -short -serving=false
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	divtopk "divtopk"
+	"divtopk/internal/bench"
+	"divtopk/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("divtopk-bench: ")
+
+	short := flag.Bool("short", false, "use the CI-sized configuration (12k nodes)")
+	nodes := flag.Int("nodes", 0, "graph nodes (default: config preset)")
+	edges := flag.Int("edges", 0, "graph edges (default: config preset)")
+	labels := flag.Int("labels", 0, "label alphabet size (default: config preset)")
+	seed := flag.Int64("seed", 1, "generator seed (default: config preset)")
+	k := flag.Int("k", 0, "top-k (default: config preset)")
+	lambda := flag.Float64("lambda", 0.5, "diversification lambda (0 = pure relevance; default: config preset)")
+	parallelism := flag.Int("parallelism", 0, "engine workers per query (default 1: pure kernel A/B)")
+	queries := flag.Int("queries", 0, "mined patterns per measured op (default: config preset)")
+	serving := flag.Bool("serving", true, "measure in-process serving throughput")
+	out := flag.String("out", "", "write the JSON report to this file")
+	flag.Parse()
+
+	// Overrides apply only when the flag was given explicitly, so legitimate
+	// zero values (-lambda 0, -seed 0) are honored rather than treated as
+	// "unset" sentinels.
+	given := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { given[f.Name] = true })
+
+	cfg := bench.DefaultBaselineConfig()
+	if *short {
+		cfg = bench.ShortBaselineConfig()
+	}
+	if given["nodes"] {
+		cfg.Nodes = *nodes
+	}
+	if given["edges"] {
+		cfg.Edges = *edges
+	}
+	if given["labels"] {
+		cfg.Labels = *labels
+	}
+	if given["seed"] {
+		cfg.Seed = *seed
+	}
+	if given["k"] {
+		cfg.K = *k
+	}
+	if given["lambda"] {
+		cfg.Lambda = *lambda
+	}
+	if given["parallelism"] {
+		cfg.Parallelism = *parallelism
+	}
+	if given["queries"] {
+		cfg.Queries = *queries
+	}
+	cfg.Serving = *serving
+
+	rep, err := bench.RunBaseline(cfg, os.Stderr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cfg.Serving {
+		log.Printf("measuring serving throughput (%d requests, %d clients)",
+			cfg.ServingRequests, cfg.ServingConcurrency)
+		sum, err := servingBaseline(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Serving = sum
+	}
+
+	fmt.Print(rep.Format())
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}
+
+// servingBaseline registers the benchmark graph in an in-process daemon on a
+// loopback port and fires the HTTP load generator at it, measuring what an
+// external client sees end to end (JSON decode included).
+func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, error) {
+	pg := divtopk.NewSynthetic(cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Seed)
+	var texts []string
+	for seed := int64(1); len(texts) < 4 && seed < 64; seed++ {
+		q, err := divtopk.GeneratePattern(pg, cfg.PatternNodes, cfg.PatternEdges, false, false, seed)
+		if err != nil {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := divtopk.WritePattern(&buf, q); err != nil {
+			return nil, err
+		}
+		texts = append(texts, buf.String())
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("no serving patterns mined")
+	}
+
+	reg := server.NewRegistry(divtopk.WithCache(256), divtopk.Parallelism(cfg.Parallelism))
+	if err := reg.Add("bench", pg); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: server.New(reg, server.Config{}).Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	defer srv.Close()
+
+	rep, err := bench.ServeLoad(bench.ServingConfig{
+		BaseURL:     "http://" + ln.Addr().String(),
+		Graph:       "bench",
+		Patterns:    texts,
+		K:           cfg.K,
+		Requests:    cfg.ServingRequests,
+		Concurrency: cfg.ServingConcurrency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Summarize(), nil
+}

@@ -64,6 +64,21 @@
 // fresh evaluation. See internal/server and the README's "Serving"
 // section.
 //
+// # Performance
+//
+// Every per-query hot path runs over a materialized product-graph CSR
+// (internal/simulation.Product): the candidate product graph is built once
+// per query and shared by simulation refinement, relevant-set computation
+// (SCC condensation in reverse topological order, interior bitsets pooled
+// in a bitset.Arena, levels sharded over Parallelism workers) and the
+// incremental engine's propagation. The pre-CSR kernel is retained behind
+// an options knob as the frozen reference: determinism tests prove both
+// kernels byte-identical at every Parallelism setting, and
+// cmd/divtopk-bench measures them side by side on a fixed-seed 150k-node
+// generator graph, emitting the tracked baseline committed as
+// BENCH_PR3.json (see the README's "Performance" section for how to run
+// and read it).
+//
 // The module builds and tests with the standard toolchain:
 //
 //	go build ./... && go test ./...

@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+
+	"divtopk/internal/core"
+	"divtopk/internal/diversify"
+	"divtopk/internal/gen"
+	"divtopk/internal/pattern"
+	"divtopk/internal/simulation"
+)
+
+// This file is the tracked benchmark baseline of the repository
+// (BENCH_PR3.json): a repeatable, fixed-seed measurement of every hot
+// component — candidate computation, simulation refinement, relevant-set
+// computation, the find-all baseline, the early-termination engine, TopKDiv
+// and serving throughput — with the frozen pre-CSR reference kernel
+// (core.KernelReference) measured side by side as the "before" column.
+// cmd/divtopk-bench runs it and emits the JSON; future PRs are judged
+// against the committed numbers.
+
+// BaselineConfig fixes one benchmark run. Non-positive sizes are completed
+// from DefaultBaselineConfig (Seed and Lambda are taken as given: seed 0 and
+// λ=0 — pure relevance — are legitimate settings; a negative Lambda selects
+// the default). All sizes and seeds are explicit in the emitted report, so a
+// run is reproducible bit-for-bit on the same hardware class.
+type BaselineConfig struct {
+	// Nodes/Edges/Labels/Seed parameterize the synthetic generator graph
+	// (the paper's linkage model, internal/gen).
+	Nodes  int   `json:"nodes"`
+	Edges  int   `json:"edges"`
+	Labels int   `json:"labels"`
+	Seed   int64 `json:"seed"`
+	// PatternNodes/PatternEdges/Queries shape the mined query workload;
+	// every measured op evaluates all Queries patterns.
+	PatternNodes int `json:"pattern_nodes"`
+	PatternEdges int `json:"pattern_edges"`
+	Queries      int `json:"queries"`
+	// K and Lambda parameterize top-k and diversification.
+	K      int     `json:"k"`
+	Lambda float64 `json:"lambda"`
+	// Parallelism is the engine worker bound used by every measurement
+	// (default 1: the kernel A/B compares algorithms, not goroutine counts).
+	Parallelism int `json:"parallelism"`
+	// Serving enables the in-process serving-throughput measurement.
+	Serving            bool `json:"serving"`
+	ServingRequests    int  `json:"serving_requests"`
+	ServingConcurrency int  `json:"serving_concurrency"`
+}
+
+// DefaultBaselineConfig is the tracked configuration: the 150k-node
+// generator graph the acceptance numbers are measured on.
+func DefaultBaselineConfig() BaselineConfig {
+	return BaselineConfig{
+		Nodes:              150_000,
+		Edges:              1_050_000,
+		Labels:             24,
+		Seed:               1,
+		PatternNodes:       4,
+		PatternEdges:       6,
+		Queries:            3,
+		K:                  10,
+		Lambda:             0.5,
+		Parallelism:        1,
+		Serving:            true,
+		ServingRequests:    4000,
+		ServingConcurrency: 16,
+	}
+}
+
+// ShortBaselineConfig is the CI-sized configuration (seconds, not minutes).
+func ShortBaselineConfig() BaselineConfig {
+	cfg := DefaultBaselineConfig()
+	cfg.Nodes = 12_000
+	cfg.Edges = 84_000
+	cfg.ServingRequests = 800
+	return cfg
+}
+
+func (c BaselineConfig) withDefaults() BaselineConfig {
+	d := DefaultBaselineConfig()
+	if c.Nodes <= 0 {
+		c.Nodes = d.Nodes
+	}
+	if c.Edges <= 0 {
+		c.Edges = d.Edges
+	}
+	if c.Labels <= 0 {
+		c.Labels = d.Labels
+	}
+	if c.PatternNodes <= 0 {
+		c.PatternNodes = d.PatternNodes
+	}
+	if c.PatternEdges <= 0 {
+		c.PatternEdges = d.PatternEdges
+	}
+	if c.Queries <= 0 {
+		c.Queries = d.Queries
+	}
+	if c.K <= 0 {
+		c.K = d.K
+	}
+	if c.Lambda < 0 {
+		c.Lambda = d.Lambda
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = 1
+	}
+	if c.ServingRequests <= 0 {
+		c.ServingRequests = d.ServingRequests
+	}
+	if c.ServingConcurrency <= 0 {
+		c.ServingConcurrency = d.ServingConcurrency
+	}
+	return c
+}
+
+// BaselineEntry is one measured component.
+type BaselineEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MsPerOp     float64 `json:"ms_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// ServingSummary is the serving-throughput slice of the report.
+type ServingSummary struct {
+	Throughput float64 `json:"req_per_sec"`
+	P50Micros  int64   `json:"p50_us"`
+	P99Micros  int64   `json:"p99_us"`
+	HitRate    float64 `json:"cache_hit_rate"`
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+}
+
+// BaselineReport is the JSON document committed as BENCH_PR3.json.
+type BaselineReport struct {
+	GeneratedBy string         `json:"generated_by"`
+	GoVersion   string         `json:"go_version"`
+	GOOS        string         `json:"goos"`
+	GOARCH      string         `json:"goarch"`
+	NumCPU      int            `json:"num_cpu"`
+	Config      BaselineConfig `json:"config"`
+	// MatchesPerQuery records |Mu(Q,G,uo)| of each mined pattern, so the
+	// workload's difficulty is visible next to the timings.
+	MatchesPerQuery []int           `json:"matches_per_query"`
+	Entries         []BaselineEntry `json:"entries"`
+	// Speedups maps component → reference-ns / csr-ns (>1 means the CSR
+	// kernel is faster).
+	Speedups map[string]float64 `json:"speedups"`
+	Serving  *ServingSummary    `json:"serving,omitempty"`
+}
+
+// Format renders the report as an aligned text table with the speedup rows.
+func (r *BaselineReport) Format() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "== tracked baseline: %d nodes, %d edges, %d labels, seed %d, %d queries, parallelism %d ==\n",
+		r.Config.Nodes, r.Config.Edges, r.Config.Labels, r.Config.Seed, r.Config.Queries, r.Config.Parallelism)
+	fmt.Fprintf(&b, "%-24s %14s %14s %12s\n", "component", "ms/op", "allocs/op", "MB/op")
+	for _, e := range r.Entries {
+		fmt.Fprintf(&b, "%-24s %14.2f %14d %12.2f\n", e.Name, e.MsPerOp, e.AllocsPerOp, float64(e.BytesPerOp)/(1<<20))
+	}
+	keys := make([]string, 0, len(r.Speedups))
+	for k := range r.Speedups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "speedup %-16s %14.2fx\n", k, r.Speedups[k])
+	}
+	if r.Serving != nil {
+		fmt.Fprintf(&b, "serving: %.0f req/s (p50 %dus, p99 %dus, hit rate %.1f%%)\n",
+			r.Serving.Throughput, r.Serving.P50Micros, r.Serving.P99Micros, 100*r.Serving.HitRate)
+	}
+	return b.String()
+}
+
+// WriteJSON emits the report with stable indentation.
+func (r *BaselineReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// measureReps is the number of independent harness runs per entry; the
+// fastest run is recorded. Minimum-of-N is the standard defense against
+// scheduler and GC-pacing noise on shared machines: the minimum is the run
+// least disturbed by the environment.
+const measureReps = 5
+
+// measure runs fn under the testing benchmark harness measureReps times and
+// records the fastest run.
+func (r *BaselineReport) measure(name string, fn func()) BaselineEntry {
+	var best testing.BenchmarkResult
+	for rep := 0; rep < measureReps; rep++ {
+		runtime.GC()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		if rep == 0 || res.NsPerOp() < best.NsPerOp() {
+			best = res
+		}
+	}
+	e := BaselineEntry{
+		Name:        name,
+		NsPerOp:     float64(best.NsPerOp()),
+		MsPerOp:     float64(best.NsPerOp()) / 1e6,
+		AllocsPerOp: best.AllocsPerOp(),
+		BytesPerOp:  best.AllocedBytesPerOp(),
+		Iterations:  best.N,
+	}
+	r.Entries = append(r.Entries, e)
+	return e
+}
+
+// RunBaseline executes the full measurement suite and returns the report.
+// Progress lines go to progress (pass nil for silence).
+func RunBaseline(cfg BaselineConfig, progress io.Writer) (*BaselineReport, error) {
+	cfg = cfg.withDefaults()
+	logf := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+	rep := &BaselineReport{
+		GeneratedBy: "cmd/divtopk-bench",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Config:      cfg,
+		Speedups:    map[string]float64{},
+	}
+
+	logf("generating graph: %d nodes, %d edges, %d labels, seed %d", cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Seed)
+	g := gen.Synthetic(gen.SynthConfig{N: cfg.Nodes, M: cfg.Edges, Labels: cfg.Labels, Seed: cfg.Seed})
+
+	logf("mining %d patterns (|Vp|=%d, |Ep|=%d)", cfg.Queries, cfg.PatternNodes, cfg.PatternEdges)
+	patterns, err := gen.Suite(g, gen.PatternConfig{
+		Nodes: cfg.PatternNodes, Edges: cfg.PatternEdges, Seed: cfg.Seed,
+	}, cfg.Queries)
+	if err != nil {
+		return nil, fmt.Errorf("bench: mining patterns: %w", err)
+	}
+	for _, p := range patterns {
+		rep.MatchesPerQuery = append(rep.MatchesPerQuery, len(muSize(g, p)))
+	}
+	logf("matches per query: %v", rep.MatchesPerQuery)
+
+	opts := core.Options{Parallelism: cfg.Parallelism}
+	refOpts := opts
+	refOpts.Kernel = core.KernelReference
+
+	// Shared prebuilt state for the component-level measurements (the
+	// end-to-end findall/topkdiv entries rebuild everything per op).
+	type prebuilt struct {
+		p     *pattern.Pattern
+		ci    *simulation.CandidateIndex
+		prod  *simulation.Product
+		an    *pattern.Analysis
+		space *simulation.RelSpace
+		inSim []bool
+	}
+	pre := make([]prebuilt, len(patterns))
+	for i, p := range patterns {
+		ci := simulation.BuildCandidatesParallel(g, p, cfg.Parallelism)
+		prod := simulation.BuildProduct(g, p, ci, cfg.Parallelism)
+		an := pattern.Analyze(p)
+		pre[i] = prebuilt{
+			p: p, ci: ci, prod: prod, an: an,
+			space: simulation.BuildRelSpace(g, p, ci, an),
+			inSim: simulation.ComputeWithProduct(prod).InSim,
+		}
+	}
+
+	logf("measuring candidates")
+	rep.measure("candidates", func() {
+		for _, p := range patterns {
+			simulation.BuildCandidatesParallel(g, p, cfg.Parallelism)
+		}
+	})
+
+	logf("measuring simulation (reference vs csr)")
+	simRef := rep.measure("simulation/reference", func() {
+		for i := range pre {
+			simulation.ComputeReference(g, pre[i].p, pre[i].ci)
+		}
+	})
+	// The CSR side pays the product build inside the op: the comparison is
+	// "derive edges on the fly every time" vs "materialize once, then scan".
+	simCSR := rep.measure("simulation/csr", func() {
+		for i := range pre {
+			simulation.ComputeWithProduct(simulation.BuildProduct(g, pre[i].p, pre[i].ci, cfg.Parallelism))
+		}
+	})
+	rep.Speedups["simulation"] = simRef.NsPerOp / simCSR.NsPerOp
+
+	logf("measuring relevant sets (reference vs csr)")
+	relRef := rep.measure("relevant/reference", func() {
+		for i := range pre {
+			b := &pre[i]
+			simulation.ComputeRelevantReference(g, b.p, b.ci, b.an, b.space, b.inSim, b.p.Output(), false)
+		}
+	})
+	relCSR := rep.measure("relevant/csr", func() {
+		for i := range pre {
+			b := &pre[i]
+			simulation.ComputeRelevant(b.prod, b.an, b.space, b.inSim, b.p.Output(), false, cfg.Parallelism)
+		}
+	})
+	rep.Speedups["relevant"] = relRef.NsPerOp / relCSR.NsPerOp
+
+	logf("measuring find-all baseline (reference vs csr)")
+	faRef := rep.measure("findall/reference", func() {
+		for _, p := range patterns {
+			if _, err := core.MatchBaselineOpts(g, p, cfg.K, true, refOpts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	faCSR := rep.measure("findall/csr", func() {
+		for _, p := range patterns {
+			if _, err := core.MatchBaselineOpts(g, p, cfg.K, true, opts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.Speedups["findall"] = faRef.NsPerOp / faCSR.NsPerOp
+
+	logf("measuring early-termination engine (topk)")
+	cache := core.NewBoundsCache(g, true)
+	cache.Warm(nil)
+	topkOpts := opts
+	topkOpts.Cache = cache
+	rep.measure("topk/engine", func() {
+		for _, p := range patterns {
+			if _, err := core.TopK(g, p, cfg.K, topkOpts); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	logf("measuring TopKDiv (reference vs csr)")
+	divRef := rep.measure("topkdiv/reference", func() {
+		for _, p := range patterns {
+			if _, err := diversify.TopKDivOpts(g, p, cfg.K, cfg.Lambda, refOpts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	divCSR := rep.measure("topkdiv/csr", func() {
+		for _, p := range patterns {
+			if _, err := diversify.TopKDivOpts(g, p, cfg.K, cfg.Lambda, opts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.Speedups["topkdiv"] = divRef.NsPerOp / divCSR.NsPerOp
+
+	// Serving throughput is measured by cmd/divtopk-bench (the in-process
+	// daemon needs the public facade, which internal/bench cannot import
+	// without a test-package cycle); it fills rep.Serving when cfg.Serving
+	// is set.
+	return rep, nil
+}
+
+// Summarize converts a load-generator report into the report's serving
+// slice.
+func (r *ServingReport) Summarize() *ServingSummary {
+	return &ServingSummary{
+		Throughput: r.Throughput,
+		P50Micros:  r.P50.Microseconds(),
+		P99Micros:  r.P99.Microseconds(),
+		HitRate:    r.HitRate,
+		Requests:   r.Requests,
+		Errors:     r.Errors,
+	}
+}

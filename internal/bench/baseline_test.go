@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"divtopk/internal/core"
+	"divtopk/internal/diversify"
+	"divtopk/internal/gen"
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+	"divtopk/internal/simulation"
+)
+
+// tinyBaselineConfig keeps the smoke test and the CI benchmarks fast.
+func tinyBaselineConfig() BaselineConfig {
+	cfg := ShortBaselineConfig()
+	cfg.Nodes = 3_000
+	cfg.Edges = 21_000
+	cfg.Queries = 2
+	cfg.Serving = false
+	return cfg
+}
+
+// TestRunBaselineSmoke runs the full measurement suite at a tiny scale and
+// checks the report's shape: every component present, speedups computed,
+// JSON round-trippable.
+func TestRunBaselineSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark suite in -short mode")
+	}
+	rep, err := RunBaseline(tinyBaselineConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"candidates", "simulation/reference", "simulation/csr",
+		"relevant/reference", "relevant/csr", "findall/reference",
+		"findall/csr", "topk/engine", "topkdiv/reference", "topkdiv/csr",
+	}
+	if len(rep.Entries) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(rep.Entries), len(want))
+	}
+	for i, name := range want {
+		if rep.Entries[i].Name != name {
+			t.Fatalf("entry %d = %q, want %q", i, rep.Entries[i].Name, name)
+		}
+		if rep.Entries[i].NsPerOp <= 0 {
+			t.Fatalf("entry %q has non-positive ns/op", name)
+		}
+	}
+	for _, k := range []string{"simulation", "relevant", "findall", "topkdiv"} {
+		if rep.Speedups[k] <= 0 {
+			t.Fatalf("speedup %q missing", k)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BaselineReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Config.Nodes != rep.Config.Nodes || len(back.Entries) != len(rep.Entries) {
+		t.Fatal("round-tripped report diverges")
+	}
+}
+
+// workload is the shared fixed-seed fixture of the Baseline* benchmarks.
+func workload(b *testing.B) ([]*pattern.Pattern, *graph.Graph, BaselineConfig) {
+	b.Helper()
+	cfg := tinyBaselineConfig().withDefaults()
+	g := gen.Synthetic(gen.SynthConfig{N: cfg.Nodes, M: cfg.Edges, Labels: cfg.Labels, Seed: cfg.Seed})
+	ps, err := gen.Suite(g, gen.PatternConfig{Nodes: cfg.PatternNodes, Edges: cfg.PatternEdges, Seed: cfg.Seed}, cfg.Queries)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ps, g, cfg
+}
+
+// BenchmarkBaselineFindAllReference / ...CSR are the A/B pair CI tracks with
+// -benchmem: the frozen pre-CSR kernel against the product-CSR kernel on the
+// same fixed-seed workload.
+func BenchmarkBaselineFindAllReference(b *testing.B) {
+	ps, g, cfg := workload(b)
+	opts := core.Options{Parallelism: 1, Kernel: core.KernelReference}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if _, err := core.MatchBaselineOpts(g, p, cfg.K, true, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBaselineFindAllCSR(b *testing.B) {
+	ps, g, cfg := workload(b)
+	opts := core.Options{Parallelism: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if _, err := core.MatchBaselineOpts(g, p, cfg.K, true, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBaselineTopKDivReference(b *testing.B) {
+	ps, g, cfg := workload(b)
+	opts := core.Options{Parallelism: 1, Kernel: core.KernelReference}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if _, err := diversify.TopKDivOpts(g, p, cfg.K, cfg.Lambda, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBaselineTopKDivCSR(b *testing.B) {
+	ps, g, cfg := workload(b)
+	opts := core.Options{Parallelism: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			if _, err := diversify.TopKDivOpts(g, p, cfg.K, cfg.Lambda, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBaselineSimulationCSR(b *testing.B) {
+	ps, g, cfg := workload(b)
+	cis := make([]*simulation.CandidateIndex, len(ps))
+	for i, p := range ps {
+		cis[i] = simulation.BuildCandidates(g, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, p := range ps {
+			simulation.ComputeWithProduct(simulation.BuildProduct(g, p, cis[j], cfg.Parallelism))
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package bitset
+
+import (
+	"testing"
+
+	"divtopk/internal/testutil/racedetect"
+)
+
+func TestArenaGetPutReuse(t *testing.T) {
+	a := NewArena(200)
+	s1 := a.Get()
+	if s1.Len() != 200 || !s1.Empty() {
+		t.Fatalf("fresh arena set: len %d empty %v", s1.Len(), s1.Empty())
+	}
+	s1.Add(3)
+	s1.Add(199)
+	s1.Clear() // the Put contract: sets return to the arena empty
+	a.Put(s1)
+	if a.FreeLen() != 1 {
+		t.Fatalf("free len = %d, want 1", a.FreeLen())
+	}
+	s2 := a.Get()
+	if s2 != s1 {
+		t.Fatalf("Get did not reuse the pooled set")
+	}
+	if !s2.Empty() {
+		t.Fatalf("reused set not empty: %s", s2)
+	}
+}
+
+func TestArenaDistinctSetsDoNotAlias(t *testing.T) {
+	a := NewArena(100)
+	s1, s2 := a.Get(), a.Get()
+	s1.Add(10)
+	if s2.Contains(10) {
+		t.Fatal("arena sets share words")
+	}
+	s2.Add(20)
+	if s1.Contains(20) {
+		t.Fatal("arena sets share words")
+	}
+	if !s1.UnionWith(s2) || s1.Count() != 2 {
+		t.Fatalf("union over arena sets: %s", s1)
+	}
+}
+
+func TestArenaWideSets(t *testing.T) {
+	// Sets wider than the default chunk get their own chunk.
+	bits := arenaChunkWords*wordBits + 7
+	a := NewArena(bits)
+	s := a.Get()
+	s.Add(bits - 1)
+	if !s.Contains(bits - 1) {
+		t.Fatal("wide arena set lost its bit")
+	}
+}
+
+func TestArenaPutForeignCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on foreign capacity Put")
+		}
+	}()
+	NewArena(64).Put(New(65))
+}
+
+// TestArenaSteadyStateZeroAlloc locks in the reason the arena exists: a
+// Get / union / Put cycle over a warmed arena allocates nothing.
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	if racedetect.Enabled {
+		t.Skip("race runtime instruments allocations")
+	}
+	a := NewArena(4096)
+	src := a.Get()
+	for i := 0; i < 4096; i += 3 {
+		src.Add(i)
+	}
+	// Warm the pool with the peak working set of the loop below.
+	warm := []*Set{a.Get(), a.Get()}
+	for _, s := range warm {
+		a.Put(s)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s1 := a.Get()
+		s1.UnionWith(src)
+		s2 := a.Get()
+		s2.UnionWith(s1)
+		s1.Clear()
+		a.Put(s1)
+		if s2.Count() != src.Count() {
+			t.Fatal("union mismatch")
+		}
+		s2.Clear()
+		a.Put(s2)
+	})
+	if allocs != 0 {
+		t.Fatalf("arena steady state allocates %.1f per run, want 0", allocs)
+	}
+}

@@ -189,6 +189,50 @@ func (s *Set) ForEach(f func(i int) bool) {
 	}
 }
 
+// WordLen returns the number of 64-bit words backing the set.
+func (s *Set) WordLen() int { return len(s.words) }
+
+// UnionRange ORs t's words in the half-open word range [lo, hi) into s.
+// Both sets must have the same capacity and the range must be within it.
+// Together with CountRange and ClearRange this lets a caller that tracks
+// each set's populated span (e.g. the arena-backed relevant-set kernel)
+// pay O(span) instead of O(capacity) per operation; words outside every
+// tracked span are guaranteed zero by the arena contract.
+func (s *Set) UnionRange(t *Set, lo, hi int) {
+	s.compat(t)
+	for i := lo; i < hi; i++ {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// CountRange returns the number of elements whose words lie in [lo, hi).
+func (s *Set) CountRange(lo, hi int) int {
+	c := 0
+	for i := lo; i < hi; i++ {
+		c += bits.OnesCount64(s.words[i])
+	}
+	return c
+}
+
+// ClearRange zeroes the words in [lo, hi).
+func (s *Set) ClearRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.words[i] = 0
+	}
+}
+
+// ForEachWord calls f for every nonzero 64-bit word with its word index,
+// in ascending order. Callers projecting sparse sets (few set bits in a
+// wide universe) use it to build compact word lists for repeated pairwise
+// operations.
+func (s *Set) ForEachWord(f func(i int, w uint64)) {
+	for i, w := range s.words {
+		if w != 0 {
+			f(i, w)
+		}
+	}
+}
+
 // Slice returns the elements in ascending order.
 func (s *Set) Slice() []int {
 	out := make([]int, 0, s.Count())

@@ -125,20 +125,23 @@ func (c *BoundsCache) countsFor(l graph.LabelID) []int32 {
 //
 //   - With a BoundsCache (the amortized per-graph index): h = Σ over the
 //     output node's descendant labels of the per-label descendant counts.
-//   - BoundTight (per query): reachability over the candidate product graph,
-//     the semantics that reproduces the h values of Examples 7-8 exactly;
-//     tightest, but costs a product traversal per query.
+//   - BoundTight (per query): reachability over the candidate product graph
+//     (shared with the engine as the materialized CSR), the semantics that
+//     reproduces the h values of Examples 7-8 exactly; tightest, but costs
+//     a product traversal per query.
 //   - BoundLabelCount / BoundCheap (per query): the index aggregation
 //     without a cache.
-func computeUpperBounds(g *graph.Graph, p *pattern.Pattern, ci *simulation.CandidateIndex,
-	an *pattern.Analysis, space *simulation.RelSpace, mode BoundMode, cache *BoundsCache) []int32 {
+func computeUpperBounds(prod *simulation.Product, an *pattern.Analysis,
+	space *simulation.RelSpace, opts Options) []int32 {
 
+	g, p, ci := prod.G, prod.P, prod.CI
+	mode, cache := opts.Bounds, opts.Cache
 	uo := p.Output()
 	lo, hi := ci.PairRange(uo)
 	out := make([]int32, hi-lo)
 
 	if cache == nil && mode == BoundTight {
-		rel := simulation.ComputeRelevant(g, p, ci, an, space, nil, uo, false)
+		rel := simulation.ComputeRelevant(prod, an, space, nil, uo, false, opts.Workers())
 		copy(out, rel.Sizes)
 		return out
 	}

@@ -41,6 +41,7 @@ type engine struct {
 	p     *pattern.Pattern
 	an    *pattern.Analysis
 	ci    *simulation.CandidateIndex
+	prod  *simulation.Product // materialized product CSR; all propagation walks it
 	space *simulation.RelSpace
 	opts  Options
 	k     int
@@ -48,11 +49,10 @@ type engine struct {
 	nq    int
 
 	// Per query node.
-	needEdges []int32   // number of outgoing query edges
-	inSlots   [][]int32 // aligned with p.In(u): slot of edge (parent,u) in parent's Out list
-	relQ      []bool    // track relevant sets for this query node's pairs
-	matchCnt  []int32   // matched pairs per query node (global-match check)
-	aliveCnt  []int32   // non-dead pairs per query node (emptiness abort)
+	needEdges []int32 // number of outgoing query edges
+	relQ      []bool  // track relevant sets for this query node's pairs
+	matchCnt  []int32 // matched pairs per query node (global-match check)
+	aliveCnt  []int32 // non-dead pairs per query node (emptiness abort)
 
 	// Per pair.
 	status    []uint8
@@ -104,6 +104,13 @@ type engine struct {
 	stats        Stats
 	abortedEmpty bool
 	hookReported []bool // uo matches already surfaced to Options.Hook
+
+	// rarena allocates the partial relevant sets (rset) of interior
+	// (non-output) pairs from shared chunks: one heap allocation per chunk
+	// instead of per matched pair. Output-node sets are allocated
+	// individually instead (space.NewSet) because they escape through
+	// Result.Match.R and must not pin chunks past the engine's lifetime.
+	rarena *bitset.Arena
 }
 
 // newEngine builds and initializes the engine, running the init-time
@@ -136,10 +143,12 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, k int, opts Options) (*engine
 		}
 	}
 
+	e.prod = simulation.BuildProduct(g, p, e.ci, opts.Workers())
+	e.rarena = bitset.NewArena(e.space.Size())
 	e.initPatternStructure()
 	e.initUnits()
 	e.initPairState()
-	e.upper = computeUpperBounds(g, p, e.ci, e.an, e.space, opts.Bounds, opts.Cache)
+	e.upper = computeUpperBounds(e.prod, e.an, e.space, opts)
 	if opts.UpperOverride != nil {
 		for i := e.uoLo; i < e.uoHi; i++ {
 			if h, ok := opts.UpperOverride[e.ci.V[i]]; ok {
@@ -157,29 +166,17 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, k int, opts Options) (*engine
 }
 
 func (e *engine) initPatternStructure() {
+	// No slot tables here anymore: the reverse product CSR carries each
+	// edge's absolute counter slot (prod.RevSlot), which is what the old
+	// per-query-node slotOf maps and inSlots lists existed to compute.
 	e.needEdges = make([]int32, e.nq)
-	e.inSlots = make([][]int32, e.nq)
 	e.relQ = make([]bool, e.nq)
 	e.matchCnt = make([]int32, e.nq)
 	e.aliveCnt = make([]int32, e.nq)
-
-	slotOf := make([]map[int]int32, e.nq)
 	for u := 0; u < e.nq; u++ {
 		e.needEdges[u] = int32(len(e.p.Out(u)))
-		m := make(map[int]int32, len(e.p.Out(u)))
-		for j, uc := range e.p.Out(u) {
-			m[uc] = int32(j)
-		}
-		slotOf[u] = m
 		e.relQ[u] = u == e.uo || e.an.OutputDesc[u]
 		e.aliveCnt[u] = int32(len(e.ci.Lists[u]))
-	}
-	for u := 0; u < e.nq; u++ {
-		parents := e.p.In(u)
-		e.inSlots[u] = make([]int32, len(parents))
-		for i, up := range parents {
-			e.inSlots[u][i] = slotOf[up][u]
-		}
 	}
 }
 
@@ -214,34 +211,29 @@ func (e *engine) initPairState() {
 	e.satEdges = make([]int32, total)
 	e.rset = make([]*bitset.Set, total)
 	e.unfinTotal = make([]int32, total)
-	e.base = make([]int32, total+1)
-	for q := 0; q < total; q++ {
-		e.base[q+1] = e.base[q] + e.needEdges[e.ci.U[q]]
-	}
+	// The counter layout is exactly the product's slot layout: one slot per
+	// (pair, outgoing query edge), so the arrays share prod.Base and the
+	// reverse CSR's absolute slots index them directly.
+	e.base = e.prod.Base
 	e.satCnt = make([]int32, e.base[total])
 	e.unfinCnt = make([]int32, e.base[total])
 	e.rInQueue = make([]bool, total)
 	e.rFull = make([]bool, total)
 	e.rDelta = make([][]int32, total)
 
-	// unfinCnt init: candidate successors per (pair, edge); empty
-	// disjunctions die. Cross-unit counts feed unitOutstanding. Counters
-	// must be fully accumulated before any death runs — a death decrements
-	// unitOutstanding and could otherwise observe a half-built counter and
-	// finalize a unit prematurely — hence the two passes.
+	// unfinCnt init: candidate successors per (pair, edge) — the product
+	// slot lengths; empty disjunctions die. Cross-unit counts feed
+	// unitOutstanding. Counters must be fully accumulated before any death
+	// runs — a death decrements unitOutstanding and could otherwise observe
+	// a half-built counter and finalize a unit prematurely — hence the two
+	// passes.
 	var initDead []int32
 	for q := int32(0); q < int32(total); q++ {
 		u := int(e.ci.U[q])
-		v := e.ci.V[q]
 		unit := e.unitOf[u]
 		emptyEdge := false
 		for j, uc := range e.p.Out(u) {
-			c := int32(0)
-			for _, w := range e.g.Out(v) {
-				if e.ci.Pair(uc, w) >= 0 {
-					c++
-				}
-			}
+			c := e.prod.SlotLen(e.base[q] + int32(j))
 			e.unfinCnt[e.base[q]+int32(j)] = c
 			if c == 0 {
 				emptyEdge = true

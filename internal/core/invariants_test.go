@@ -85,12 +85,12 @@ func checkInvariants(t *testing.T, e *engine) {
 				// Finalized: must equal R over the FULL simulation relation
 				// (no further growth possible).
 				full := simulation.RelevantSetNaive(e.g, e.p, e.ci, sim.InSim, u, v)
-				if got != len(full) {
-					t.Fatalf("I4: finalized R(%d,%d) = %d, want %d", u, v, got, len(full))
+				if got != full.Count() {
+					t.Fatalf("I4: finalized R(%d,%d) = %d, want %d", u, v, got, full.Count())
 				}
-			} else if got > len(exact) {
+			} else if got > exact.Count() {
 				t.Fatalf("I4: partial R(%d,%d) = %d exceeds current-matched closure %d",
-					u, v, got, len(exact))
+					u, v, got, exact.Count())
 			}
 		}
 	}

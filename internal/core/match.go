@@ -21,9 +21,11 @@ func MatchBaseline(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool) (*R
 }
 
 // MatchBaselineOpts is MatchBaseline with engine options; only
-// Options.Parallelism is consulted (the baseline has no feeding strategy or
-// bounds to tune). Candidate computation fans out over data-node shards;
-// the result is identical for every worker count.
+// Options.Parallelism and Options.Kernel are consulted (the baseline has no
+// feeding strategy or bounds to tune). Candidate computation fans out over
+// data-node shards, and with the default CSR kernel the product adjacency is
+// built once and shared between refinement and the relevant-set kernel; the
+// result is identical for every worker count and for both kernels.
 func MatchBaselineOpts(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool, opts Options) (*Result, error) {
 	if err := validateInputs(g, k); err != nil {
 		return nil, err
@@ -33,8 +35,18 @@ func MatchBaselineOpts(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool,
 	}
 
 	ci := simulation.BuildCandidatesParallel(g, p, opts.Workers())
-	sim := simulation.ComputeWithCandidates(g, p, ci)
 	an := pattern.Analyze(p)
+
+	var (
+		sim  *simulation.Result
+		prod *simulation.Product
+	)
+	if opts.Kernel == KernelReference {
+		sim = simulation.ComputeReference(g, p, ci)
+	} else {
+		prod = simulation.BuildProduct(g, p, ci, opts.Workers())
+		sim = simulation.ComputeWithProduct(prod)
+	}
 	space := simulation.BuildRelSpace(g, p, sim.CI, an)
 	res := &Result{
 		Space:       space,
@@ -49,7 +61,12 @@ func MatchBaselineOpts(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool,
 		return res, nil
 	}
 
-	rel := simulation.ComputeRelevant(g, p, sim.CI, an, space, sim.InSim, p.Output(), keepSets)
+	var rel *simulation.RelevantResult
+	if opts.Kernel == KernelReference {
+		rel = simulation.ComputeRelevantReference(g, p, ci, an, space, sim.InSim, p.Output(), keepSets)
+	} else {
+		rel = simulation.ComputeRelevant(prod, an, space, sim.InSim, p.Output(), keepSets, opts.Workers())
+	}
 	lo, hi := sim.CI.PairRange(p.Output())
 	for q := lo; q < hi; q++ {
 		if !sim.InSim[q] {

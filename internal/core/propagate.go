@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+
+	"divtopk/internal/bitset"
 )
 
 // becomeMatched transitions a pair to matched and queues the match event.
@@ -66,33 +68,31 @@ func (e *engine) finalizePair(q int32) {
 // processMatch propagates a fresh match to candidate predecessors: their
 // per-edge satisfied counters grow; trivial-unit parents whose every edge is
 // satisfied become matches themselves, nontrivial parents' units are
-// re-refined.
+// re-refined. Predecessors come straight off the reverse product CSR, whose
+// RevSlot entries index the counter arrays directly.
 func (e *engine) processMatch(q int32) {
-	u := int(e.ci.U[q])
-	v := e.ci.V[q]
-	unit := e.unitOf[u]
-	for i, up := range e.p.In(u) {
-		slotOff := e.inSlots[u][i]
+	unit := e.unitOf[e.ci.U[q]]
+	prod := e.prod
+	for ei := prod.RevOff[q]; ei < prod.RevOff[q+1]; ei++ {
+		qp := prod.Rev[ei]
+		if e.status[qp] == statusDead {
+			continue
+		}
+		slot := prod.RevSlot[ei]
+		e.satCnt[slot]++
+		if e.satCnt[slot] != 1 {
+			continue
+		}
+		e.satEdges[qp]++
+		up := int(e.ci.U[qp])
 		upUnit := e.unitOf[up]
-		for _, w := range e.g.In(v) {
-			qp := e.ci.Pair(up, w)
-			if qp < 0 || e.status[qp] == statusDead {
-				continue
+		if !e.unitNontrivial[upUnit] {
+			if e.satEdges[qp] == e.needEdges[up] {
+				e.becomeMatched(qp)
 			}
-			slot := e.base[qp] + slotOff
-			e.satCnt[slot]++
-			if e.satCnt[slot] != 1 {
-				continue
-			}
-			e.satEdges[qp]++
-			if !e.unitNontrivial[upUnit] {
-				if e.satEdges[qp] == e.needEdges[up] {
-					e.becomeMatched(qp)
-				}
-			} else if upUnit != unit {
-				// New outside support for a nontrivial unit.
-				e.markDirty(upUnit)
-			}
+		} else if upUnit != unit {
+			// New outside support for a nontrivial unit.
+			e.markDirty(upUnit)
 		}
 	}
 }
@@ -103,52 +103,45 @@ func (e *engine) processMatch(q int32) {
 // parent; a trivial parent with no unfinalized successors at all resolves
 // completely (finalize if matched, die otherwise).
 func (e *engine) processFinalized(q int32) {
-	u := int(e.ci.U[q])
-	v := e.ci.V[q]
-	unit := e.unitOf[u]
-	for i, up := range e.p.In(u) {
-		slotOff := e.inSlots[u][i]
+	unit := e.unitOf[e.ci.U[q]]
+	prod := e.prod
+	for ei := prod.RevOff[q]; ei < prod.RevOff[q+1]; ei++ {
+		qp := prod.Rev[ei]
+		slot := prod.RevSlot[ei]
+		up := int(e.ci.U[qp])
 		upUnit := e.unitOf[up]
-		cross := upUnit != unit
-		for _, w := range e.g.In(v) {
-			qp := e.ci.Pair(up, w)
-			if qp < 0 {
-				continue
-			}
-			slot := e.base[qp] + slotOff
-			e.unfinCnt[slot]--
-			nontrivial := e.unitNontrivial[upUnit]
-			if nontrivial && cross {
-				// Outstanding counts cross-unit successor finalizations of
-				// all unit pairs, dead or alive (see DESIGN.md §3).
-				e.outstandingDec(upUnit)
-			}
-			if e.status[qp] == statusDead {
-				continue
-			}
-			e.unfinTotal[qp]--
-			if e.unfinCnt[slot] == 0 && e.satCnt[slot] == 0 {
-				e.die(qp)
-				continue
-			}
-			if e.unfinTotal[qp] != 0 {
-				continue
-			}
-			// All successors finalized: the pair resolves. For pairs of
-			// cyclic units this is sound because drainEvents runs pending
-			// unit refinements before finalization events, so any
-			// gfp-supported pair is already matched by now; unfed leaves
-			// stay pending (feeding may still match them) and pairs on
-			// product cycles keep a positive unfinTotal until the unit
-			// finalizes them together.
-			if nontrivial && e.unitLeaf[upUnit] && !e.fed[qp] {
-				continue
-			}
-			if e.status[qp] == statusMatched {
-				e.finalizePair(qp)
-			} else {
-				e.die(qp)
-			}
+		e.unfinCnt[slot]--
+		nontrivial := e.unitNontrivial[upUnit]
+		if nontrivial && upUnit != unit {
+			// Outstanding counts cross-unit successor finalizations of
+			// all unit pairs, dead or alive (see DESIGN.md §3).
+			e.outstandingDec(upUnit)
+		}
+		if e.status[qp] == statusDead {
+			continue
+		}
+		e.unfinTotal[qp]--
+		if e.unfinCnt[slot] == 0 && e.satCnt[slot] == 0 {
+			e.die(qp)
+			continue
+		}
+		if e.unfinTotal[qp] != 0 {
+			continue
+		}
+		// All successors finalized: the pair resolves. For pairs of
+		// cyclic units this is sound because drainEvents runs pending
+		// unit refinements before finalization events, so any
+		// gfp-supported pair is already matched by now; unfed leaves
+		// stay pending (feeding may still match them) and pairs on
+		// product cycles keep a positive unfinTotal until the unit
+		// finalizes them together.
+		if nontrivial && e.unitLeaf[upUnit] && !e.fed[qp] {
+			continue
+		}
+		if e.status[qp] == statusMatched {
+			e.finalizePair(qp)
+		} else {
+			e.die(qp)
 		}
 	}
 }
@@ -207,7 +200,9 @@ func (e *engine) refineUnit(unit int32) {
 	final := e.unitPendingFin[unit]
 
 	nodes := e.unitNodes[unit]
-	inUnit := make(map[int32]bool, len(nodes))
+	// Dense per-query-node tables (patterns are tiny; maps here were pure
+	// overhead in the refinement loop).
+	inUnit := make([]bool, e.nq)
 	for _, u := range nodes {
 		inUnit[u] = true
 	}
@@ -215,7 +210,7 @@ func (e *engine) refineUnit(unit int32) {
 	// Local indexing of the unit's pairs: pair IDs of one query node are
 	// contiguous, so a per-node offset table maps them to dense local IDs
 	// (dead pairs keep a slot; they are simply never included).
-	localBase := make(map[int32]int32, len(nodes))
+	localBase := make([]int32, e.nq)
 	totalLocal := int32(0)
 	var pairsOf = func(u int32) (int32, int32) { return e.ci.PairRange(int(u)) }
 	for _, u := range nodes {
@@ -244,7 +239,7 @@ func (e *engine) refineUnit(unit int32) {
 		}
 		ok := true
 		for j, uc := range e.p.Out(u) {
-			if inUnit[int32(uc)] {
+			if inUnit[uc] {
 				continue
 			}
 			if e.satCnt[e.base[q]+int32(j)] == 0 {
@@ -278,17 +273,12 @@ func (e *engine) refineUnit(unit int32) {
 			continue
 		}
 		u := int(e.ci.U[q])
-		v := e.ci.V[q]
 		for j, uc := range e.p.Out(u) {
-			if !inUnit[int32(uc)] {
+			if !inUnit[uc] {
 				continue
 			}
 			key := int32(li)*int32(maxOut) + int32(j)
-			for _, w := range e.g.Out(v) {
-				qc := e.ci.Pair(uc, w)
-				if qc < 0 {
-					continue
-				}
+			for _, qc := range e.prod.SlotSuccs(q, j) {
 				lc := localOf(qc)
 				if !include[lc] {
 					continue
@@ -308,7 +298,7 @@ func (e *engine) refineUnit(unit int32) {
 		}
 		u := int(e.ci.U[q])
 		for j, uc := range e.p.Out(u) {
-			if inUnit[int32(uc)] && inCnt[int32(li)*int32(maxOut)+int32(j)] == 0 {
+			if inUnit[uc] && inCnt[int32(li)*int32(maxOut)+int32(j)] == 0 {
 				include[li] = false
 				removeQ = append(removeQ, int32(li))
 				break
@@ -391,21 +381,27 @@ func (e *engine) propagateRelevance() {
 	})
 
 	for _, q := range e.newRelM {
-		s := e.space.NewSet()
-		u := int(e.ci.U[q])
-		v := e.ci.V[q]
-		for _, uc := range e.p.Out(u) {
-			for _, w := range e.g.Out(v) {
-				qc := e.ci.Pair(uc, w)
-				if qc < 0 || e.status[qc] != statusMatched {
-					continue
-				}
-				if rs := e.rset[qc]; rs != nil {
-					s.UnionWith(rs)
-				}
-				if idx := e.space.Index(w); idx >= 0 {
-					s.Add(int(idx))
-				}
+		// Output-node sets escape through Result.Match.R and may be retained
+		// indefinitely (the serving layer caches Results); give them their
+		// own allocations so a kept set does not pin a whole arena chunk —
+		// and with it every interior set carved from the same chunk — past
+		// the engine's lifetime. Interior sets die with the engine and stay
+		// arena-backed.
+		var s *bitset.Set
+		if int(e.ci.U[q]) == e.uo {
+			s = e.space.NewSet()
+		} else {
+			s = e.rarena.Get()
+		}
+		for _, qc := range e.prod.Succs(q) {
+			if e.status[qc] != statusMatched {
+				continue
+			}
+			if rs := e.rset[qc]; rs != nil {
+				s.UnionWith(rs)
+			}
+			if idx := e.space.Index(e.ci.V[qc]); idx >= 0 {
+				s.Add(int(idx))
 			}
 		}
 		e.rset[q] = s
@@ -414,6 +410,7 @@ func (e *engine) propagateRelevance() {
 	}
 	e.newRelM = e.newRelM[:0]
 
+	prod := e.prod
 	for len(e.rQueue) > 0 {
 		q := e.rQueue[len(e.rQueue)-1]
 		e.rQueue = e.rQueue[:len(e.rQueue)-1]
@@ -423,44 +420,37 @@ func (e *engine) propagateRelevance() {
 		e.rFull[q] = false
 		e.rDelta[q] = nil
 
-		u := int(e.ci.U[q])
-		v := e.ci.V[q]
 		src := e.rset[q]
-		selfIdx := e.space.Index(v)
-		for _, up := range e.p.In(u) {
-			if !e.relQ[up] {
+		selfIdx := e.space.Index(e.ci.V[q])
+		for ei := prod.RevOff[q]; ei < prod.RevOff[q+1]; ei++ {
+			qp := prod.Rev[ei]
+			if !e.relQ[e.ci.U[qp]] || e.status[qp] != statusMatched {
 				continue
 			}
-			for _, w := range e.g.In(v) {
-				qp := e.ci.Pair(up, w)
-				if qp < 0 || e.status[qp] != statusMatched {
-					continue
+			dst := e.rset[qp]
+			if dst == nil {
+				continue // initialized later this phase; init gathers src
+			}
+			if full {
+				changed := dst.UnionWith(src)
+				if selfIdx >= 0 && dst.Add(int(selfIdx)) {
+					changed = true
 				}
-				dst := e.rset[qp]
-				if dst == nil {
-					continue // initialized later this phase; init gathers src
+				if changed {
+					e.rEnqueueFull(qp)
 				}
-				if full {
-					changed := dst.UnionWith(src)
-					if selfIdx >= 0 && dst.Add(int(selfIdx)) {
-						changed = true
+			} else {
+				var added []int32
+				for _, b := range delta {
+					if dst.Add(int(b)) {
+						added = append(added, b)
 					}
-					if changed {
-						e.rEnqueueFull(qp)
-					}
-				} else {
-					var added []int32
-					for _, b := range delta {
-						if dst.Add(int(b)) {
-							added = append(added, b)
-						}
-					}
-					if selfIdx >= 0 && dst.Add(int(selfIdx)) {
-						added = append(added, selfIdx)
-					}
-					if len(added) > 0 {
-						e.rEnqueueDelta(qp, added)
-					}
+				}
+				if selfIdx >= 0 && dst.Add(int(selfIdx)) {
+					added = append(added, selfIdx)
+				}
+				if len(added) > 0 {
+					e.rEnqueueDelta(qp, added)
 				}
 			}
 		}

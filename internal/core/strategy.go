@@ -32,19 +32,14 @@ func newFeeder(e *engine, leafPairs []int32, opts Options) *feeder {
 		rng := rand.New(rand.NewSource(opts.Seed))
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 	default: // StrategyCovering
+		// A leaf pair's covering score is its number of reverse product
+		// edges from rank-1 parents — read straight off the reverse CSR.
 		score := make(map[int32]int, len(order))
 		for _, q := range order {
-			u := int(e.ci.U[q])
-			v := e.ci.V[q]
 			n := 0
-			for _, up := range e.p.In(u) {
-				if e.an.Rank[up] != 1 {
-					continue
-				}
-				for _, w := range e.g.In(v) {
-					if e.ci.Pair(up, w) >= 0 {
-						n++
-					}
+			for ei := e.prod.RevOff[q]; ei < e.prod.RevOff[q+1]; ei++ {
+				if e.an.Rank[e.ci.U[e.prod.Rev[ei]]] == 1 {
+					n++
 				}
 			}
 			score[q] = n

@@ -73,6 +73,32 @@ func (b BoundMode) String() string {
 	}
 }
 
+// Kernel selects the evaluation kernel of the full-evaluation paths (the
+// find-all baseline and everything riding it, e.g. TopKDiv).
+type Kernel int
+
+const (
+	// KernelCSR is the default: refinement and relevant-set computation run
+	// over the materialized product CSR (simulation.Product) with the
+	// bitset-arena condensation kernel.
+	KernelCSR Kernel = iota
+	// KernelReference selects the frozen pre-CSR kernel (on-the-fly product
+	// edges through ci.Pair lookups, fresh bitsets per component). Results
+	// are byte-identical to KernelCSR — the determinism tests enforce it —
+	// so the knob exists only for A/B benchmarking (internal/bench) and as
+	// the oracle side of those tests. It is deliberately excluded from
+	// cache keys, like Parallelism.
+	KernelReference
+)
+
+// String names the kernel.
+func (k Kernel) String() string {
+	if k == KernelReference {
+		return "reference"
+	}
+	return "csr"
+}
+
 // Options tune the engine. The zero value is the paper's default
 // configuration (covering strategy, tight bounds, 16 feeding batches).
 type Options struct {
@@ -101,11 +127,15 @@ type Options struct {
 	// heuristic TopKDH to maintain its swap set incrementally.
 	Hook Hook
 	// Parallelism bounds the worker goroutines used by the parallel
-	// sections of a single query (candidate computation; the diversified
-	// greedy scans). 0 means runtime.NumCPU(); 1 reproduces the sequential
+	// sections of a single query (candidate computation; product CSR
+	// construction; relevant-set level sharding; the diversified greedy
+	// scans). 0 means runtime.NumCPU(); 1 reproduces the sequential
 	// execution exactly. Results are identical for every setting — the
 	// parallel paths are deterministic by construction.
 	Parallelism int
+	// Kernel selects the evaluation kernel of the full-evaluation paths
+	// (default: the materialized product CSR). See Kernel.
+	Kernel Kernel
 }
 
 // Workers returns the normalized worker count for the options (see

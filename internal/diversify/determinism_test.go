@@ -35,20 +35,35 @@ func tiePool(relevances []int) ([]core.Match, []float64, ranking.DiversifyParams
 	return pool, normRel, params
 }
 
+// poolSparse projects a pool's relevant sets the way TopKDivOpts does
+// before handing them to bestPair.
+func poolSparse(pool []core.Match) ([]sparseSet, []int) {
+	sparse := make([]sparseSet, len(pool))
+	counts := make([]int, len(pool))
+	for i, m := range pool {
+		sparse[i] = newSparseSet(m.R)
+		if m.R != nil {
+			counts[i] = m.R.Count()
+		}
+	}
+	return sparse, counts
+}
+
 // TestBestPairRowMajorTieBreak asserts that on a pool where every pair has
 // exactly the same F', bestPair returns the row-major-first pair for every
 // worker count — the documented contract that makes the parallel scan
 // bit-for-bit identical to the sequential one.
 func TestBestPairRowMajorTieBreak(t *testing.T) {
 	pool, normRel, params := tiePool([]int{2, 2, 2, 2, 2, 2, 2, 2})
+	sparse, counts := poolSparse(pool)
 	for workers := 1; workers <= 8; workers++ {
 		taken := make([]bool, len(pool))
-		if i, j := bestPair(params, pool, normRel, taken, workers); i != 0 || j != 1 {
+		if i, j := bestPair(params, normRel, sparse, counts, taken, workers); i != 0 || j != 1 {
 			t.Fatalf("workers=%d: first pair = (%d,%d), want row-major (0,1)", workers, i, j)
 		}
 		// With (0,1) taken, the next row-major tied pair is (2,3).
 		taken[0], taken[1] = true, true
-		if i, j := bestPair(params, pool, normRel, taken, workers); i != 2 || j != 3 {
+		if i, j := bestPair(params, normRel, sparse, counts, taken, workers); i != 2 || j != 3 {
 			t.Fatalf("workers=%d: second pair = (%d,%d), want (2,3)", workers, i, j)
 		}
 	}
@@ -61,11 +76,12 @@ func TestBestPairRowMajorTieBreak(t *testing.T) {
 // exact same pair sequence as the sequential scan.
 func TestBestPairDeterministicAcrossParallelism(t *testing.T) {
 	pool, normRel, params := tiePool([]int{5, 5, 5, 5, 1, 1, 1, 1})
+	sparse, counts := poolSparse(pool)
 	sequence := func(workers int) [][2]int {
 		taken := make([]bool, len(pool))
 		var out [][2]int
 		for {
-			i, j := bestPair(params, pool, normRel, taken, workers)
+			i, j := bestPair(params, normRel, sparse, counts, taken, workers)
 			if i < 0 {
 				return out
 			}

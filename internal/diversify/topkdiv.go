@@ -8,6 +8,9 @@
 package diversify
 
 import (
+	"math/bits"
+	"sort"
+
 	"divtopk/internal/bitset"
 	"divtopk/internal/core"
 	"divtopk/internal/graph"
@@ -70,8 +73,14 @@ func TopKDivOpts(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, opts
 	}
 
 	normRel := make([]float64, len(pool))
+	sparse := make([]sparseSet, len(pool))
+	counts := make([]int, len(pool))
 	for i, m := range pool {
 		normRel[i] = params.NormRel(float64(m.Relevance))
+		sparse[i] = newSparseSet(m.R)
+		if m.R != nil {
+			counts[i] = m.R.Count()
+		}
 	}
 	taken := make([]bool, len(pool))
 	var picked []int
@@ -79,7 +88,7 @@ func TopKDivOpts(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, opts
 	// ⌊k/2⌋ greedy pair selections by F'.
 	workers := opts.Workers()
 	for len(picked)+1 < k {
-		bi, bj := bestPair(params, pool, normRel, taken, workers)
+		bi, bj := bestPair(params, normRel, sparse, counts, taken, workers)
 		if bi < 0 {
 			break
 		}
@@ -116,22 +125,102 @@ func TopKDivOpts(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, opts
 	return res, nil
 }
 
-// pairArg is one worker's argmax over its stripe of rows of the pair scan.
+// pairArg is one worker's argmax over its stripe of the pair scan.
 type pairArg struct {
 	i, j int
 	f    float64
 }
 
+// better reports whether candidate (i, j, f) beats the current best under
+// the scan's total order: larger F' first, then lexicographically smaller
+// (i, j). This is exactly the pair a sequential row-major scan with strict
+// improvement returns (the first pair, in row-major order, among those
+// attaining the maximum), expressed as an order so any iteration order —
+// worker stripes, the descending-relevance pruning order below — yields the
+// same winner.
+func (b pairArg) better(i, j int, f float64) bool {
+	return f > b.f || (f == b.f && (i < b.i || (i == b.i && j < b.j)))
+}
+
+// sparseSet is a bitset projected to its nonzero words: relevant sets are
+// sparse in the relevance universe (|R| bits out of |space|), so pairwise
+// intersection counts merge two short word lists instead of scanning the
+// full width. The greedy pair scan evaluates O(|M|²) distances; this
+// projection is where TopKDiv's constant factor lives.
+type sparseSet struct {
+	idx   []int32
+	words []uint64
+}
+
+func newSparseSet(s *bitset.Set) sparseSet {
+	if s == nil {
+		return sparseSet{}
+	}
+	var sp sparseSet
+	s.ForEachWord(func(i int, w uint64) {
+		sp.idx = append(sp.idx, int32(i))
+		sp.words = append(sp.words, w)
+	})
+	return sp
+}
+
+// intersectCount merges the two nonzero-word lists.
+func (a sparseSet) intersectCount(b sparseSet) int {
+	i, j, c := 0, 0, 0
+	for i < len(a.idx) && j < len(b.idx) {
+		ai, bj := a.idx[i], b.idx[j]
+		switch {
+		case ai < bj:
+			i++
+		case ai > bj:
+			j++
+		default:
+			c += bits.OnesCount64(a.words[i] & b.words[j])
+			i++
+			j++
+		}
+	}
+	return c
+}
+
+// sparseDistance is δd over sparse sets with precomputed cardinalities:
+// 1 − |∩| / (c1 + c2 − |∩|), the same integers (and therefore the same
+// float64) as ranking.Distance on the dense sets.
+func sparseDistance(a, b sparseSet, ca, cb int) float64 {
+	inter := a.intersectCount(b)
+	union := ca + cb - inter
+	if union == 0 {
+		return 0
+	}
+	return 1 - float64(inter)/float64(union)
+}
+
 // bestPair returns the untaken pair (i, j), i < j, maximizing F', resolving
-// ties to the first pair in row-major order — the pair the sequential scan
-// returns. Rows are dealt to workers round-robin (row i scans n-i-1 columns,
-// so striding balances the triangular workload); each worker keeps a local
-// argmax with the same strict-improvement rule as the sequential loop, and
-// the final reduce breaks F' ties lexicographically, which restores the
-// global row-major-first winner. Returns (-1, -1) when fewer than two
-// untaken matches remain.
-func bestPair(params ranking.DiversifyParams, pool []core.Match, normRel []float64, taken []bool, workers int) (int, int) {
-	n := len(pool)
+// ties to the first pair in row-major order — the pair a sequential
+// row-major scan returns. The scan iterates candidates in descending
+// normalized relevance and cuts each anchor's partner loop as soon as the
+// F' upper bound (distance = 1, the metric's maximum) drops below the
+// current best, which is sound because F' is monotone in both relevance and
+// distance; anchors are dealt to workers round-robin and the reduce applies
+// the same explicit total order, so every worker count selects the same
+// pair. Returns (-1, -1) when fewer than two untaken matches remain.
+func bestPair(params ranking.DiversifyParams, normRel []float64, sparse []sparseSet, counts []int, taken []bool, workers int) (int, int) {
+	order := make([]int, 0, len(normRel))
+	for i := range normRel {
+		if !taken[i] {
+			order = append(order, i)
+		}
+	}
+	n := len(order)
+	if n < 2 {
+		return -1, -1
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if normRel[order[x]] != normRel[order[y]] {
+			return normRel[order[x]] > normRel[order[y]]
+		}
+		return order[x] < order[y]
+	})
 	if workers > n {
 		workers = n
 	}
@@ -141,18 +230,24 @@ func bestPair(params ranking.DiversifyParams, pool []core.Match, normRel []float
 	args := make([]pairArg, workers)
 	parallel.ForEach(workers, workers, func(w int) {
 		best := pairArg{i: -1, j: -1, f: -1.0}
-		for i := w; i < n; i += workers {
-			if taken[i] {
-				continue
-			}
-			ri, rSet := normRel[i], pool[i].R
-			for j := i + 1; j < n; j++ {
-				if taken[j] {
-					continue
+		for a := w; a < n; a += workers {
+			pi := order[a]
+			ri := normRel[pi]
+			for b := a + 1; b < n; b++ {
+				pj := order[b]
+				rj := normRel[pj]
+				// Partners come in non-increasing relevance, so once even a
+				// distance-1 partner cannot beat the best, none can.
+				if params.FPrime(ri, rj, 1) < best.f {
+					break
 				}
-				f := params.FPrime(ri, normRel[j], ranking.Distance(rSet, pool[j].R))
-				if f > best.f {
-					best = pairArg{i: i, j: j, f: f}
+				f := params.FPrime(ri, rj, sparseDistance(sparse[pi], sparse[pj], counts[pi], counts[pj]))
+				lo, hi := pi, pj
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if best.better(lo, hi, f) {
+					best = pairArg{i: lo, j: hi, f: f}
 				}
 			}
 		}
@@ -160,11 +255,7 @@ func bestPair(params ranking.DiversifyParams, pool []core.Match, normRel []float
 	})
 	win := pairArg{i: -1, j: -1, f: -1.0}
 	for _, a := range args {
-		if a.i < 0 {
-			continue
-		}
-		if win.i < 0 || a.f > win.f ||
-			(a.f == win.f && (a.i < win.i || (a.i == win.i && a.j < win.j))) {
+		if a.i >= 0 && win.better(a.i, a.j, a.f) {
 			win = a
 		}
 	}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"divtopk/internal/testutil/racedetect"
+)
+
+// randomCSR builds a random adjacency in both AdjFunc and CSR forms.
+func randomCSR(rng *rand.Rand, n, m int) ([]int32, []int32) {
+	adj := make([][]int32, n)
+	for i := 0; i < m; i++ {
+		u := int32(rng.Intn(n))
+		w := int32(rng.Intn(n))
+		adj[u] = append(adj[u], w) // duplicates and self-loops allowed
+	}
+	off := make([]int32, n+1)
+	var flat []int32
+	for v := 0; v < n; v++ {
+		flat = append(flat, adj[v]...)
+		off[v+1] = int32(len(flat))
+	}
+	return off, flat
+}
+
+// TestCondenseCSRMatchesCondense pins the CSR Tarjan to the callback
+// implementation: identical component numbering, condensed DAG, ranks and
+// nontrivial flags for the same adjacency in the same order.
+func TestCondenseCSRMatchesCondense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		m := rng.Intn(4 * n)
+		off, flat := randomCSR(rng, n, m)
+		want := Condense(n, func(v int32, emit func(int32)) {
+			for e := off[v]; e < off[v+1]; e++ {
+				emit(flat[e])
+			}
+		})
+		got := CondenseCSR(n, off, flat)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("trial %d (n=%d m=%d): CondenseCSR diverges\nwant %+v\ngot  %+v",
+				trial, n, m, want, got)
+		}
+	}
+}
+
+// TestDistanceMatchesBFSDist checks the epoch-stamped point query against
+// the full BFS sweep.
+func TestDistanceMatchesBFSDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	labels := []string{"x"}
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(30)
+		b := NewBuilder()
+		for i := 0; i < n; i++ {
+			b.AddNode(labels[0], nil)
+		}
+		for i := 0; i < 3*n; i++ {
+			_ = b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		for src := NodeID(0); src < NodeID(n); src++ {
+			dist := BFSDist(g, src)
+			for dst := NodeID(0); dst < NodeID(n); dst++ {
+				if got := Distance(g, src, dst); got != dist[dst] {
+					t.Fatalf("Distance(%d,%d) = %d, want %d", src, dst, got, dist[dst])
+				}
+			}
+		}
+	}
+}
+
+// TestBFSDistIntoReusesBuffer verifies the caller-supplied buffer variant
+// reuses capacity and produces the same distances.
+func TestBFSDistIntoReusesBuffer(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddNode("x", nil)
+	}
+	_ = b.AddEdge(0, 1)
+	_ = b.AddEdge(1, 2)
+	_ = b.AddEdge(2, 3)
+	g := b.Build()
+
+	buf := make([]int32, 0, 16)
+	d1 := BFSDistInto(g, 0, buf)
+	if &d1[0] != &buf[:1][0] {
+		t.Fatal("BFSDistInto did not reuse the supplied buffer")
+	}
+	want := BFSDist(g, 0)
+	if !reflect.DeepEqual(d1, want) {
+		t.Fatalf("BFSDistInto = %v, want %v", d1, want)
+	}
+	// Second call over the same buffer must fully reset stale state.
+	d2 := BFSDistInto(g, 3, d1)
+	want2 := BFSDist(g, 3)
+	if !reflect.DeepEqual(d2, want2) {
+		t.Fatalf("BFSDistInto reuse = %v, want %v", d2, want2)
+	}
+}
+
+// TestDistanceSteadyStateZeroAlloc locks in the reason for the epoch-stamped
+// scratch: repeated point queries allocate nothing once the pool is warm.
+func TestDistanceSteadyStateZeroAlloc(t *testing.T) {
+	if racedetect.Enabled {
+		t.Skip("race runtime instruments allocations")
+	}
+	b := NewBuilder()
+	for i := 0; i < 64; i++ {
+		b.AddNode("x", nil)
+	}
+	for i := 0; i < 63; i++ {
+		_ = b.AddEdge(NodeID(i), NodeID(i+1))
+	}
+	g := b.Build()
+	Distance(g, 0, 63) // warm the pool
+	allocs := testing.AllocsPerRun(100, func() {
+		if Distance(g, 0, 63) != 63 {
+			t.Fatal("wrong distance")
+		}
+		if Distance(g, 63, 0) != -1 {
+			t.Fatal("expected unreachable")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Distance steady state allocates %.1f per run, want 0", allocs)
+	}
+}

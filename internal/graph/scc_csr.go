@@ -1,0 +1,192 @@
+package graph
+
+// CondenseCSR computes the SCC condensation of a graph given directly in CSR
+// form: node v's successors are adj[off[v]:off[v+1]]. It produces exactly the
+// Condensation that Condense produces for the same adjacency in the same
+// order (the equivalence is property-tested), but traverses slices instead of
+// invoking a callback and gathering successor lists, so the DFS performs no
+// per-node allocation. The relevant-set kernel condenses a freshly filtered
+// product CSR per query, which is why the constant factor here matters.
+func CondenseCSR(n int, off []int32, adj []int32) *Condensation {
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = -1
+	}
+
+	type frame struct {
+		v    int32
+		next int32 // index into adj of the next successor to visit
+	}
+	var (
+		counter int32
+		stack   []int32
+		frames  []frame
+		nComp   int32
+	)
+
+	for root := int32(0); root < int32(n); root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root, next: off[root]})
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.next < off[f.v+1] {
+				w := adj[f.next]
+				f.next++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, next: off[w]})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+
+	c := &Condensation{
+		Comp:       comp,
+		NumComps:   int(nComp),
+		Members:    make([][]int32, nComp),
+		Succ:       make([][]int32, nComp),
+		Pred:       make([][]int32, nComp),
+		Rank:       make([]int32, nComp),
+		Nontrivial: make([]bool, nComp),
+	}
+
+	// Members via counting sort into one backing array: a condensation of a
+	// per-query product graph has one component per pair in the common
+	// (acyclic) case, and per-component appends would dominate the
+	// allocation profile.
+	memberOff := make([]int32, nComp+1)
+	for _, cv := range comp {
+		memberOff[cv+1]++
+	}
+	for i := int32(0); i < nComp; i++ {
+		memberOff[i+1] += memberOff[i]
+	}
+	memberBuf := make([]int32, n)
+	next := make([]int32, nComp)
+	copy(next, memberOff[:nComp])
+	for v := int32(0); v < int32(n); v++ {
+		cv := comp[v]
+		memberBuf[next[cv]] = v
+		next[cv]++
+	}
+	for i := int32(0); i < nComp; i++ {
+		c.Members[i] = memberBuf[memberOff[i]:memberOff[i+1]]
+	}
+
+	// Condensed DAG with deduplication, same marking trick as Condense but
+	// in two passes over backing arrays (positive stamps count, negative
+	// stamps fill), so the per-component slices are subslices, not appends.
+	seen := make([]int32, nComp)
+	succCnt := make([]int32, nComp+1)
+	predCnt := make([]int32, nComp+1)
+	nEdges := int32(0)
+	for v := int32(0); v < int32(n); v++ {
+		cv := comp[v]
+		for e := off[v]; e < off[v+1]; e++ {
+			w := adj[e]
+			cw := comp[w]
+			if cw == cv {
+				if w == v {
+					c.Nontrivial[cv] = true
+				}
+				continue
+			}
+			if seen[cw] != cv+1 {
+				seen[cw] = cv + 1
+				succCnt[cv+1]++
+				predCnt[cw+1]++
+				nEdges++
+			}
+		}
+	}
+	for i := int32(0); i < nComp; i++ {
+		succCnt[i+1] += succCnt[i]
+		predCnt[i+1] += predCnt[i]
+	}
+	succBuf := make([]int32, nEdges)
+	predBuf := make([]int32, nEdges)
+	succNext := make([]int32, nComp)
+	predNext := make([]int32, nComp)
+	copy(succNext, succCnt[:nComp])
+	copy(predNext, predCnt[:nComp])
+	for v := int32(0); v < int32(n); v++ {
+		cv := comp[v]
+		for e := off[v]; e < off[v+1]; e++ {
+			cw := comp[adj[e]]
+			if cw == cv {
+				continue
+			}
+			if seen[cw] != -(cv + 1) {
+				seen[cw] = -(cv + 1)
+				succBuf[succNext[cv]] = cw
+				succNext[cv]++
+				predBuf[predNext[cw]] = cv
+				predNext[cw]++
+			}
+		}
+	}
+	for i := int32(0); i < nComp; i++ {
+		if succCnt[i] < succCnt[i+1] {
+			c.Succ[i] = succBuf[succCnt[i]:succCnt[i+1]]
+		}
+		if predCnt[i] < predCnt[i+1] {
+			c.Pred[i] = predBuf[predCnt[i]:predCnt[i+1]]
+		}
+	}
+
+	for i := range c.Members {
+		if len(c.Members[i]) > 1 {
+			c.Nontrivial[i] = true
+		}
+	}
+	for i := 0; i < int(nComp); i++ {
+		r := int32(0)
+		for _, s := range c.Succ[i] {
+			if c.Rank[s]+1 > r {
+				r = c.Rank[s] + 1
+			}
+		}
+		c.Rank[i] = r
+	}
+	return c
+}

@@ -19,10 +19,12 @@ func figure1Sets(t *testing.T) (map[string]*bitset.Set, DiversifyParams) {
 	t.Helper()
 	g, id := testutil.Figure1()
 	p := testutil.Figure1Pattern()
-	res := simulation.Compute(g, p)
+	ci := simulation.BuildCandidates(g, p)
+	prod := simulation.BuildProduct(g, p, ci, 1)
+	res := simulation.ComputeWithProduct(prod)
 	an := pattern.Analyze(p)
 	space := simulation.BuildRelSpace(g, p, res.CI, an)
-	rel := simulation.ComputeRelevant(g, p, res.CI, an, space, res.InSim, p.Output(), true)
+	rel := simulation.ComputeRelevant(prod, an, space, res.InSim, p.Output(), true, 1)
 	lo, _ := res.CI.PairRange(p.Output())
 	sets := map[string]*bitset.Set{}
 	for _, name := range []string{"PM1", "PM2", "PM3", "PM4"} {

@@ -1,0 +1,199 @@
+package simulation
+
+import (
+	"fmt"
+
+	"divtopk/internal/graph"
+	"divtopk/internal/parallel"
+	"divtopk/internal/pattern"
+)
+
+// Product is the materialized CSR form of the candidate product graph: one
+// node per candidate pair of a CandidateIndex, and an edge
+// (u,v) → (u',v') whenever (u,u') ∈ Ep and (v,v') ∈ E with both endpoints
+// candidates. Every per-query hot path — simulation refinement, relevant-set
+// propagation, the incremental engine's match/finalization cascades — walks
+// these edges repeatedly; before this structure existed each walk re-derived
+// them through g.Out/g.In scans filtered by ci.Pair lookups (touching every
+// non-candidate neighbour along the way). Building the adjacency once per
+// (graph, pattern, candidates) turns all of those into linear scans over
+// dense int32 slices, which is the access pattern the paper's complexity
+// analysis (§3–§4) charges for.
+//
+// Layout. Forward edges are grouped by (pair, outgoing query edge): pair q
+// of query node u owns one slot per edge of p.Out(u), in p.Out order; slot
+// indices are absolute (Base[q]+j), shared with the refinement/engine
+// counter arrays, and SlotOff[s]:SlotOff[s+1] delimits slot s's successors
+// in Fwd. Within a slot, successors appear in ascending data-node order
+// (g.Out is sorted), which makes every product traversal reproduce exactly
+// the order of the pre-CSR reference kernel — the determinism tests rely on
+// it. Reverse edges are grouped per pair: Rev[e] is a product predecessor of
+// pair RevOff⁻¹(e) and RevSlot[e] is the absolute slot of the connecting
+// query edge in the predecessor's counters, so cascade loops decrement
+// cnt[RevSlot[e]] directly without any slot lookup.
+type Product struct {
+	G  *graph.Graph
+	P  *pattern.Pattern
+	CI *CandidateIndex
+
+	// Base[q] is the first slot of pair q (one slot per outgoing query edge
+	// of q's query node, in p.Out order); Base[NumPairs()] is the slot count.
+	Base []int32
+	// SlotOff[s] is the first forward edge of slot s; len = slots+1.
+	SlotOff []int32
+	// Fwd holds successor pair IDs, grouped by slot.
+	Fwd []int32
+	// RevOff[q] is the first reverse edge of pair q; len = NumPairs()+1.
+	RevOff []int32
+	// Rev holds predecessor pair IDs; RevSlot the absolute slot (index into
+	// counter arrays laid out by Base) of the connecting query edge.
+	Rev     []int32
+	RevSlot []int32
+}
+
+// BuildProduct materializes the product CSR for p against g over the
+// candidate pairs of ci, using up to workers goroutines (<= 0 means all
+// cores). Construction is deterministic for every worker count: the two
+// forward passes write disjoint pre-assigned ranges, and the reverse fill is
+// a sequential linear pass, so the resulting arrays are bit-for-bit
+// identical regardless of parallelism.
+func BuildProduct(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex, workers int) *Product {
+	workers = parallel.Workers(workers)
+	nq := p.NumNodes()
+	total := ci.NumPairs()
+
+	pr := &Product{G: g, P: p, CI: ci}
+	outDeg := make([]int32, nq)
+	for u := 0; u < nq; u++ {
+		outDeg[u] = int32(len(p.Out(u)))
+	}
+	base := make([]int32, total+1)
+	for q := 0; q < total; q++ {
+		base[q+1] = base[q] + outDeg[ci.U[q]]
+	}
+	nSlots := int(base[total])
+	slotOff := make([]int32, nSlots+1)
+
+	var fwd []int32
+	if workers <= 1 {
+		// Sequential: a single append-based pass derives every product edge
+		// exactly once (the parallel path must scan twice to pre-assign
+		// ranges). The content is identical: slots in (pair, query edge)
+		// order, successors in ascending data-node order.
+		fwd = make([]int32, 0, total*4)
+		for q := int32(0); q < int32(total); q++ {
+			u := int(ci.U[q])
+			v := ci.V[q]
+			b := base[q]
+			for j, uc := range p.Out(u) {
+				for _, w := range g.Out(v) {
+					if pid := ci.Pair(uc, w); pid >= 0 {
+						fwd = append(fwd, pid)
+					}
+				}
+				if len(fwd) > int(^uint32(0)>>1) {
+					panic(fmt.Sprintf("simulation: product graph exceeds %d edges", ^uint32(0)>>1))
+				}
+				slotOff[b+int32(j)+1] = int32(len(fwd))
+			}
+		}
+	} else {
+		// Pass 1: per-slot successor counts (disjoint writes per pair).
+		parallel.ForEach(total, workers, func(qi int) {
+			q := int32(qi)
+			u := int(ci.U[q])
+			v := ci.V[q]
+			b := base[q]
+			for j, uc := range p.Out(u) {
+				c := int32(0)
+				for _, w := range g.Out(v) {
+					if ci.Pair(uc, w) >= 0 {
+						c++
+					}
+				}
+				slotOff[b+int32(j)+1] = c
+			}
+		})
+		var edges int64
+		for s := 1; s <= nSlots; s++ {
+			edges += int64(slotOff[s])
+			if edges > int64(^uint32(0)>>1) {
+				panic(fmt.Sprintf("simulation: product graph exceeds %d edges", ^uint32(0)>>1))
+			}
+			slotOff[s] += slotOff[s-1]
+		}
+
+		// Pass 2: fill each pair's pre-assigned slot ranges.
+		fwd = make([]int32, edges)
+		parallel.ForEach(total, workers, func(qi int) {
+			q := int32(qi)
+			u := int(ci.U[q])
+			v := ci.V[q]
+			b := base[q]
+			for j, uc := range p.Out(u) {
+				e := slotOff[b+int32(j)]
+				for _, w := range g.Out(v) {
+					if pid := ci.Pair(uc, w); pid >= 0 {
+						fwd[e] = pid
+						e++
+					}
+				}
+			}
+		})
+	}
+
+	// Reverse CSR: one sequential counting pass and one sequential fill in
+	// ascending (source pair, slot) order, so each pair's reverse list is
+	// sorted by the predecessor's absolute slot.
+	revOff := make([]int32, total+1)
+	for _, t := range fwd {
+		revOff[t+1]++
+	}
+	for q := 0; q < total; q++ {
+		revOff[q+1] += revOff[q]
+	}
+	rev := make([]int32, len(fwd))
+	revSlot := make([]int32, len(fwd))
+	next := make([]int32, total)
+	copy(next, revOff[:total])
+	for q := int32(0); q < int32(total); q++ {
+		for s := base[q]; s < base[q+1]; s++ {
+			for e := slotOff[s]; e < slotOff[s+1]; e++ {
+				t := fwd[e]
+				rev[next[t]] = q
+				revSlot[next[t]] = s
+				next[t]++
+			}
+		}
+	}
+
+	pr.Base = base
+	pr.SlotOff = slotOff
+	pr.Fwd = fwd
+	pr.RevOff = revOff
+	pr.Rev = rev
+	pr.RevSlot = revSlot
+	return pr
+}
+
+// NumPairs returns the number of product nodes (candidate pairs).
+func (pr *Product) NumPairs() int { return len(pr.RevOff) - 1 }
+
+// NumEdges returns the number of product edges.
+func (pr *Product) NumEdges() int { return len(pr.Fwd) }
+
+// Succs returns all product successors of pair q (every outgoing query edge,
+// slot by slot). The caller must not modify the slice.
+func (pr *Product) Succs(q int32) []int32 {
+	return pr.Fwd[pr.SlotOff[pr.Base[q]]:pr.SlotOff[pr.Base[q+1]]]
+}
+
+// SlotSuccs returns the product successors of pair q through its j-th
+// outgoing query edge (p.Out order). The caller must not modify the slice.
+func (pr *Product) SlotSuccs(q int32, j int) []int32 {
+	s := pr.Base[q] + int32(j)
+	return pr.Fwd[pr.SlotOff[s]:pr.SlotOff[s+1]]
+}
+
+// SlotLen returns the successor count of slot s (absolute slot index).
+func (pr *Product) SlotLen(s int32) int32 { return pr.SlotOff[s+1] - pr.SlotOff[s] }

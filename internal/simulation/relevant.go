@@ -3,6 +3,7 @@ package simulation
 import (
 	"divtopk/internal/bitset"
 	"divtopk/internal/graph"
+	"divtopk/internal/parallel"
 	"divtopk/internal/pattern"
 )
 
@@ -19,26 +20,6 @@ import (
 // bound h(u,v) that reproduces the h values of the paper's Examples 7 and 8
 // (see internal/core/bounds.go).
 
-// productAdj returns an adjacency callback over pairs of ci restricted to
-// alive pairs. A nil alive mask means all candidate pairs are alive.
-func productAdj(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex, alive []bool) graph.AdjFunc {
-	return func(id int32, emit func(int32)) {
-		if alive != nil && !alive[id] {
-			return
-		}
-		u := int(ci.U[id])
-		v := ci.V[id]
-		for _, uc := range p.Out(u) {
-			for _, w := range g.Out(v) {
-				pid := ci.Pair(uc, w)
-				if pid >= 0 && (alive == nil || alive[pid]) {
-					emit(pid)
-				}
-			}
-		}
-	}
-}
-
 // RelevantResult carries relevant sets (or just their sizes) for the
 // candidates of one root query node, typically the output node uo.
 type RelevantResult struct {
@@ -50,28 +31,9 @@ type RelevantResult struct {
 	Sets []*bitset.Set
 }
 
-// ComputeRelevant computes the relevant sets of every alive candidate of
-// root. alive selects the pair universe (nil = all candidates = the R̂ upper
-// bound; Result.InSim = the paper's R over M(Q,G)). keepSets retains each
-// root pair's bitset; with keepSets=false only the sizes survive and interior
-// bitsets are freed as soon as every predecessor has consumed them, keeping
-// peak memory proportional to the frontier of the condensed product DAG.
-func ComputeRelevant(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex,
-	an *pattern.Analysis, space *RelSpace, alive []bool, root int, keepSets bool) *RelevantResult {
-
-	lo, hi := ci.PairRange(root)
-	res := &RelevantResult{
-		Space: space,
-		Sizes: make([]int32, hi-lo),
-		Sets:  make([]*bitset.Set, hi-lo),
-	}
-	for i := range res.Sizes {
-		res.Sizes[i] = -1
-	}
-
-	// Pairs that matter: candidates of root and of query nodes reachable
-	// from root. Other pairs are isolated singletons below (their adjacency
-	// is suppressed), so they cost nothing.
+// relevantQueryNodes marks the query nodes whose candidates can contribute
+// to relevant sets of root: root itself and everything reachable from it.
+func relevantQueryNodes(p *pattern.Pattern, an *pattern.Analysis, root int) []bool {
 	relQ := make([]bool, p.NumNodes())
 	relQ[root] = true
 	for u := 0; u < p.NumNodes(); u++ {
@@ -97,17 +59,90 @@ func ComputeRelevant(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex,
 			}
 		}
 	}
+	return relQ
+}
 
-	adj := productAdj(g, p, ci, alive)
-	restricted := func(id int32, emit func(int32)) {
-		if !relQ[ci.U[id]] {
+// ComputeRelevant computes the relevant sets of every alive candidate of
+// root over a materialized product CSR. alive selects the pair universe
+// (nil = all candidates = the R̂ upper bound; Result.InSim = the paper's R
+// over M(Q,G)). keepSets retains each root pair's bitset (as an independent
+// clone); with keepSets=false only the sizes survive.
+//
+// The kernel runs over the SCC condensation of the (alive ∩ relevant)
+// product subgraph in reverse topological order, level by level: all
+// components of one topological rank depend only on lower ranks, so their
+// union work fans out over workers goroutines (<= 0 = all cores) with
+// deterministic results — unions are commutative and every write lands in a
+// distinct component's set. Interior bitsets come from a bitset.Arena and
+// return to it as soon as every predecessor has consumed them, keeping both
+// peak memory and allocator traffic proportional to the frontier of the
+// condensed product DAG instead of its total size.
+func ComputeRelevant(prod *Product, an *pattern.Analysis, space *RelSpace,
+	alive []bool, root int, keepSets bool, workers int) *RelevantResult {
+
+	p := prod.P
+	ci := prod.CI
+	workers = parallel.Workers(workers)
+	lo, hi := ci.PairRange(root)
+	res := &RelevantResult{
+		Space: space,
+		Sizes: make([]int32, hi-lo),
+		Sets:  make([]*bitset.Set, hi-lo),
+	}
+	for i := range res.Sizes {
+		res.Sizes[i] = -1
+	}
+
+	relQ := relevantQueryNodes(p, an, root)
+
+	// Materialize the filtered product sub-CSR: sources must be alive and
+	// relevant, targets alive (targets of relevant sources are relevant by
+	// construction). Filtering preserves the product's edge order, so the
+	// condensation is identical to the reference kernel's.
+	n := ci.NumPairs()
+	foff := make([]int32, n+1)
+	parallel.ForEach(n, workers, func(qi int) {
+		q := int32(qi)
+		if !relQ[ci.U[q]] || (alive != nil && !alive[q]) {
 			return
 		}
-		adj(id, emit)
+		c := int32(0)
+		for _, t := range prod.Succs(q) {
+			if alive == nil || alive[t] {
+				c++
+			}
+		}
+		foff[q+1] = c
+	})
+	for q := 0; q < n; q++ {
+		foff[q+1] += foff[q]
 	}
-	cond := graph.Condense(ci.NumPairs(), restricted)
+	fadj := make([]int32, foff[n])
+	parallel.ForEach(n, workers, func(qi int) {
+		q := int32(qi)
+		if !relQ[ci.U[q]] || (alive != nil && !alive[q]) {
+			return
+		}
+		e := foff[q]
+		for _, t := range prod.Succs(q) {
+			if alive == nil || alive[t] {
+				fadj[e] = t
+				e++
+			}
+		}
+	})
+	cond := graph.CondenseCSR(n, foff, fadj)
 
+	arena := bitset.NewArena(space.Size())
+	nWords := int32((space.Size() + 63) / 64)
 	sets := make([]*bitset.Set, cond.NumComps)
+	// spanLo/spanHi[c] is the half-open word range holding every set bit of
+	// sets[c] (empty when lo >= hi). Unions, counts and the clears on
+	// release run over spans instead of the full universe width, so the
+	// kernel pays for the sets' actual extent — relevant sets are narrow in
+	// a wide universe.
+	spanLo := make([]int32, cond.NumComps)
+	spanHi := make([]int32, cond.NumComps)
 	pending := make([]int, cond.NumComps)
 	keep := make([]bool, cond.NumComps) // comps holding root pairs: retain
 	for c := 0; c < cond.NumComps; c++ {
@@ -119,53 +154,153 @@ func ComputeRelevant(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex,
 		}
 	}
 
-	release := func(c int32) {
-		pending[c]--
-		if pending[c] == 0 && !keep[c] {
-			sets[c] = nil
+	// Components grouped by topological rank (SCC indices are a reverse
+	// topological order, so ascending index within a level preserves the
+	// reference processing order).
+	maxRank := int32(0)
+	for _, r := range cond.Rank {
+		if r > maxRank {
+			maxRank = r
 		}
 	}
+	levelLen := make([]int32, maxRank+2)
+	for _, r := range cond.Rank {
+		levelLen[r+1]++
+	}
+	for l := int32(0); l <= maxRank; l++ {
+		levelLen[l+1] += levelLen[l]
+	}
+	levels := make([]int32, cond.NumComps)
+	levelNext := make([]int32, maxRank+1)
+	copy(levelNext, levelLen[:maxRank+1])
+	for c := int32(0); c < int32(cond.NumComps); c++ {
+		r := cond.Rank[c]
+		levels[levelNext[r]] = c
+		levelNext[r]++
+	}
 
-	for c := 0; c < cond.NumComps; c++ {
-		// Skip singleton comps of irrelevant or dead pairs cheaply.
-		if len(cond.Members[c]) == 1 && len(cond.Succ[c]) == 0 && !cond.Nontrivial[c] {
-			id := cond.Members[c][0]
-			if !relQ[ci.U[id]] || (alive != nil && !alive[id]) {
-				continue
+	// process computes one component's set. Invariant: sets[c] = data nodes
+	// reachable from c's pairs in >= 0 steps *including c's own members* —
+	// i.e. what a predecessor comp sees through c. A pair's own relevant set
+	// is the >= 1 step variant: for trivial comps it is recorded before
+	// self-insertion, for nontrivial comps after (mutual reachability puts
+	// members in their own relevant sets, cf. Example 8 where
+	// DB3 ∈ R(DB,DB3)).
+	process := func(c int32) {
+		s := sets[c]
+		sLo, sHi := nWords, int32(0) // empty span
+		for _, succ := range cond.Succ[c] {
+			if sets[succ] != nil && spanLo[succ] < spanHi[succ] {
+				s.UnionRange(sets[succ], int(spanLo[succ]), int(spanHi[succ]))
+				if spanLo[succ] < sLo {
+					sLo = spanLo[succ]
+				}
+				if spanHi[succ] > sHi {
+					sHi = spanHi[succ]
+				}
 			}
 		}
-		// Invariant: sets[c] = data nodes reachable from c's pairs in >= 0
-		// steps *including c's own members* — i.e. what a predecessor comp
-		// sees through c. A pair's own relevant set is the >= 1 step variant:
-		// for trivial comps it is recorded before self-insertion, for
-		// nontrivial comps after (mutual reachability puts members in their
-		// own relevant sets, cf. Example 8 where DB3 ∈ R(DB,DB3)).
-		s := space.NewSet()
-		for _, succ := range cond.Succ[c] {
-			if sets[succ] != nil {
-				s.UnionWith(sets[succ])
+		addSelf := func(idx int32) {
+			s.Add(int(idx))
+			w := idx >> 6
+			if w < sLo {
+				sLo = w
 			}
-			release(int32(succ))
+			if w+1 > sHi {
+				sHi = w + 1
+			}
+		}
+		record := func(id int32) {
+			if id < lo || id >= hi {
+				return
+			}
+			i := id - lo
+			res.Sizes[i] = int32(s.CountRange(int(sLo), int(sHi)))
+			if keepSets {
+				res.Sets[i] = s.Clone()
+			}
 		}
 		if cond.Nontrivial[c] {
 			for _, id := range cond.Members[c] {
 				if idx := space.Index(ci.V[id]); idx >= 0 {
-					s.Add(int(idx))
+					addSelf(idx)
 				}
 			}
 			for _, id := range cond.Members[c] {
-				recordRoot(res, ci, lo, hi, id, s, keepSets)
+				record(id)
 			}
 		} else {
 			id := cond.Members[c][0]
-			recordRoot(res, ci, lo, hi, id, s, keepSets)
+			if keepSets && id >= lo && id < hi && len(cond.Pred[c]) == 0 {
+				// Root pair whose component no other component reads (the
+				// common case: the output node has no predecessors in the
+				// relevance-restricted product): hand the arena set over
+				// instead of cloning it. Skipping the self-insertion is
+				// sound because only predecessors observe it.
+				i := id - lo
+				res.Sizes[i] = int32(s.CountRange(int(sLo), int(sHi)))
+				res.Sets[i] = s
+				spanLo[c], spanHi[c] = sLo, sHi
+				return
+			}
+			record(id)
 			if idx := space.Index(ci.V[id]); idx >= 0 {
-				s.Add(int(idx))
+				addSelf(idx)
 			}
 		}
-		sets[c] = s
-		if pending[c] == 0 && !keep[c] {
-			sets[c] = nil
+		spanLo[c], spanHi[c] = sLo, sHi
+	}
+
+	// skipped reports whether a component is an isolated singleton of an
+	// irrelevant or dead pair; those never get a set and cost nothing.
+	skipped := func(c int32) bool {
+		if len(cond.Members[c]) != 1 || len(cond.Succ[c]) != 0 || cond.Nontrivial[c] {
+			return false
+		}
+		id := cond.Members[c][0]
+		return !relQ[ci.U[id]] || (alive != nil && !alive[id])
+	}
+
+	for l := int32(0); l <= maxRank; l++ {
+		level := levels[levelLen[l]:levelLen[l+1]]
+		// Sequential phase: allocate this level's sets from the arena.
+		live := level[:0:0]
+		for _, c := range level {
+			if skipped(c) {
+				continue
+			}
+			sets[c] = arena.Get()
+			live = append(live, c)
+		}
+		// Parallel phase: union work only. Successor sets live in lower
+		// levels and are read-only here; every write targets the
+		// component's own set (or a disjoint res.Sizes/Sets entry).
+		if workers > 1 && len(live) > 1 {
+			parallel.ForEach(len(live), workers, func(i int) { process(live[i]) })
+		} else {
+			for _, c := range live {
+				process(c)
+			}
+		}
+		// Sequential phase: consume-and-release bookkeeping. A successor
+		// returns to the arena once every predecessor has taken its union
+		// (all predecessors sit in levels > its own, so this runs after the
+		// last consumer); components nobody keeps or reads release
+		// immediately.
+		for _, c := range live {
+			for _, succ := range cond.Succ[c] {
+				pending[succ]--
+				if pending[succ] == 0 && !keep[succ] && sets[succ] != nil {
+					sets[succ].ClearRange(int(spanLo[succ]), int(spanHi[succ]))
+					arena.Put(sets[succ])
+					sets[succ] = nil
+				}
+			}
+			if pending[c] == 0 && !keep[c] {
+				sets[c].ClearRange(int(spanLo[c]), int(spanHi[c]))
+				arena.Put(sets[c])
+				sets[c] = nil
+			}
 		}
 	}
 	return res
@@ -185,23 +320,25 @@ func recordRoot(res *RelevantResult, ci *CandidateIndex, lo, hi, id int32,
 }
 
 // RelevantSetNaive computes R(u,v) by a direct DFS over the product graph,
-// returning data nodes. It is the reference implementation used by tests
-// (and by tiny interactive queries); O(product size) per call.
+// returning the set of data nodes as a bitset over [0, g.NumNodes()). It is
+// the reference implementation used by tests (and by tiny interactive
+// queries); O(product size) per call. The accumulators are bitsets over the
+// pair and node universes — the representation the rest of this file uses —
+// rather than hash maps.
 func RelevantSetNaive(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex,
-	alive []bool, u int, v graph.NodeID) map[graph.NodeID]bool {
+	alive []bool, u int, v graph.NodeID) *bitset.Set {
 
 	start := ci.Pair(u, v)
 	if start < 0 || (alive != nil && !alive[start]) {
 		return nil
 	}
-	adj := productAdj(g, p, ci, alive)
-	seen := make(map[int32]bool)
-	out := make(map[graph.NodeID]bool)
+	adj := productAdjReference(g, p, ci, alive)
+	seen := bitset.New(ci.NumPairs())
+	out := bitset.New(g.NumNodes())
 	var stack []int32
 	visit := func(id int32) {
-		if !seen[id] {
-			seen[id] = true
-			out[ci.V[id]] = true
+		if seen.Add(int(id)) {
+			out.Add(int(ci.V[id]))
 			stack = append(stack, id)
 		}
 	}

@@ -14,13 +14,15 @@ func relevantFixture(t *testing.T, keepSets bool) (*graph.Graph, map[string]grap
 	t.Helper()
 	g, id := testutil.Figure1()
 	p := testutil.Figure1Pattern()
-	res := Compute(g, p)
+	ci := BuildCandidates(g, p)
+	prod := BuildProduct(g, p, ci, 1)
+	res := ComputeWithProduct(prod)
 	if !res.Matched {
 		t.Fatal("fixture must match")
 	}
 	an := pattern.Analyze(p)
 	space := BuildRelSpace(g, p, res.CI, an)
-	rel := ComputeRelevant(g, p, res.CI, an, space, res.InSim, p.Output(), keepSets)
+	rel := ComputeRelevant(prod, an, space, res.InSim, p.Output(), keepSets, 1)
 	return g, id, p, res, rel
 }
 
@@ -69,11 +71,11 @@ func TestSelfInclusionOnCycle(t *testing.T) {
 	an := pattern.Analyze(p)
 	m := RelevantSetNaive(g, p, res.CI, res.InSim, 1 /*DB*/, id["DB3"])
 	wantMembers := []string{"ST3", "ST4", "DB2", "DB3", "PRG2", "PRG3"}
-	if len(m) != len(wantMembers) {
+	if m.Count() != len(wantMembers) {
 		t.Fatalf("R(DB,DB3) = %v, want %v", m, wantMembers)
 	}
 	for _, w := range wantMembers {
-		if !m[id[w]] {
+		if !m.Contains(int(id[w])) {
 			t.Fatalf("R(DB,DB3) missing %s", w)
 		}
 	}
@@ -88,10 +90,11 @@ func TestCandidateProductUpperBoundExamples(t *testing.T) {
 	// Example 7, pattern Q1: h(PM2)=3, h(PM3)=2, h(PRG3)=h(PRG4)=1, h(DBk)=0.
 	q1 := testutil.Example7Pattern()
 	ci := BuildCandidates(g, q1)
+	prod1 := BuildProduct(g, q1, ci, 1)
 	an := pattern.Analyze(q1)
 	space := BuildRelSpace(g, q1, ci, an)
 
-	relPM := ComputeRelevant(g, q1, ci, an, space, nil, 0, false)
+	relPM := ComputeRelevant(prod1, an, space, nil, 0, false, 1)
 	lo, _ := ci.PairRange(0)
 	// PM4 is not listed in the paper's table; its bound is
 	// R̂(PM,PM4) = {DB2, PRG2, DB3} = 3 (PRG2's only DB-successor is DB3).
@@ -102,7 +105,7 @@ func TestCandidateProductUpperBoundExamples(t *testing.T) {
 			t.Errorf("Q1 ĥ(PM,%s) = %d, want %d", name, relPM.Sizes[i], want)
 		}
 	}
-	relPRG := ComputeRelevant(g, q1, ci, an, space, nil, 2, false)
+	relPRG := ComputeRelevant(prod1, an, space, nil, 2, false, 1)
 	loPRG, _ := ci.PairRange(2)
 	for _, name := range []string{"PRG3", "PRG4"} {
 		i := ci.Pair(2, id[name]) - loPRG
@@ -114,20 +117,21 @@ func TestCandidateProductUpperBoundExamples(t *testing.T) {
 	// Example 8, full pattern Q: ĥ(DB2)=6, ĥ(PRG4)=7, ĥ(PM1)=4.
 	q := testutil.Figure1Pattern()
 	ci2 := BuildCandidates(g, q)
+	prod2 := BuildProduct(g, q, ci2, 1)
 	an2 := pattern.Analyze(q)
 	space2 := BuildRelSpace(g, q, ci2, an2)
 
-	relDB := ComputeRelevant(g, q, ci2, an2, space2, nil, 1, false)
+	relDB := ComputeRelevant(prod2, an2, space2, nil, 1, false, 1)
 	loDB, _ := ci2.PairRange(1)
 	if got := relDB.Sizes[ci2.Pair(1, id["DB2"])-loDB]; got != 6 {
 		t.Errorf("ĥ(DB,DB2) = %d, want 6 (Example 8)", got)
 	}
-	relPRG2 := ComputeRelevant(g, q, ci2, an2, space2, nil, 2, false)
+	relPRG2 := ComputeRelevant(prod2, an2, space2, nil, 2, false, 1)
 	loP, _ := ci2.PairRange(2)
 	if got := relPRG2.Sizes[ci2.Pair(2, id["PRG4"])-loP]; got != 7 {
 		t.Errorf("ĥ(PRG,PRG4) = %d, want 7 (Example 8)", got)
 	}
-	relPMq := ComputeRelevant(g, q, ci2, an2, space2, nil, 0, false)
+	relPMq := ComputeRelevant(prod2, an2, space2, nil, 0, false, 1)
 	loPM, _ := ci2.PairRange(0)
 	if got := relPMq.Sizes[ci2.Pair(0, id["PM1"])-loPM]; got != 4 {
 		t.Errorf("ĥ(PM,PM1) = %d, want 4 (Example 8)", got)
@@ -153,30 +157,34 @@ func TestRelevantAgainstNaiveProperty(t *testing.T) {
 		} else {
 			p = testutil.RandomPattern(rng, 1+rng.Intn(5), rng.Intn(4), labels, trial%2 == 0)
 		}
-		res := Compute(g, p)
+		ci := BuildCandidates(g, p)
+		prod := BuildProduct(g, p, ci, 1)
+		res := ComputeWithProduct(prod)
 		an := pattern.Analyze(p)
 		space := BuildRelSpace(g, p, res.CI, an)
 		root := p.Output()
 
 		for _, alive := range [][]bool{nil, res.InSim} {
-			rel := ComputeRelevant(g, p, res.CI, an, space, alive, root, true)
-			lo, hi := res.CI.PairRange(root)
-			for pid := lo; pid < hi; pid++ {
-				if alive != nil && !alive[pid] {
-					if rel.Sizes[pid-lo] != -1 {
-						t.Fatalf("trial %d: dead pair has size %d", trial, rel.Sizes[pid-lo])
+			for _, workers := range []int{1, 4} {
+				rel := ComputeRelevant(prod, an, space, alive, root, true, workers)
+				lo, hi := res.CI.PairRange(root)
+				for pid := lo; pid < hi; pid++ {
+					if alive != nil && !alive[pid] {
+						if rel.Sizes[pid-lo] != -1 {
+							t.Fatalf("trial %d: dead pair has size %d", trial, rel.Sizes[pid-lo])
+						}
+						continue
 					}
-					continue
-				}
-				naive := RelevantSetNaive(g, p, res.CI, alive, root, res.CI.V[pid])
-				if int(rel.Sizes[pid-lo]) != len(naive) {
-					t.Fatalf("trial %d: size mismatch for pair (%d,%d): dp=%d naive=%d\npattern=%s",
-						trial, root, res.CI.V[pid], rel.Sizes[pid-lo], len(naive), p)
-				}
-				set := rel.Sets[pid-lo]
-				for _, v := range rel.Space.NodesOf(set) {
-					if !naive[v] {
-						t.Fatalf("trial %d: dp set has extra node %d", trial, v)
+					naive := RelevantSetNaive(g, p, res.CI, alive, root, res.CI.V[pid])
+					if int(rel.Sizes[pid-lo]) != naive.Count() {
+						t.Fatalf("trial %d: size mismatch for pair (%d,%d): dp=%d naive=%d\npattern=%s",
+							trial, root, res.CI.V[pid], rel.Sizes[pid-lo], naive.Count(), p)
+					}
+					set := rel.Sets[pid-lo]
+					for _, v := range rel.Space.NodesOf(set) {
+						if !naive.Contains(int(v)) {
+							t.Fatalf("trial %d: dp set has extra node %d", trial, v)
+						}
 					}
 				}
 			}

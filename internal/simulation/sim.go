@@ -31,83 +31,62 @@ func Compute(g *graph.Graph, p *pattern.Pattern) *Result {
 }
 
 // ComputeWithCandidates is Compute with a prebuilt candidate index, so
-// callers that already paid for the index (the engine, the baseline) can
-// share it.
+// callers that already paid for the index can share it. Callers that also
+// want the product CSR afterwards (the baseline shares it with the
+// relevant-set kernel) should build it themselves and call
+// ComputeWithProduct.
 func ComputeWithCandidates(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex) *Result {
-	nq := p.NumNodes()
+	return ComputeWithProduct(BuildProduct(g, p, ci, 1))
+}
+
+// ComputeWithProduct runs the counting-based refinement over a materialized
+// product CSR. Per-edge counters are read off the slot ranges (the product
+// build already did the successor scan), and the removal cascade walks the
+// reverse product edges directly — no ci.Pair lookups, no scans over
+// non-candidate neighbours. The fixpoint is unique, so the result is
+// identical to the reference kernel's.
+func ComputeWithProduct(prod *Product) *Result {
+	ci := prod.CI
+	nq := len(ci.Lists)
 	total := ci.NumPairs()
 	inSim := make([]bool, total)
 	for i := range inSim {
 		inSim[i] = true
 	}
+	cnt := make([]int32, len(prod.SlotOff)-1)
 
-	// childBase[pair] is the first counter slot of the pair; one slot per
-	// outgoing query edge of its query node, in pattern.Out order.
-	childBase := make([]int32, total+1)
-	for id := 0; id < total; id++ {
-		childBase[id+1] = childBase[id] + int32(len(p.Out(int(ci.U[id]))))
-	}
-	cnt := make([]int32, childBase[total])
-
-	var dead []int32 // worklist of freshly killed pairs
-	kill := func(id int32) {
-		if inSim[id] {
-			inSim[id] = false
-			dead = append(dead, id)
-		}
-	}
-
-	// Initialize counters: cnt[(u,v), j] = |succ(v) ∩ can(u_j')|.
-	for u := 0; u < nq; u++ {
-		children := p.Out(u)
-		lo, hi := ci.PairRange(u)
-		for id := lo; id < hi; id++ {
-			v := ci.V[id]
-			base := childBase[id]
-			for j, uc := range children {
-				c := int32(0)
-				for _, w := range g.Out(v) {
-					if ci.Pair(uc, w) >= 0 {
-						c++
-					}
-				}
-				cnt[base+int32(j)] = c
-				if c == 0 {
-					kill(id)
-				}
+	// Initialize counters from the slot ranges; a pair with an empty
+	// outgoing-edge slot dies immediately.
+	var dead []int32
+	for q := int32(0); q < int32(total); q++ {
+		die := false
+		for s := prod.Base[q]; s < prod.Base[q+1]; s++ {
+			c := prod.SlotOff[s+1] - prod.SlotOff[s]
+			cnt[s] = c
+			if c == 0 {
+				die = true
 			}
 		}
-	}
-
-	// childSlot[u][uc] = position of edge (u,uc) within p.Out(u). Query
-	// edges are unique (pattern.AddEdge rejects duplicates).
-	childSlot := make([]map[int]int32, nq)
-	for u := 0; u < nq; u++ {
-		m := make(map[int]int32, len(p.Out(u)))
-		for j, uc := range p.Out(u) {
-			m[uc] = int32(j)
+		if die {
+			inSim[q] = false
+			dead = append(dead, q)
 		}
-		childSlot[u] = m
 	}
 
-	// Cascade removals.
+	// Cascade removals along reverse product edges.
 	for len(dead) > 0 {
 		id := dead[len(dead)-1]
 		dead = dead[:len(dead)-1]
-		u := int(ci.U[id])
-		v := ci.V[id]
-		for _, up := range p.In(u) {
-			slot := childSlot[up][u]
-			for _, w := range g.In(v) {
-				pid := ci.Pair(up, w)
-				if pid < 0 || !inSim[pid] {
-					continue
-				}
-				s := childBase[pid] + slot
-				cnt[s]--
-				if cnt[s] == 0 {
-					kill(pid)
-				}
+		for e := prod.RevOff[id]; e < prod.RevOff[id+1]; e++ {
+			pid := prod.Rev[e]
+			if !inSim[pid] {
+				continue
+			}
+			s := prod.RevSlot[e]
+			cnt[s]--
+			if cnt[s] == 0 {
+				inSim[pid] = false
+				dead = append(dead, pid)
 			}
 		}
 	}

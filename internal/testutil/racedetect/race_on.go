@@ -1,0 +1,10 @@
+//go:build race
+
+// Package racedetect reports whether the race detector is active, so
+// allocation-count regression tests can skip themselves (the race runtime
+// instruments allocations and breaks AllocsPerRun expectations). It has no
+// dependencies and is importable from any package, including internal/graph.
+package racedetect
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true
