@@ -8,9 +8,9 @@
 // The default configuration is the 150k-node generator graph the repo's
 // acceptance numbers are recorded on; -short shrinks it to CI size. The
 // report is printed as a table and, with -out, written as JSON
-// (BENCH_PR3.json is a committed run of this command):
+// (BENCH_PR4.json is a committed run of this command):
 //
-//	go run ./cmd/divtopk-bench -out BENCH_PR3.json
+//	go run ./cmd/divtopk-bench -out BENCH_PR4.json
 //	go run ./cmd/divtopk-bench -short -serving=false
 package main
 
@@ -42,7 +42,9 @@ func main() {
 	lambda := flag.Float64("lambda", 0.5, "diversification lambda (0 = pure relevance; default: config preset)")
 	parallelism := flag.Int("parallelism", 0, "engine workers per query (default 1: pure kernel A/B)")
 	queries := flag.Int("queries", 0, "mined patterns per measured op (default: config preset)")
+	deltas := flag.Int("deltas", 0, "delta-chain length for the maintenance measurement (default: config preset)")
 	serving := flag.Bool("serving", true, "measure in-process serving throughput")
+	updateEvery := flag.Int("serving-update-every", 0, "make every Nth serving request a graph update (default: config preset; negative disables)")
 	out := flag.String("out", "", "write the JSON report to this file")
 	flag.Parse()
 
@@ -80,6 +82,15 @@ func main() {
 	if given["queries"] {
 		cfg.Queries = *queries
 	}
+	if given["deltas"] {
+		cfg.Deltas = *deltas
+	}
+	if given["serving-update-every"] {
+		cfg.ServingUpdateEvery = *updateEvery
+		if *updateEvery < 0 {
+			cfg.ServingUpdateEvery = 0
+		}
+	}
 	cfg.Serving = *serving
 
 	rep, err := bench.RunBaseline(cfg, os.Stderr)
@@ -89,11 +100,12 @@ func main() {
 	if cfg.Serving {
 		log.Printf("measuring serving throughput (%d requests, %d clients)",
 			cfg.ServingRequests, cfg.ServingConcurrency)
-		sum, err := servingBaseline(cfg)
+		readOnly, mixed, err := servingBaseline(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep.Serving = sum
+		rep.Serving = readOnly
+		rep.ServingMixed = mixed
 	}
 
 	fmt.Print(rep.Format())
@@ -113,9 +125,11 @@ func main() {
 }
 
 // servingBaseline registers the benchmark graph in an in-process daemon on a
-// loopback port and fires the HTTP load generator at it, measuring what an
-// external client sees end to end (JSON decode included).
-func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, error) {
+// loopback port and fires the HTTP load generator at it twice — the
+// read-only workload (trend-comparable across epochs) and, when
+// ServingUpdateEvery > 0, the mixed update/query workload — measuring what
+// an external client sees end to end (JSON decode included).
+func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, *bench.ServingSummary, error) {
 	pg := divtopk.NewSynthetic(cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Seed)
 	var texts []string
 	for seed := int64(1); len(texts) < 4 && seed < 64; seed++ {
@@ -125,21 +139,21 @@ func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, error) {
 		}
 		var buf bytes.Buffer
 		if err := divtopk.WritePattern(&buf, q); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		texts = append(texts, buf.String())
 	}
 	if len(texts) == 0 {
-		return nil, fmt.Errorf("no serving patterns mined")
+		return nil, nil, fmt.Errorf("no serving patterns mined")
 	}
 
 	reg := server.NewRegistry(divtopk.WithCache(256), divtopk.Parallelism(cfg.Parallelism))
 	if err := reg.Add("bench", pg); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	srv := &http.Server{Handler: server.New(reg, server.Config{}).Handler()}
 	go func() {
@@ -149,16 +163,25 @@ func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, error) {
 	}()
 	defer srv.Close()
 
-	rep, err := bench.ServeLoad(bench.ServingConfig{
+	load := bench.ServingConfig{
 		BaseURL:     "http://" + ln.Addr().String(),
 		Graph:       "bench",
 		Patterns:    texts,
 		K:           cfg.K,
 		Requests:    cfg.ServingRequests,
 		Concurrency: cfg.ServingConcurrency,
-	})
-	if err != nil {
-		return nil, err
 	}
-	return rep.Summarize(), nil
+	rep, err := bench.ServeLoad(load)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.ServingUpdateEvery <= 0 {
+		return rep.Summarize(), nil, nil
+	}
+	load.UpdateEvery = cfg.ServingUpdateEvery
+	mixed, err := bench.ServeLoad(load)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep.Summarize(), mixed.Summarize(), nil
 }

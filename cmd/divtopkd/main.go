@@ -15,6 +15,12 @@
 //	curl -s localhost:8372/v1/graphs
 //	curl -s localhost:8372/healthz
 //
+// Update it (graphs are dynamic: deltas append nodes and insert/delete
+// edges; every response carries the graph version the answer was computed
+// against):
+//
+//	curl -s localhost:8372/v1/graphs/social/updates -d '{"add_nodes":[{"label":"DB"}],"add_edges":[[0,6000]]}'
+//
 // Measure it (self-contained: generates a graph and a query workload,
 // serves on a loopback port, fires the load generator, prints throughput,
 // latency percentiles and cache hit rate):
@@ -70,6 +76,7 @@ func main() {
 	lgDiversified := flag.Bool("loadgen-diversified", false, "loadgen: use /v1/query/diversified")
 	lgNodes := flag.Int("loadgen-nodes", 8_000, "loadgen: generated graph nodes")
 	lgEdges := flag.Int("loadgen-edges", 80_000, "loadgen: generated graph edges")
+	lgUpdateEvery := flag.Int("loadgen-update-every", 0, "loadgen: make every Nth request a graph update (0 = read-only workload)")
 	flag.Parse()
 
 	opts := []divtopk.Option{divtopk.Parallelism(*parallelism)}
@@ -85,7 +92,7 @@ func main() {
 	}
 
 	if *loadgen {
-		runLoadgen(cfg, opts, *lgRequests, *lgConcurrency, *lgDistinct, *lgK, *lgLambda, *lgDiversified, *lgNodes, *lgEdges)
+		runLoadgen(cfg, opts, *lgRequests, *lgConcurrency, *lgDistinct, *lgK, *lgLambda, *lgDiversified, *lgNodes, *lgEdges, *lgUpdateEvery)
 		return
 	}
 
@@ -138,8 +145,10 @@ func main() {
 }
 
 // runLoadgen generates a graph and a distinct-query workload, serves them
-// on a loopback port, and fires the bench load generator at it.
-func runLoadgen(cfg server.Config, opts []divtopk.Option, requests, concurrency, distinct, k int, lambda float64, diversified bool, nodes, edges int) {
+// on a loopback port, and fires the bench load generator at it. With
+// updateEvery > 0 the workload is mixed: every Nth request applies a graph
+// delta through the updates endpoint.
+func runLoadgen(cfg server.Config, opts []divtopk.Option, requests, concurrency, distinct, k int, lambda float64, diversified bool, nodes, edges, updateEvery int) {
 	log.Printf("loadgen: generating graph (%d nodes, %d edges)", nodes, edges)
 	g := divtopk.NewYouTubeLike(nodes, edges, 1)
 	var patterns []string
@@ -192,6 +201,7 @@ func runLoadgen(cfg server.Config, opts []divtopk.Option, requests, concurrency,
 		Diversified: diversified,
 		Requests:    requests,
 		Concurrency: concurrency,
+		UpdateEvery: updateEvery,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -64,6 +64,28 @@
 // fresh evaluation. See internal/server and the README's "Serving"
 // section.
 //
+// # Dynamic graphs
+//
+// Graphs are immutable snapshots; dynamic workloads advance through
+// deltas. A Delta batches node appends, edge inserts and edge deletes;
+// ApplyDelta derives the next snapshot in one merge pass over the old
+// adjacency and bumps its Version. Matcher.Update applies a delta to a live
+// session: the new snapshot's bound index is warmed off to the side, then
+// swapped in atomically, and because the snapshot version participates in
+// every cache key, a result cached before an update can never be served
+// after it. TopKWithVersion and TopKDiversifiedWithVersion report the
+// snapshot version behind each answer; the serving layer exposes updates as
+// POST /v1/graphs/{name}/updates and echoes the version in every response.
+// Session queries re-evaluate against the new snapshot (an update costs a
+// delta apply plus a full bound-index warm). For callers maintaining one
+// standing (graph, pattern) evaluation across deltas, the engine layer
+// offers internal/simulation.IncCompute: it maintains the simulation
+// fixpoint and product CSR incrementally over the delta's affected area,
+// falling back to full recomputation (its correctness oracle, enforced by
+// randomized delta-sequence fuzz) when the affected share grows past a
+// ratio — the simdelta rows of the tracked baseline measure it against
+// from-scratch recomputation. See the README's "Dynamic graphs" section.
+//
 // # Performance
 //
 // Every per-query hot path runs over a materialized product-graph CSR
@@ -76,7 +98,7 @@
 // kernels byte-identical at every Parallelism setting, and
 // cmd/divtopk-bench measures them side by side on a fixed-seed 150k-node
 // generator graph, emitting the tracked baseline committed as
-// BENCH_PR3.json (see the README's "Performance" section for how to run
+// BENCH_PR4.json (see the README's "Performance" section for how to run
 // and read it).
 //
 // The module builds and tests with the standard toolchain:

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"sort"
 	"testing"
@@ -12,12 +13,13 @@ import (
 	"divtopk/internal/core"
 	"divtopk/internal/diversify"
 	"divtopk/internal/gen"
+	"divtopk/internal/graph"
 	"divtopk/internal/pattern"
 	"divtopk/internal/simulation"
 )
 
 // This file is the tracked benchmark baseline of the repository
-// (BENCH_PR3.json): a repeatable, fixed-seed measurement of every hot
+// (BENCH_PR4.json): a repeatable, fixed-seed measurement of every hot
 // component — candidate computation, simulation refinement, relevant-set
 // computation, the find-all baseline, the early-termination engine, TopKDiv
 // and serving throughput — with the frozen pre-CSR reference kernel
@@ -48,10 +50,17 @@ type BaselineConfig struct {
 	// Parallelism is the engine worker bound used by every measurement
 	// (default 1: the kernel A/B compares algorithms, not goroutine counts).
 	Parallelism int `json:"parallelism"`
+	// Deltas sizes the dynamic-graph measurement: a chain of this many
+	// random small deltas is walked by IncCompute (incremental maintenance)
+	// and by from-scratch recomputation, side by side.
+	Deltas int `json:"deltas"`
 	// Serving enables the in-process serving-throughput measurement.
 	Serving            bool `json:"serving"`
 	ServingRequests    int  `json:"serving_requests"`
 	ServingConcurrency int  `json:"serving_concurrency"`
+	// ServingUpdateEvery makes every Nth serving request a graph update
+	// (the mixed update/query workload); 0 keeps the workload read-only.
+	ServingUpdateEvery int `json:"serving_update_every"`
 }
 
 // DefaultBaselineConfig is the tracked configuration: the 150k-node
@@ -68,9 +77,11 @@ func DefaultBaselineConfig() BaselineConfig {
 		K:                  10,
 		Lambda:             0.5,
 		Parallelism:        1,
+		Deltas:             16,
 		Serving:            true,
 		ServingRequests:    4000,
 		ServingConcurrency: 16,
+		ServingUpdateEvery: 20,
 	}
 }
 
@@ -112,6 +123,9 @@ func (c BaselineConfig) withDefaults() BaselineConfig {
 	if c.Parallelism <= 0 {
 		c.Parallelism = 1
 	}
+	if c.Deltas <= 0 {
+		c.Deltas = d.Deltas
+	}
 	if c.ServingRequests <= 0 {
 		c.ServingRequests = d.ServingRequests
 	}
@@ -131,17 +145,23 @@ type BaselineEntry struct {
 	Iterations  int     `json:"iterations"`
 }
 
-// ServingSummary is the serving-throughput slice of the report.
+// ServingSummary is the serving-throughput slice of the report. The update
+// fields track the mixed update/query workload (zero in a read-only run).
 type ServingSummary struct {
-	Throughput float64 `json:"req_per_sec"`
-	P50Micros  int64   `json:"p50_us"`
-	P99Micros  int64   `json:"p99_us"`
-	HitRate    float64 `json:"cache_hit_rate"`
-	Requests   int     `json:"requests"`
-	Errors     int     `json:"errors"`
+	Throughput      float64 `json:"req_per_sec"`
+	P50Micros       int64   `json:"p50_us"`
+	P99Micros       int64   `json:"p99_us"`
+	HitRate         float64 `json:"cache_hit_rate"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	Updates         int     `json:"updates,omitempty"`
+	UpdateErrors    int     `json:"update_errors,omitempty"`
+	UpdateP50Micros int64   `json:"update_p50_us,omitempty"`
+	UpdateP95Micros int64   `json:"update_p95_us,omitempty"`
+	FinalVersion    uint64  `json:"final_version,omitempty"`
 }
 
-// BaselineReport is the JSON document committed as BENCH_PR3.json.
+// BaselineReport is the JSON document committed as BENCH_PR4.json.
 type BaselineReport struct {
 	GeneratedBy string         `json:"generated_by"`
 	GoVersion   string         `json:"go_version"`
@@ -156,7 +176,13 @@ type BaselineReport struct {
 	// Speedups maps component → reference-ns / csr-ns (>1 means the CSR
 	// kernel is faster).
 	Speedups map[string]float64 `json:"speedups"`
-	Serving  *ServingSummary    `json:"serving,omitempty"`
+	// Serving is the read-only serving measurement (comparable across
+	// epochs); ServingMixed repeats it with every ServingUpdateEvery-th
+	// request applying a graph delta — updates invalidate the result cache
+	// by design, so its query numbers measure a fundamentally different
+	// (and necessarily slower) regime, which is exactly what it tracks.
+	Serving      *ServingSummary `json:"serving,omitempty"`
+	ServingMixed *ServingSummary `json:"serving_mixed,omitempty"`
 }
 
 // Format renders the report as an aligned text table with the speedup rows.
@@ -177,8 +203,15 @@ func (r *BaselineReport) Format() string {
 		fmt.Fprintf(&b, "speedup %-16s %14.2fx\n", k, r.Speedups[k])
 	}
 	if r.Serving != nil {
-		fmt.Fprintf(&b, "serving: %.0f req/s (p50 %dus, p99 %dus, hit rate %.1f%%)\n",
+		fmt.Fprintf(&b, "serving (read-only): %.0f req/s (p50 %dus, p99 %dus, hit rate %.1f%%)\n",
 			r.Serving.Throughput, r.Serving.P50Micros, r.Serving.P99Micros, 100*r.Serving.HitRate)
+	}
+	if r.ServingMixed != nil {
+		fmt.Fprintf(&b, "serving (mixed):     %.0f req/s (p50 %dus, p99 %dus, hit rate %.1f%%)\n",
+			r.ServingMixed.Throughput, r.ServingMixed.P50Micros, r.ServingMixed.P99Micros, 100*r.ServingMixed.HitRate)
+		fmt.Fprintf(&b, "  updates: %d (%d errors, p50 %dus, p95 %dus, final version %d)\n",
+			r.ServingMixed.Updates, r.ServingMixed.UpdateErrors, r.ServingMixed.UpdateP50Micros,
+			r.ServingMixed.UpdateP95Micros, r.ServingMixed.FinalVersion)
 	}
 	return b.String()
 }
@@ -368,6 +401,39 @@ func RunBaseline(cfg BaselineConfig, progress io.Writer) (*BaselineReport, error
 	})
 	rep.Speedups["topkdiv"] = divRef.NsPerOp / divCSR.NsPerOp
 
+	logf("measuring delta maintenance (%d-delta chain, inc vs recompute)", cfg.Deltas)
+	chainG, chainD := deltaChain(g, cfg.Deltas, cfg.Seed)
+	p0 := patterns[0]
+	st0 := simulation.NewIncState(chainG[0], p0, cfg.Parallelism)
+	incOpts := simulation.IncOptions{Workers: cfg.Parallelism}
+	// Sanity-walk the chain once so a maintenance bug fails the benchmark
+	// loudly instead of timing garbage.
+	{
+		st := st0
+		var err error
+		for i, d := range chainD {
+			if st, _, err = simulation.IncCompute(st, chainG[i+1], d, incOpts); err != nil {
+				return nil, fmt.Errorf("bench: delta chain: %w", err)
+			}
+		}
+	}
+	dmInc := rep.measure("simdelta/inc", func() {
+		st := st0
+		var err error
+		for i, d := range chainD {
+			if st, _, err = simulation.IncCompute(st, chainG[i+1], d, incOpts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	dmRe := rep.measure("simdelta/recompute", func() {
+		for _, gi := range chainG[1:] {
+			ci := simulation.BuildCandidatesParallel(gi, p0, cfg.Parallelism)
+			simulation.ComputeWithProduct(simulation.BuildProduct(gi, p0, ci, cfg.Parallelism))
+		}
+	})
+	rep.Speedups["simdelta"] = dmRe.NsPerOp / dmInc.NsPerOp
+
 	// Serving throughput is measured by cmd/divtopk-bench (the in-process
 	// daemon needs the public facade, which internal/bench cannot import
 	// without a test-package cycle); it fills rep.Serving when cfg.Serving
@@ -375,15 +441,59 @@ func RunBaseline(cfg BaselineConfig, progress io.Writer) (*BaselineReport, error
 	return rep, nil
 }
 
+// deltaChain pregenerates a chain of graph snapshots linked by random small
+// deltas (a few appends, inserts and deletes each — the affected-area
+// regime incremental maintenance exists for). chainG[0] is g; chainG[i+1] =
+// ApplyDelta(chainG[i], chainD[i]).
+func deltaChain(g *graph.Graph, deltas int, seed int64) ([]*graph.Graph, []*graph.Delta) {
+	rng := rand.New(rand.NewSource(seed * 7919))
+	chainG := []*graph.Graph{g}
+	var chainD []*graph.Delta
+	for i := 0; i < deltas; i++ {
+		cur := chainG[len(chainG)-1]
+		n := cur.NumNodes()
+		var d graph.Delta
+		d.AddNode(cur.Label(graph.NodeID(rng.Intn(n))), nil)
+		for a := 0; a < 4; a++ {
+			d.InsertEdge(graph.NodeID(rng.Intn(n+1)), graph.NodeID(rng.Intn(n+1)))
+		}
+		seen := map[[2]graph.NodeID]bool{}
+		for a := 0; a < 4; a++ {
+			v := graph.NodeID(rng.Intn(n))
+			out := cur.Out(v)
+			if len(out) == 0 {
+				continue
+			}
+			e := [2]graph.NodeID{v, out[rng.Intn(len(out))]}
+			if !seen[e] {
+				seen[e] = true
+				d.DeleteEdge(e[0], e[1])
+			}
+		}
+		next, err := graph.ApplyDelta(cur, &d)
+		if err != nil {
+			panic(fmt.Sprintf("bench: delta chain generation: %v", err))
+		}
+		chainG = append(chainG, next)
+		chainD = append(chainD, &d)
+	}
+	return chainG, chainD
+}
+
 // Summarize converts a load-generator report into the report's serving
 // slice.
 func (r *ServingReport) Summarize() *ServingSummary {
 	return &ServingSummary{
-		Throughput: r.Throughput,
-		P50Micros:  r.P50.Microseconds(),
-		P99Micros:  r.P99.Microseconds(),
-		HitRate:    r.HitRate,
-		Requests:   r.Requests,
-		Errors:     r.Errors,
+		Throughput:      r.Throughput,
+		P50Micros:       r.P50.Microseconds(),
+		P99Micros:       r.P99.Microseconds(),
+		HitRate:         r.HitRate,
+		Requests:        r.Requests,
+		Errors:          r.Errors,
+		Updates:         r.Updates,
+		UpdateErrors:    r.UpdateErrors,
+		UpdateP50Micros: r.UpdateP50.Microseconds(),
+		UpdateP95Micros: r.UpdateP95.Microseconds(),
+		FinalVersion:    r.FinalVersion,
 	}
 }

@@ -38,6 +38,7 @@ func TestRunBaselineSmoke(t *testing.T) {
 		"candidates", "simulation/reference", "simulation/csr",
 		"relevant/reference", "relevant/csr", "findall/reference",
 		"findall/csr", "topk/engine", "topkdiv/reference", "topkdiv/csr",
+		"simdelta/inc", "simdelta/recompute",
 	}
 	if len(rep.Entries) != len(want) {
 		t.Fatalf("got %d entries, want %d", len(rep.Entries), len(want))
@@ -50,7 +51,7 @@ func TestRunBaselineSmoke(t *testing.T) {
 			t.Fatalf("entry %q has non-positive ns/op", name)
 		}
 	}
-	for _, k := range []string{"simulation", "relevant", "findall", "topkdiv"} {
+	for _, k := range []string{"simulation", "relevant", "findall", "topkdiv", "simdelta"} {
 		if rep.Speedups[k] <= 0 {
 			t.Fatalf("speedup %q missing", k)
 		}
@@ -150,6 +151,41 @@ func BenchmarkBaselineSimulationCSR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for j, p := range ps {
 			simulation.ComputeWithProduct(simulation.BuildProduct(g, p, cis[j], cfg.Parallelism))
+		}
+	}
+}
+
+// BenchmarkBaselineDeltaInc / ...DeltaRecompute are the dynamic-graph A/B
+// pair: maintaining the simulation fixpoint + product CSR through a chain
+// of small deltas incrementally versus recomputing each snapshot from
+// scratch.
+func BenchmarkBaselineDeltaInc(b *testing.B) {
+	ps, g, cfg := workload(b)
+	chainG, chainD := deltaChain(g, cfg.Deltas, cfg.Seed)
+	st0 := simulation.NewIncState(chainG[0], ps[0], cfg.Parallelism)
+	opts := simulation.IncOptions{Workers: cfg.Parallelism}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := st0
+		var err error
+		for j, d := range chainD {
+			if st, _, err = simulation.IncCompute(st, chainG[j+1], d, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBaselineDeltaRecompute(b *testing.B) {
+	ps, g, cfg := workload(b)
+	chainG, _ := deltaChain(g, cfg.Deltas, cfg.Seed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, gi := range chainG[1:] {
+			ci := simulation.BuildCandidatesParallel(gi, ps[0], cfg.Parallelism)
+			simulation.ComputeWithProduct(simulation.BuildProduct(gi, ps[0], ci, cfg.Parallelism))
 		}
 	}
 }

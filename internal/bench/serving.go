@@ -36,6 +36,14 @@ type ServingConfig struct {
 	Concurrency int
 	// TimeoutMS is forwarded as the per-request budget (0 = server default).
 	TimeoutMS int64
+	// UpdateEvery makes every Nth request a graph update (POST
+	// /v1/graphs/{name}/updates) instead of a query: the mixed update/query
+	// workload of a dynamic graph. Each update appends one node wired to
+	// node 0 and, every other time, deletes the edge the previous update
+	// added; updates from all workers are serialized through one writer
+	// lock (single-writer, many-reader — the realistic shape). 0 disables
+	// updates.
+	UpdateEvery int
 }
 
 // ServingReport is the outcome of one load-generation run.
@@ -54,6 +62,16 @@ type ServingReport struct {
 	CacheMisses    uint64
 	CacheCoalesced uint64
 	HitRate        float64
+	// Update columns of the mixed workload (zero when UpdateEvery is 0):
+	// update counts/latencies are tracked apart from queries — an update
+	// pays a delta apply plus a full bound-index warm, a different regime
+	// than a cached query — and FinalVersion is the graph version after the
+	// run (== Updates when every update succeeded).
+	Updates      int
+	UpdateErrors int
+	UpdateP50    time.Duration
+	UpdateP95    time.Duration
+	FinalVersion uint64
 }
 
 // String renders the report as the one-stop summary cmd/divtopkd prints.
@@ -66,6 +84,11 @@ func (r *ServingReport) String() string {
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
 	fmt.Fprintf(&b, "cache: %d hits, %d coalesced, %d misses (hit rate %.1f%%)",
 		r.CacheHits, r.CacheCoalesced, r.CacheMisses, 100*r.HitRate)
+	if r.Updates > 0 {
+		fmt.Fprintf(&b, "\nupdates: %d (%d errors) p50=%s p95=%s, final version %d",
+			r.Updates, r.UpdateErrors, r.UpdateP50.Round(time.Microsecond),
+			r.UpdateP95.Round(time.Microsecond), r.FinalVersion)
+	}
 	return b.String()
 }
 
@@ -77,6 +100,61 @@ type servingRequest struct {
 	K         int     `json:"k"`
 	Lambda    float64 `json:"lambda,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+}
+
+// updater issues the mixed workload's graph updates. All updates flow
+// through one lock: a single writer appending nodes/edges while many
+// readers query, which both matches the realistic dynamic-graph shape and
+// lets the node count (needed to address appended nodes) be tracked
+// authoritatively from the update responses.
+type updater struct {
+	mu       sync.Mutex
+	endpoint string
+	nodes    int
+	seq      int
+	pending  [][2]int // edges added by earlier updates and not yet deleted
+}
+
+// do issues one update: append a node wired to node 0 and, every other
+// time, delete the oldest edge an earlier update added (deletes stay valid
+// and the edge set does not grow monotonically).
+func (u *updater) do(client *http.Client) (time.Duration, bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	nn := u.nodes
+	body := map[string]any{
+		"add_nodes": []map[string]any{{"label": fmt.Sprintf("dyn%d", u.seq%4)}},
+		"add_edges": [][2]int{{0, nn}},
+	}
+	del := u.seq%2 == 1 && len(u.pending) > 0
+	if del {
+		body["del_edges"] = [][2]int{u.pending[0]}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, false
+	}
+	t0 := time.Now()
+	resp, err := client.Post(u.endpoint, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return time.Since(t0), false
+	}
+	var out struct {
+		Nodes int `json:"nodes"`
+	}
+	ok := resp.StatusCode == http.StatusOK
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	lat := time.Since(t0)
+	if ok {
+		u.nodes = out.Nodes
+		if del {
+			u.pending = u.pending[1:]
+		}
+		u.pending = append(u.pending, [2]int{0, nn})
+		u.seq++
+	}
+	return lat, ok
 }
 
 // ServeLoad runs the load generator and collects the report. A non-2xx
@@ -112,9 +190,16 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 		bodies[i] = raw
 	}
 
-	before, err := fetchCacheTotals(cfg.BaseURL, cfg.Graph)
+	before, err := fetchGraphState(cfg.BaseURL, cfg.Graph)
 	if err != nil {
 		return nil, err
+	}
+	var upd *updater
+	if cfg.UpdateEvery > 0 {
+		upd = &updater{
+			endpoint: cfg.BaseURL + "/v1/graphs/" + cfg.Graph + "/updates",
+			nodes:    before.Nodes,
+		}
 	}
 
 	// Size the connection pool to the worker count: the default transport
@@ -127,6 +212,7 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 	}}
 	latencies := make([]time.Duration, cfg.Requests)
 	errs := make([]bool, cfg.Requests)
+	isUpdate := make([]bool, cfg.Requests)
 	var wg sync.WaitGroup
 	start := time.Now()
 	per := (cfg.Requests + cfg.Concurrency - 1) / cfg.Concurrency
@@ -139,6 +225,13 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			for i := lo; i < hi; i++ {
+				if upd != nil && (i+1)%cfg.UpdateEvery == 0 {
+					isUpdate[i] = true
+					lat, ok := upd.do(client)
+					latencies[i] = lat
+					errs[i] = !ok
+					continue
+				}
 				t0 := time.Now()
 				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
 				if err != nil {
@@ -162,75 +255,95 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := fetchCacheTotals(cfg.BaseURL, cfg.Graph)
+	after, err := fetchGraphState(cfg.BaseURL, cfg.Graph)
 	if err != nil {
 		return nil, err
 	}
 
-	rep := &ServingReport{Requests: cfg.Requests, Elapsed: elapsed}
-	// Percentiles cover successful requests only: a refused connection
+	rep := &ServingReport{Elapsed: elapsed, FinalVersion: after.Version}
+	// Percentiles cover successful requests only — a refused connection
 	// returns in microseconds and would drag the distribution toward zero
-	// right when the server is at its worst.
+	// right when the server is at its worst — and updates are aggregated
+	// apart from queries: the two regimes (cached read vs delta apply +
+	// index warm) would blur each other's distribution.
 	okLat := make([]time.Duration, 0, len(latencies))
+	updLat := make([]time.Duration, 0, 8)
 	for i, e := range errs {
-		if e {
+		switch {
+		case isUpdate[i]:
+			rep.Updates++
+			if e {
+				rep.UpdateErrors++
+			} else {
+				updLat = append(updLat, latencies[i])
+			}
+		case e:
 			rep.Errors++
-		} else {
+		default:
 			okLat = append(okLat, latencies[i])
 		}
 	}
-	ok := cfg.Requests - rep.Errors
+	rep.Requests = cfg.Requests - rep.Updates
+	ok := rep.Requests - rep.Errors
 	if elapsed > 0 {
 		rep.Throughput = float64(ok) / elapsed.Seconds()
 	}
-	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
-	pct := func(p float64) time.Duration {
-		if len(okLat) == 0 {
+	pctOf := func(lat []time.Duration, p float64) time.Duration {
+		if len(lat) == 0 {
 			return 0
 		}
-		idx := int(p * float64(len(okLat)-1))
-		return okLat[idx]
+		return lat[int(p*float64(len(lat)-1))]
 	}
-	rep.P50, rep.P95, rep.P99 = pct(0.50), pct(0.95), pct(0.99)
+	sort.Slice(okLat, func(i, j int) bool { return okLat[i] < okLat[j] })
+	rep.P50, rep.P95, rep.P99 = pctOf(okLat, 0.50), pctOf(okLat, 0.95), pctOf(okLat, 0.99)
 	if len(okLat) > 0 {
 		rep.Max = okLat[len(okLat)-1]
 	}
-	rep.CacheHits = after.Hits - before.Hits
-	rep.CacheMisses = after.Misses - before.Misses
-	rep.CacheCoalesced = after.Coalesced - before.Coalesced
+	sort.Slice(updLat, func(i, j int) bool { return updLat[i] < updLat[j] })
+	rep.UpdateP50, rep.UpdateP95 = pctOf(updLat, 0.50), pctOf(updLat, 0.95)
+	rep.CacheHits = after.Cache.Hits - before.Cache.Hits
+	rep.CacheMisses = after.Cache.Misses - before.Cache.Misses
+	rep.CacheCoalesced = after.Cache.Coalesced - before.Cache.Coalesced
 	if total := rep.CacheHits + rep.CacheMisses + rep.CacheCoalesced; total > 0 {
 		rep.HitRate = float64(rep.CacheHits+rep.CacheCoalesced) / float64(total)
 	}
 	return rep, nil
 }
 
-// cacheTotals is the slice of /v1/graphs the generator reads.
+// cacheTotals is the cache slice of /v1/graphs the generator reads.
 type cacheTotals struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
 }
 
-// fetchCacheTotals reads the named graph's cache counters off /v1/graphs.
-func fetchCacheTotals(baseURL, graph string) (cacheTotals, error) {
+// graphState is the per-graph slice of /v1/graphs the generator reads:
+// cache counters, plus the node count and version the mixed update workload
+// anchors on.
+type graphState struct {
+	Name    string      `json:"name"`
+	Version uint64      `json:"version"`
+	Nodes   int         `json:"nodes"`
+	Cache   cacheTotals `json:"cache"`
+}
+
+// fetchGraphState reads the named graph's state off /v1/graphs.
+func fetchGraphState(baseURL, graph string) (graphState, error) {
 	resp, err := http.Get(baseURL + "/v1/graphs")
 	if err != nil {
-		return cacheTotals{}, fmt.Errorf("bench: reading cache stats: %w", err)
+		return graphState{}, fmt.Errorf("bench: reading graph state: %w", err)
 	}
 	defer resp.Body.Close()
 	var body struct {
-		Graphs []struct {
-			Name  string      `json:"name"`
-			Cache cacheTotals `json:"cache"`
-		} `json:"graphs"`
+		Graphs []graphState `json:"graphs"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return cacheTotals{}, fmt.Errorf("bench: decoding /v1/graphs: %w", err)
+		return graphState{}, fmt.Errorf("bench: decoding /v1/graphs: %w", err)
 	}
 	for _, g := range body.Graphs {
 		if g.Name == graph {
-			return g.Cache, nil
+			return g, nil
 		}
 	}
-	return cacheTotals{}, fmt.Errorf("bench: graph %q not registered on the server", graph)
+	return graphState{}, fmt.Errorf("bench: graph %q not registered on the server", graph)
 }

@@ -1,0 +1,249 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeAppend is one appended node of a Delta: its label and optional
+// attributes. Appended nodes receive the next dense IDs of the target graph,
+// in append order.
+type NodeAppend struct {
+	Label string
+	Attrs map[string]Value
+}
+
+// Delta is a batch of updates to apply to a graph snapshot: edge inserts,
+// edge deletes, and node appends. Existing nodes never change label or
+// attributes and are never removed — the update model of the paper's
+// "frequently updated" social and web graphs, where content accumulates and
+// links churn.
+//
+// Semantics (ApplyDelta): deletes are applied to the old edge set first,
+// inserts after. Inserting an edge that is already present (or inserting the
+// same edge twice) is a no-op, matching Builder.Build's deduplication;
+// deleting an edge the graph does not have is an error, because a caller
+// tracking a live graph that issues such a delete has lost sync with it.
+type Delta struct {
+	// NodeAppends are appended in order; node i of the slice becomes node
+	// oldNumNodes+i of the new graph.
+	NodeAppends []NodeAppend
+	// EdgeInserts and EdgeDeletes reference nodes of the new graph (old IDs
+	// plus the appended range).
+	EdgeInserts [][2]NodeID
+	EdgeDeletes [][2]NodeID
+}
+
+// AddNode appends a node to the delta and returns its index within the
+// delta's appends (its final NodeID is the target graph's NumNodes plus this
+// index). The attrs map is captured as given; the caller must not mutate it
+// afterwards.
+func (d *Delta) AddNode(label string, attrs map[string]Value) int {
+	d.NodeAppends = append(d.NodeAppends, NodeAppend{Label: label, Attrs: attrs})
+	return len(d.NodeAppends) - 1
+}
+
+// InsertEdge records the directed edge (u, v) for insertion.
+func (d *Delta) InsertEdge(u, v NodeID) {
+	d.EdgeInserts = append(d.EdgeInserts, [2]NodeID{u, v})
+}
+
+// DeleteEdge records the directed edge (u, v) for deletion.
+func (d *Delta) DeleteEdge(u, v NodeID) {
+	d.EdgeDeletes = append(d.EdgeDeletes, [2]NodeID{u, v})
+}
+
+// Empty reports whether the delta contains no updates.
+func (d *Delta) Empty() bool {
+	return len(d.NodeAppends) == 0 && len(d.EdgeInserts) == 0 && len(d.EdgeDeletes) == 0
+}
+
+// Size returns the number of individual updates the delta carries.
+func (d *Delta) Size() int {
+	return len(d.NodeAppends) + len(d.EdgeInserts) + len(d.EdgeDeletes)
+}
+
+// sortedUniqueEdges returns edges sorted by key(e) with duplicates dropped,
+// without mutating the input.
+func sortedUniqueEdges(edges [][2]NodeID, byDst bool) [][2]NodeID {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([][2]NodeID, len(edges))
+	copy(out, edges)
+	a, b := 0, 1
+	if byDst {
+		a, b = 1, 0
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][a] != out[j][a] {
+			return out[i][a] < out[j][a]
+		}
+		return out[i][b] < out[j][b]
+	})
+	uniq := out[:0]
+	for i, e := range out {
+		if i > 0 && e == out[i-1] {
+			continue
+		}
+		uniq = append(uniq, e)
+	}
+	return uniq
+}
+
+// mergeAdjacency builds one direction of the new CSR: for every node, the
+// old sorted neighbor run minus the sorted deletes, merged with the sorted
+// inserts, deduplicated — a single linear pass over old adjacency plus
+// delta, never a re-sort of the whole edge set. key selects the grouping
+// endpoint (0 = by source over Out, 1 = by destination over In); neighbors
+// carry the opposite endpoint. A delete that does not align with an old
+// neighbor is reported with its original orientation.
+func mergeAdjacency(nNew int, oldOff []int32, oldAdj []NodeID, nOld int,
+	ins, del [][2]NodeID, key int) ([]int32, []NodeID, error) {
+
+	other := 1 - key
+	off := make([]int32, nNew+1)
+	adj := make([]NodeID, 0, len(oldAdj)+len(ins))
+	di, ii := 0, 0
+	for v := 0; v < nNew; v++ {
+		var old []NodeID
+		if v < nOld {
+			old = oldAdj[oldOff[v]:oldOff[v+1]]
+		}
+		oi := 0
+		for oi < len(old) || (ii < len(ins) && int(ins[ii][key]) == v) {
+			// Surviving old neighbor at the front, after applying deletes.
+			haveOld := false
+			var ow NodeID
+			for oi < len(old) {
+				w := old[oi]
+				if di < len(del) && int(del[di][key]) == v && del[di][other] == w {
+					di++
+					oi++
+					continue
+				}
+				ow, haveOld = w, true
+				break
+			}
+			haveIns := ii < len(ins) && int(ins[ii][key]) == v
+			var iw NodeID
+			if haveIns {
+				iw = ins[ii][other]
+			}
+			var w NodeID
+			switch {
+			case haveOld && (!haveIns || ow <= iw):
+				w = ow
+				oi++
+				if haveIns && iw == ow {
+					ii++ // insert of an existing edge: no-op
+				}
+			case haveIns:
+				w = iw
+				ii++
+			default:
+				// Neither side has a neighbor left; loop condition ends.
+				continue
+			}
+			adj = append(adj, w)
+		}
+		// Any delete still pointing at v matched no old neighbor.
+		if di < len(del) && int(del[di][key]) == v {
+			e := del[di]
+			return nil, nil, fmt.Errorf("graph: delta deletes edge (%d,%d) the graph does not have", e[0], e[1])
+		}
+		off[v+1] = int32(len(adj))
+	}
+	if di < len(del) {
+		e := del[di]
+		return nil, nil, fmt.Errorf("graph: delta deletes edge (%d,%d) the graph does not have", e[0], e[1])
+	}
+	return off, adj, nil
+}
+
+// ApplyDelta derives a new immutable graph snapshot from g and d: appended
+// nodes take the next dense IDs, deletes are removed from and inserts merged
+// into both CSR directions in one linear pass each (the old adjacency is
+// already sorted, so no re-sort of the edge set happens), and the result's
+// Version is g.Version()+1. g itself is untouched and remains fully usable;
+// the two snapshots share the label dictionary (appended labels are interned
+// into it — Dict is safe for that even while g serves queries) and all
+// per-node data that did not change.
+func ApplyDelta(g *Graph, d *Delta) (*Graph, error) {
+	nOld := g.n
+	nNew := nOld + len(d.NodeAppends)
+	check := func(edges [][2]NodeID, what string) error {
+		for _, e := range edges {
+			if e[0] < 0 || int(e[0]) >= nNew || e[1] < 0 || int(e[1]) >= nNew {
+				return fmt.Errorf("graph: delta %s edge (%d,%d) references unknown node (have %d nodes after appends)",
+					what, e[0], e[1], nNew)
+			}
+		}
+		return nil
+	}
+	if err := check(d.EdgeInserts, "insert"); err != nil {
+		return nil, err
+	}
+	if err := check(d.EdgeDeletes, "delete"); err != nil {
+		return nil, err
+	}
+	for _, e := range d.EdgeDeletes {
+		if int(e[0]) >= nOld || int(e[1]) >= nOld {
+			return nil, fmt.Errorf("graph: delta deletes edge (%d,%d) incident to an appended node", e[0], e[1])
+		}
+	}
+
+	insOut := sortedUniqueEdges(d.EdgeInserts, false)
+	delOut := sortedUniqueEdges(d.EdgeDeletes, false)
+	outOff, outAdj, err := mergeAdjacency(nNew, g.outOff, g.outAdj, nOld, insOut, delOut, 0)
+	if err != nil {
+		return nil, err
+	}
+	insIn := sortedUniqueEdges(d.EdgeInserts, true)
+	delIn := sortedUniqueEdges(d.EdgeDeletes, true)
+	inOff, inAdj, err := mergeAdjacency(nNew, g.inOff, g.inAdj, nOld, insIn, delIn, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	// Capped slices: the first append below copies instead of scribbling into
+	// the old graph's arrays.
+	labels := g.labels[:nOld:nOld]
+	attrs := g.attrs[:nOld:nOld]
+	for _, na := range d.NodeAppends {
+		labels = append(labels, g.dict.Intern(na.Label))
+		var m map[string]Value
+		if len(na.Attrs) > 0 {
+			m = make(map[string]Value, len(na.Attrs))
+			for k, v := range na.Attrs {
+				m[k] = v
+			}
+		}
+		attrs = append(attrs, m)
+	}
+
+	// byLabel: appended node IDs exceed every old ID, so per-label lists stay
+	// ascending by appending; labels that gain no node share the old slice
+	// (capped, so a future append cannot scribble into it).
+	byLabel := make(map[LabelID][]NodeID, len(g.byLabel))
+	for l, nodes := range g.byLabel {
+		byLabel[l] = nodes[:len(nodes):len(nodes)]
+	}
+	for i := nOld; i < nNew; i++ {
+		byLabel[labels[i]] = append(byLabel[labels[i]], NodeID(i))
+	}
+
+	return &Graph{
+		n:       nNew,
+		m:       len(outAdj),
+		labels:  labels,
+		attrs:   attrs,
+		dict:    g.dict,
+		outOff:  outOff,
+		outAdj:  outAdj,
+		inOff:   inOff,
+		inAdj:   inAdj,
+		byLabel: byLabel,
+		version: g.version + 1,
+	}, nil
+}

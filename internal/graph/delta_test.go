@@ -1,0 +1,290 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// rebuild constructs the graph a delta sequence should produce from scratch
+// with a Builder sharing the same dict — the oracle ApplyDelta is compared
+// against.
+func rebuild(labels []string, attrs []map[string]Value, edges map[[2]NodeID]bool, dict *Dict) *Graph {
+	b := NewBuilderWithDict(dict)
+	for i, l := range labels {
+		b.AddNode(l, attrs[i])
+	}
+	for e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// assertGraphsEqual compares every observable of two graphs, CSR arrays
+// included.
+func assertDeltaGraphsEqual(t *testing.T, label string, got, want *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() || got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: size (%d,%d) vs (%d,%d)", label, got.NumNodes(), got.NumEdges(), want.NumNodes(), want.NumEdges())
+	}
+	if !reflect.DeepEqual(got.outOff, want.outOff) || !reflect.DeepEqual(got.outAdj, want.outAdj) {
+		t.Fatalf("%s: out CSR differs\ngot  %v %v\nwant %v %v", label, got.outOff, got.outAdj, want.outOff, want.outAdj)
+	}
+	if !reflect.DeepEqual(got.inOff, want.inOff) || !reflect.DeepEqual(got.inAdj, want.inAdj) {
+		t.Fatalf("%s: in CSR differs\ngot  %v %v\nwant %v %v", label, got.inOff, got.inAdj, want.inOff, want.inAdj)
+	}
+	if !reflect.DeepEqual(got.labels, want.labels) {
+		t.Fatalf("%s: labels differ: %v vs %v", label, got.labels, want.labels)
+	}
+	for v := 0; v < got.NumNodes(); v++ {
+		gk, wk := got.AttrKeys(NodeID(v)), want.AttrKeys(NodeID(v))
+		if !reflect.DeepEqual(gk, wk) {
+			t.Fatalf("%s: node %d attr keys %v vs %v", label, v, gk, wk)
+		}
+		for _, k := range gk {
+			gv, _ := got.Attr(NodeID(v), k)
+			wv, _ := want.Attr(NodeID(v), k)
+			if gv != wv {
+				t.Fatalf("%s: node %d attr %q: %v vs %v", label, v, k, gv, wv)
+			}
+		}
+	}
+	for l := range want.byLabel {
+		if !reflect.DeepEqual(got.byLabel[l], want.byLabel[l]) {
+			t.Fatalf("%s: byLabel[%d] %v vs %v", label, l, got.byLabel[l], want.byLabel[l])
+		}
+	}
+}
+
+func TestApplyDeltaBasic(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", nil)
+	c := b.AddNode("B", map[string]Value{"r": IntValue(3)})
+	d0 := b.AddNode("C", nil)
+	mustEdge := func(u, v NodeID) {
+		if err := b.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge(a, c)
+	mustEdge(c, d0)
+	g := b.Build()
+	if g.Version() != 0 {
+		t.Fatalf("fresh graph version = %d, want 0", g.Version())
+	}
+
+	var d Delta
+	idx := d.AddNode("D", map[string]Value{"w": StrValue("x")})
+	nn := NodeID(g.NumNodes() + idx)
+	d.InsertEdge(a, nn)
+	d.InsertEdge(nn, d0)
+	d.DeleteEdge(c, d0)
+	d.InsertEdge(a, c) // already present: no-op
+
+	g2, err := ApplyDelta(g, &d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Version() != 1 {
+		t.Fatalf("version = %d, want 1", g2.Version())
+	}
+	if g2.NumNodes() != 4 || g2.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges, want 4 and 3", g2.NumNodes(), g2.NumEdges())
+	}
+	if !g2.HasEdge(a, nn) || !g2.HasEdge(nn, d0) || g2.HasEdge(c, d0) || !g2.HasEdge(a, c) {
+		t.Fatalf("edge set wrong after delta: out(a)=%v out(c)=%v out(nn)=%v", g2.Out(a), g2.Out(c), g2.Out(nn))
+	}
+	if g2.Label(nn) != "D" {
+		t.Fatalf("appended node label %q", g2.Label(nn))
+	}
+	if v, ok := g2.Attr(nn, "w"); !ok || v.Str != "x" {
+		t.Fatalf("appended node attr = %v %v", v, ok)
+	}
+	// The old snapshot is untouched.
+	if g.NumNodes() != 3 || g.NumEdges() != 2 || !g.HasEdge(c, d0) || g.Version() != 0 {
+		t.Fatal("ApplyDelta mutated the old snapshot")
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode("A", nil)
+	c := b.AddNode("B", nil)
+	if err := b.AddEdge(a, c); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"insert unknown node", Delta{EdgeInserts: [][2]NodeID{{0, 9}}}},
+		{"insert negative node", Delta{EdgeInserts: [][2]NodeID{{-1, 0}}}},
+		{"delete missing edge", Delta{EdgeDeletes: [][2]NodeID{{1, 0}}}},
+		{"delete unknown node", Delta{EdgeDeletes: [][2]NodeID{{0, 9}}}},
+		{"delete appended-node edge", Delta{
+			NodeAppends: []NodeAppend{{Label: "C"}},
+			EdgeDeletes: [][2]NodeID{{0, 2}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := ApplyDelta(g, &tc.d); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// A valid delta still works after the failures above (g untouched).
+	if _, err := ApplyDelta(g, &Delta{EdgeDeletes: [][2]NodeID{{0, 1}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyDeltaRandomizedEquivalence drives random delta sequences and
+// checks, after every step, that the incremental snapshot is structurally
+// identical to a from-scratch Build of the same node/edge set — CSR arrays,
+// labels, attrs and byLabel lists included — and that versions increase by
+// one per delta.
+func TestApplyDeltaRandomizedEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dict := NewDict()
+			b := NewBuilderWithDict(dict)
+			labels := []string{}
+			attrs := []map[string]Value{}
+			for i := 0; i < 30; i++ {
+				l := fmt.Sprintf("L%d", rng.Intn(4))
+				labels = append(labels, l)
+				attrs = append(attrs, nil)
+				b.AddNode(l, nil)
+			}
+			edges := map[[2]NodeID]bool{}
+			for len(edges) < 80 {
+				e := [2]NodeID{NodeID(rng.Intn(30)), NodeID(rng.Intn(30))}
+				if !edges[e] {
+					edges[e] = true
+					if err := b.AddEdge(e[0], e[1]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			g := b.Build()
+
+			for step := 0; step < 12; step++ {
+				var d Delta
+				nBase := len(labels)
+				// Random mix of appends, inserts, deletes.
+				for a := rng.Intn(3); a > 0; a-- {
+					l := fmt.Sprintf("L%d", rng.Intn(5)) // may intern a new label
+					var am map[string]Value
+					if rng.Intn(2) == 0 {
+						am = map[string]Value{"k": IntValue(int64(rng.Intn(10)))}
+					}
+					d.AddNode(l, am)
+					labels = append(labels, l)
+					attrs = append(attrs, am)
+				}
+				n := len(labels)
+				for a := rng.Intn(6); a > 0; a-- {
+					e := [2]NodeID{NodeID(rng.Intn(n)), NodeID(rng.Intn(n))}
+					d.InsertEdge(e[0], e[1])
+					edges[e] = true
+				}
+				if len(edges) > 0 {
+					all := make([][2]NodeID, 0, len(edges))
+					for e := range edges {
+						// Appended-node edges are being inserted in this very
+						// delta; only settled edges are deletable.
+						if int(e[0]) < nBase && int(e[1]) < nBase {
+							all = append(all, e)
+						}
+					}
+					for a := rng.Intn(3); a > 0 && len(all) > 0; a-- {
+						i := rng.Intn(len(all))
+						e := all[i]
+						// Skip if this delta also inserts it (delete applies
+						// first; the insert would put it back, which the
+						// oracle map cannot express if we remove it).
+						ins := false
+						for _, ie := range d.EdgeInserts {
+							if ie == e {
+								ins = true
+								break
+							}
+						}
+						if ins {
+							continue
+						}
+						d.DeleteEdge(e[0], e[1])
+						delete(edges, e)
+						all[i] = all[len(all)-1]
+						all = all[:len(all)-1]
+					}
+				}
+
+				g2, err := ApplyDelta(g, &d)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if g2.Version() != g.Version()+1 {
+					t.Fatalf("step %d: version %d after %d", step, g2.Version(), g.Version())
+				}
+				want := rebuild(labels, attrs, edges, dict)
+				assertDeltaGraphsEqual(t, fmt.Sprintf("step %d", step), g2, want)
+				g = g2
+			}
+		})
+	}
+}
+
+// TestDictConcurrentInternAndRead is the -race regression for the shared
+// dictionary: ApplyDelta interns labels into the dict aliased by a live
+// graph while readers resolve labels, exactly the serving-layer shape.
+func TestDictConcurrentInternAndRead(t *testing.T) {
+	d := NewDict()
+	base := d.Intern("base")
+	stop := make(chan struct{})
+	var readers, writers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if d.Name(base) != "base" {
+					panic("label changed")
+				}
+				if _, ok := d.ID("base"); !ok {
+					panic("label lost")
+				}
+				for _, n := range d.Names() {
+					_ = n
+				}
+				_ = d.Size()
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				d.Intern(fmt.Sprintf("w%d-%d", w, i%100))
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if d.Size() != 1+4*100 {
+		t.Fatalf("dict size = %d, want %d", d.Size(), 1+4*100)
+	}
+}

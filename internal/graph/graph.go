@@ -13,6 +13,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node of a data graph. IDs are dense: a graph with n
@@ -57,44 +59,78 @@ func (v Value) Equal(w Value) bool { return v == w }
 
 // Dict interns label strings to dense LabelIDs so that label comparisons in
 // the inner matching loops are integer comparisons.
+//
+// A Dict is safe for concurrent use: NewBuilderWithDict shares one dict
+// across builders, and ApplyDelta interns the labels of appended nodes into
+// the dict aliased by the live graph being served, so Intern may run while
+// queries resolve labels through ID/Name/Names. Reads sit on per-node hot
+// paths (candidate filtering resolves a label per examined node), so they
+// are lock-free: the dictionary state is an immutable snapshot behind an
+// atomic pointer, and Intern — rare, label alphabets are tiny — publishes a
+// fresh copy. Interned labels are never removed or renumbered, so a LabelID
+// obtained once stays valid forever.
 type Dict struct {
+	mu    sync.Mutex // serializes Intern; readers never take it
+	state atomic.Pointer[dictState]
+}
+
+// dictState is one immutable snapshot of the dictionary.
+type dictState struct {
 	byName map[string]LabelID
 	names  []string
 }
 
 // NewDict returns an empty label dictionary.
 func NewDict() *Dict {
-	return &Dict{byName: make(map[string]LabelID)}
+	d := &Dict{}
+	d.state.Store(&dictState{byName: make(map[string]LabelID)})
+	return d
 }
 
 // Intern returns the ID for name, assigning a fresh one if needed.
 func (d *Dict) Intern(name string) LabelID {
-	if id, ok := d.byName[name]; ok {
+	if id, ok := d.state.Load().byName[name]; ok {
 		return id
 	}
-	id := LabelID(len(d.names))
-	d.byName[name] = id
-	d.names = append(d.names, name)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.state.Load()
+	if id, ok := st.byName[name]; ok {
+		return id
+	}
+	id := LabelID(len(st.names))
+	byName := make(map[string]LabelID, len(st.byName)+1)
+	for k, v := range st.byName {
+		byName[k] = v
+	}
+	byName[name] = id
+	names := make([]string, len(st.names), len(st.names)+1)
+	copy(names, st.names)
+	d.state.Store(&dictState{byName: byName, names: append(names, name)})
 	return id
 }
 
 // ID returns the ID for name and whether it is known.
 func (d *Dict) ID(name string) (LabelID, bool) {
-	id, ok := d.byName[name]
+	id, ok := d.state.Load().byName[name]
 	return id, ok
 }
 
 // Name returns the label string for id.
-func (d *Dict) Name(id LabelID) string { return d.names[id] }
+func (d *Dict) Name(id LabelID) string { return d.state.Load().names[id] }
 
 // Size returns the number of interned labels.
-func (d *Dict) Size() int { return len(d.names) }
+func (d *Dict) Size() int { return len(d.state.Load().names) }
 
 // Names returns all interned labels in ID order. The caller must not modify
-// the returned slice.
-func (d *Dict) Names() []string { return d.names }
+// the returned slice; Intern publishes fresh snapshots and never writes
+// into a published one.
+func (d *Dict) Names() []string { return d.state.Load().names }
 
-// Graph is an immutable directed labeled graph. Use a Builder to create one.
+// Graph is an immutable directed labeled graph. Use a Builder to create one,
+// or ApplyDelta to derive the next version of an existing one: dynamic
+// workloads are modeled as a sequence of immutable snapshots, each carrying a
+// monotonically increasing Version.
 type Graph struct {
 	n      int
 	m      int
@@ -108,10 +144,20 @@ type Graph struct {
 	inAdj  []NodeID
 
 	byLabel map[LabelID][]NodeID
+
+	// version counts the deltas applied since the Builder snapshot: Build
+	// returns version 0 and every ApplyDelta increments it by one.
+	version uint64
 }
 
 // NumNodes returns |V|.
 func (g *Graph) NumNodes() int { return g.n }
+
+// Version returns the graph's snapshot version: 0 for a freshly built graph,
+// and one more than its predecessor for every graph produced by ApplyDelta.
+// Versions order the snapshots of one update lineage; they are not unique
+// across unrelated graphs.
+func (g *Graph) Version() uint64 { return g.version }
 
 // NumEdges returns |E|.
 func (g *Graph) NumEdges() int { return g.m }

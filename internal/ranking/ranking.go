@@ -6,10 +6,20 @@
 package ranking
 
 import (
+	"errors"
 	"fmt"
 
 	"divtopk/internal/bitset"
 )
+
+// ErrLambdaRange is the structured error every diversified entry point
+// returns for a λ outside [0,1] — including NaN, which no comparison chain
+// of the form "< 0 || > 1" catches (NaN fails both sides). Callers match it
+// with errors.Is.
+var ErrLambdaRange = errors.New("ranking: lambda must be within [0,1]")
+
+// ErrKRange is the structured error for k < 1 in diversification parameters.
+var ErrKRange = errors.New("ranking: k must be >= 1")
 
 // Relevance returns δr(u,v) = |R(u,v)| given a relevant set.
 func Relevance(r *bitset.Set) float64 { return float64(r.Count()) }
@@ -30,13 +40,15 @@ type DiversifyParams struct {
 	Cuo    int
 }
 
-// Validate checks the parameter ranges.
+// Validate checks the parameter ranges. The λ check is written as a negated
+// conjunction so that NaN — for which both λ < 0 and λ > 1 are false — is
+// rejected rather than silently poisoning every F value downstream.
 func (p DiversifyParams) Validate() error {
-	if p.Lambda < 0 || p.Lambda > 1 {
-		return fmt.Errorf("ranking: lambda %v outside [0,1]", p.Lambda)
+	if !(p.Lambda >= 0 && p.Lambda <= 1) {
+		return fmt.Errorf("%w (got %v)", ErrLambdaRange, p.Lambda)
 	}
 	if p.K < 1 {
-		return fmt.Errorf("ranking: k %d < 1", p.K)
+		return fmt.Errorf("%w (got %d)", ErrKRange, p.K)
 	}
 	return nil
 }

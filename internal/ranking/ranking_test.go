@@ -1,6 +1,7 @@
 package ranking
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -216,6 +217,28 @@ func TestValidate(t *testing.T) {
 	}
 	if err := (DiversifyParams{Lambda: 0.5, K: 2}).Validate(); err != nil {
 		t.Errorf("valid params rejected: %v", err)
+	}
+	// NaN fails both sides of "< 0 || > 1"; the regression pins that it is
+	// rejected with the structured sentinel rather than flowing into F.
+	err := (DiversifyParams{Lambda: math.NaN(), K: 2}).Validate()
+	if err == nil {
+		t.Error("NaN lambda accepted")
+	} else if !errors.Is(err, ErrLambdaRange) {
+		t.Errorf("NaN lambda error = %v, want errors.Is(_, ErrLambdaRange)", err)
+	}
+	for _, inf := range []float64{math.Inf(1), math.Inf(-1)} {
+		if err := (DiversifyParams{Lambda: inf, K: 2}).Validate(); !errors.Is(err, ErrLambdaRange) {
+			t.Errorf("lambda %v: err = %v, want ErrLambdaRange", inf, err)
+		}
+	}
+	if err := (DiversifyParams{Lambda: 0.5, K: 0}).Validate(); !errors.Is(err, ErrKRange) {
+		t.Errorf("k=0 err not ErrKRange")
+	}
+	// The boundary values stay legal.
+	for _, l := range []float64{0, 1} {
+		if err := (DiversifyParams{Lambda: l, K: 1}).Validate(); err != nil {
+			t.Errorf("lambda %v rejected: %v", l, err)
+		}
 	}
 }
 

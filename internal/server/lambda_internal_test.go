@@ -1,0 +1,28 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBuildOptionsLambdaNaN is the regression for the request-validation
+// rewrite: the old check "req.Lambda < 0 || req.Lambda > 1" let NaN through
+// (both comparisons are false for NaN) into the engine, which then computed
+// NaN objective values. JSON cannot deliver a NaN, but the QueryRequest
+// struct is also filled programmatically (bench harness, loadgen, embedded
+// servers), so the validation itself must be NaN-proof.
+func TestBuildOptionsLambdaNaN(t *testing.T) {
+	s := New(NewRegistry(), Config{})
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.5, 1.5} {
+		req := QueryRequest{K: 5, Lambda: bad}
+		if _, msg := s.buildOptions(&req, true); msg == "" {
+			t.Errorf("lambda %v accepted by request validation", bad)
+		}
+	}
+	for _, ok := range []float64{0, 0.5, 1} {
+		req := QueryRequest{K: 5, Lambda: ok}
+		if _, msg := s.buildOptions(&req, true); msg != "" {
+			t.Errorf("lambda %v rejected: %s", ok, msg)
+		}
+	}
+}

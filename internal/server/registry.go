@@ -19,17 +19,20 @@ import (
 
 // GraphInfo describes one registered graph for /v1/graphs.
 type GraphInfo struct {
-	Name  string             `json:"name"`
-	Nodes int                `json:"nodes"`
-	Edges int                `json:"edges"`
-	Cache divtopk.CacheStats `json:"cache"`
+	Name    string             `json:"name"`
+	Version uint64             `json:"version"`
+	Nodes   int                `json:"nodes"`
+	Edges   int                `json:"edges"`
+	Cache   divtopk.CacheStats `json:"cache"`
 }
 
 // Registry holds the named query sessions a server exposes. Sessions are
 // warmed at registration (NewMatcher builds the full bound index), so a
 // registered graph serves concurrent queries immediately. Safe for
-// concurrent use; graphs can be added at runtime but never replaced —
-// replacing a live session would invalidate cached results mid-flight.
+// concurrent use; graphs can be added at runtime but sessions are never
+// replaced — a graph evolves in place through Matcher.Update, whose
+// versioned cache keys keep every cached result tied to the snapshot that
+// produced it.
 type Registry struct {
 	opts []divtopk.Option
 
@@ -119,10 +122,11 @@ func (r *Registry) List() []GraphInfo {
 	for name, m := range r.sessions {
 		g := m.Graph()
 		out = append(out, GraphInfo{
-			Name:  name,
-			Nodes: g.NumNodes(),
-			Edges: g.NumEdges(),
-			Cache: m.CacheStats(),
+			Name:    name,
+			Version: g.Version(),
+			Nodes:   g.NumNodes(),
+			Edges:   g.NumEdges(),
+			Cache:   m.CacheStats(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -77,16 +77,18 @@ func New(reg *Registry, cfg Config) *Server {
 
 // Handler returns the API routes:
 //
-//	GET  /healthz              — liveness and graph count
-//	GET  /v1/graphs            — registered graphs with cache statistics
-//	POST /v1/graphs            — register a graph at runtime
-//	POST /v1/query             — top-k query
-//	POST /v1/query/diversified — diversified top-k query
+//	GET  /healthz                   — liveness and graph count
+//	GET  /v1/graphs                 — registered graphs with cache statistics
+//	POST /v1/graphs                 — register a graph at runtime
+//	POST /v1/graphs/{name}/updates  — apply a delta to a registered graph
+//	POST /v1/query                  — top-k query
+//	POST /v1/query/diversified      — diversified top-k query
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	mux.HandleFunc("POST /v1/graphs/{name}/updates", s.handleUpdate)
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
 		s.handleQuery(w, r, false)
 	})
@@ -144,9 +146,12 @@ type StatsJSON struct {
 	EarlyTerminated bool `json:"early_terminated"`
 }
 
-// QueryResponse is the body of a successful POST /v1/query.
+// QueryResponse is the body of a successful POST /v1/query. Version is the
+// graph snapshot version the answer was computed against; clients of a
+// dynamic graph use it to correlate answers with the updates they applied.
 type QueryResponse struct {
 	GlobalMatch bool        `json:"global_match"`
+	Version     uint64      `json:"version"`
 	Matches     []MatchJSON `json:"matches"`
 	Stats       StatsJSON   `json:"stats"`
 }
@@ -155,6 +160,7 @@ type QueryResponse struct {
 // /v1/query/diversified.
 type DiversifiedResponse struct {
 	GlobalMatch bool        `json:"global_match"`
+	Version     uint64      `json:"version"`
 	F           float64     `json:"f"`
 	Matches     []MatchJSON `json:"matches"`
 	Stats       StatsJSON   `json:"stats"`
@@ -162,19 +168,22 @@ type DiversifiedResponse struct {
 
 // NewQueryResponse converts a library Result to its wire form. Exported so
 // tests and clients can compare a direct Matcher call byte-for-byte with a
-// server response.
-func NewQueryResponse(res *divtopk.Result) QueryResponse {
+// server response. version is the snapshot version the result came from
+// (Matcher.TopKWithVersion reports it).
+func NewQueryResponse(res *divtopk.Result, version uint64) QueryResponse {
 	return QueryResponse{
 		GlobalMatch: res.GlobalMatch,
+		Version:     version,
 		Matches:     matchesJSON(res.Matches),
 		Stats:       statsJSON(res.Stats),
 	}
 }
 
 // NewDiversifiedResponse is NewQueryResponse for diversified results.
-func NewDiversifiedResponse(res *divtopk.DiversifiedResult) DiversifiedResponse {
+func NewDiversifiedResponse(res *divtopk.DiversifiedResult, version uint64) DiversifiedResponse {
 	return DiversifiedResponse{
 		GlobalMatch: res.GlobalMatch,
+		Version:     version,
 		F:           res.F,
 		Matches:     matchesJSON(res.Matches),
 		Stats:       statsJSON(res.Stats),
@@ -212,8 +221,8 @@ type ErrorResponse struct {
 
 // ErrorDetail carries a stable machine-readable code plus a human message.
 type ErrorDetail struct {
-	// Code is one of: bad_request, bad_pattern, unknown_graph, conflict,
-	// timeout, canceled, internal.
+	// Code is one of: bad_request, bad_pattern, bad_delta, unknown_graph,
+	// conflict, body_too_large, timeout, canceled, internal.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
@@ -222,8 +231,10 @@ type ErrorDetail struct {
 const (
 	codeBadRequest   = "bad_request"
 	codeBadPattern   = "bad_pattern"
+	codeBadDelta     = "bad_delta"
 	codeUnknownGraph = "unknown_graph"
 	codeConflict     = "conflict"
+	codeBodyTooLarge = "body_too_large"
 	codeTimeout      = "timeout"
 	codeCanceled     = "canceled"
 	codeInternal     = "internal"
@@ -233,6 +244,25 @@ const (
 // connection before the response was ready (distinct from a 504, where the
 // server ran out of budget).
 const statusClientClosedRequest = 499
+
+// decodeBody decodes a JSON request body bounded by limit bytes, mapping an
+// exceeded limit to 413 body_too_large instead of the generic decode 400:
+// "shrink your request" and "fix your request" are different client bugs
+// and deserve different stable codes. Returns false after writing the error.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				"request body exceeds the %d-byte limit", tooLarge.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
 
 // writeError emits the structured error body with the given status.
 func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
@@ -268,9 +298,7 @@ type AddGraphRequest struct {
 
 func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	var req AddGraphRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxGraphBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
+	if !decodeBody(w, r, s.cfg.MaxGraphBytes, &req) {
 		return
 	}
 	if req.Name == "" {
@@ -290,7 +318,104 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"name": req.Name, "nodes": g.NumNodes(), "edges": g.NumEdges(),
+		"name": req.Name, "version": g.Version(),
+		"nodes": g.NumNodes(), "edges": g.NumEdges(),
+	})
+}
+
+// UpdateNode is one appended node of an UpdateRequest. Attrs values may be
+// JSON strings (string attributes) or integral numbers (integer attributes).
+type UpdateNode struct {
+	Label string         `json:"label"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// EdgePair is one [from, to] edge of an UpdateRequest. It decodes strictly:
+// encoding/json would silently truncate a three-element array into a [2]int
+// and zero-fill a one-element one, turning a client arity bug into a
+// mutation of the wrong edge; here either case is a decode error.
+type EdgePair [2]int
+
+// UnmarshalJSON enforces exactly two elements.
+func (e *EdgePair) UnmarshalJSON(data []byte) error {
+	var raw []int
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	if len(raw) != 2 {
+		return fmt.Errorf("edge must be a [from, to] pair, got %d element(s)", len(raw))
+	}
+	e[0], e[1] = raw[0], raw[1]
+	return nil
+}
+
+// UpdateRequest is the body of POST /v1/graphs/{name}/updates: a graph
+// delta. Appended node i receives ID nodes+i, where nodes is the graph's
+// node count before this update (echoed back by the previous update or
+// registration response); add/del edges reference those final IDs.
+type UpdateRequest struct {
+	AddNodes []UpdateNode `json:"add_nodes,omitempty"`
+	AddEdges []EdgePair   `json:"add_edges,omitempty"`
+	DelEdges []EdgePair   `json:"del_edges,omitempty"`
+}
+
+// Delta converts the wire form to a library Delta.
+func (req *UpdateRequest) Delta() (*divtopk.Delta, error) {
+	var d divtopk.Delta
+	for i, n := range req.AddNodes {
+		attrs := make([]divtopk.Attr, 0, len(n.Attrs))
+		for k, v := range n.Attrs {
+			switch val := v.(type) {
+			case string:
+				attrs = append(attrs, divtopk.Str(k, val))
+			case float64:
+				if val != float64(int64(val)) {
+					return nil, fmt.Errorf("add_nodes[%d]: attr %q: fractional numbers are not a supported attribute type", i, k)
+				}
+				attrs = append(attrs, divtopk.Int(k, int64(val)))
+			default:
+				return nil, fmt.Errorf("add_nodes[%d]: attr %q: unsupported value type %T", i, k, v)
+			}
+		}
+		d.AddNode(n.Label, attrs...)
+	}
+	for _, e := range req.AddEdges {
+		d.InsertEdge(e[0], e[1])
+	}
+	for _, e := range req.DelEdges {
+		d.DeleteEdge(e[0], e[1])
+	}
+	return &d, nil
+}
+
+// handleUpdate applies a delta to a registered graph's session. The matcher
+// swaps atomically, so in-flight queries finish on the snapshot they
+// started on and the response's version tags every answer computed on the
+// new one.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req UpdateRequest
+	if !decodeBody(w, r, s.cfg.MaxGraphBytes, &req) {
+		return
+	}
+	m, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeUnknownGraph, "graph %q is not registered", name)
+		return
+	}
+	d, err := req.Delta()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadDelta, "%v", err)
+		return
+	}
+	g, err := m.Update(d)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, codeBadDelta, "applying delta: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name": name, "version": g.Version(),
+		"nodes": g.NumNodes(), "edges": g.NumEdges(),
 	})
 }
 
@@ -345,7 +470,9 @@ func (s *Server) buildOptions(req *QueryRequest, diversified bool) ([]divtopk.Op
 		return nil, fmt.Sprintf("unknown bounds %q (label-count, tight, loose)", req.Bounds)
 	}
 	if diversified {
-		if req.Lambda < 0 || req.Lambda > 1 {
+		// Negated conjunction, not "< 0 || > 1": NaN fails both comparisons
+		// of the naive form and would sail through to the engine.
+		if !(req.Lambda >= 0 && req.Lambda <= 1) {
 			return nil, fmt.Sprintf("lambda %v outside [0,1]", req.Lambda)
 		}
 		if req.Approx {
@@ -367,9 +494,7 @@ func (s *Server) buildOptions(req *QueryRequest, diversified bool) ([]divtopk.Op
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, diversified bool) {
 	var req QueryRequest
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxQueryBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, codeBadRequest, "decoding request: %v", err)
+	if !decodeBody(w, r, s.cfg.MaxQueryBytes, &req) {
 		return
 	}
 	opts, msg := s.buildOptions(&req, diversified)
@@ -393,19 +518,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, diversified
 	var resp any
 	if diversified {
 		resp, err = evaluate(ctx, s.sem, func() (any, error) {
-			res, err := m.TopKDiversified(p, req.K, req.Lambda, opts...)
+			res, version, err := m.TopKDiversifiedWithVersion(p, req.K, req.Lambda, opts...)
 			if err != nil {
 				return nil, err
 			}
-			return NewDiversifiedResponse(res), nil
+			return NewDiversifiedResponse(res, version), nil
 		})
 	} else {
 		resp, err = evaluate(ctx, s.sem, func() (any, error) {
-			res, err := m.TopK(p, req.K, opts...)
+			res, version, err := m.TopKWithVersion(p, req.K, opts...)
 			if err != nil {
 				return nil, err
 			}
-			return NewQueryResponse(res), nil
+			return NewQueryResponse(res, version), nil
 		})
 	}
 	switch {

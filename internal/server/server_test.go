@@ -106,7 +106,7 @@ func TestServerResponsesByteIdenticalToDirectCalls(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := json.Marshal(server.NewQueryResponse(res))
+			want, err := json.Marshal(server.NewQueryResponse(res, direct.Version()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +124,7 @@ func TestServerResponsesByteIdenticalToDirectCalls(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err = json.Marshal(server.NewDiversifiedResponse(dres))
+			want, err = json.Marshal(server.NewDiversifiedResponse(dres, direct.Version()))
 			if err != nil {
 				t.Fatal(err)
 			}

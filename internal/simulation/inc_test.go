@@ -1,0 +1,215 @@
+package simulation
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"divtopk/internal/graph"
+	"divtopk/internal/pattern"
+)
+
+// randomDynGraph builds a random labeled graph for the delta fuzz.
+func randomDynGraph(rng *rand.Rand, n, m, labels int, dict *graph.Dict) *graph.Graph {
+	b := graph.NewBuilderWithDict(dict)
+	for i := 0; i < n; i++ {
+		b.AddNode(fmt.Sprintf("L%d", rng.Intn(labels)), nil)
+	}
+	for i := 0; i < m; i++ {
+		_ = b.AddEdge(graph.NodeID(rng.Intn(n)), graph.NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// randomDynPattern builds a small random pattern over the same label space.
+func randomDynPattern(rng *rand.Rand, labels int) *pattern.Pattern {
+	p := pattern.New()
+	nq := 2 + rng.Intn(3)
+	for i := 0; i < nq; i++ {
+		p.AddNode(fmt.Sprintf("L%d", rng.Intn(labels)))
+	}
+	for tries := 0; tries < 2*nq; tries++ {
+		_ = p.AddEdge(rng.Intn(nq), rng.Intn(nq))
+	}
+	_ = p.SetOutput(rng.Intn(nq))
+	return p
+}
+
+// randomDelta mines a random delta against g: node appends (sometimes with a
+// label the dictionary has not seen), edge inserts (possibly duplicates or
+// incident to appended nodes), and deletes of existing edges.
+func randomDelta(rng *rand.Rand, g *graph.Graph, labels int) *graph.Delta {
+	var d graph.Delta
+	n := g.NumNodes()
+	for a := rng.Intn(3); a > 0; a-- {
+		d.AddNode(fmt.Sprintf("L%d", rng.Intn(labels+1)), nil)
+	}
+	nNew := n + len(d.NodeAppends)
+	for a := rng.Intn(8); a > 0; a-- {
+		d.InsertEdge(graph.NodeID(rng.Intn(nNew)), graph.NodeID(rng.Intn(nNew)))
+	}
+	// Collect up to a few existing edges to delete (not also inserted above:
+	// delete-then-insert is legal but makes the delta a no-op for them).
+	del := rng.Intn(4)
+	for v := graph.NodeID(0); v < graph.NodeID(n) && del > 0; v++ {
+		for _, w := range g.Out(v) {
+			if rng.Intn(10) != 0 {
+				continue
+			}
+			skip := false
+			for _, e := range d.EdgeInserts {
+				if e == [2]graph.NodeID{v, w} {
+					skip = true
+					break
+				}
+			}
+			if !skip {
+				d.DeleteEdge(v, w)
+				del--
+				if del == 0 {
+					break
+				}
+			}
+		}
+	}
+	return &d
+}
+
+// assertProductsEqual compares every array of two product CSRs.
+func assertProductsEqual(t *testing.T, label string, got, want *Product) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Base, want.Base) {
+		t.Fatalf("%s: Base differs", label)
+	}
+	if !reflect.DeepEqual(got.SlotOff, want.SlotOff) {
+		t.Fatalf("%s: SlotOff differs\ngot  %v\nwant %v", label, got.SlotOff, want.SlotOff)
+	}
+	if !reflect.DeepEqual(got.Fwd, want.Fwd) {
+		t.Fatalf("%s: Fwd differs\ngot  %v\nwant %v", label, got.Fwd, want.Fwd)
+	}
+	if !reflect.DeepEqual(got.RevOff, want.RevOff) || !reflect.DeepEqual(got.Rev, want.Rev) || !reflect.DeepEqual(got.RevSlot, want.RevSlot) {
+		t.Fatalf("%s: reverse CSR differs", label)
+	}
+}
+
+// assertCandidatesEqual compares two candidate indexes.
+func assertCandidatesEqual(t *testing.T, label string, got, want *CandidateIndex) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Offsets, want.Offsets) {
+		t.Fatalf("%s: Offsets %v vs %v", label, got.Offsets, want.Offsets)
+	}
+	if !reflect.DeepEqual(got.Lists, want.Lists) {
+		t.Fatalf("%s: Lists %v vs %v", label, got.Lists, want.Lists)
+	}
+	if !reflect.DeepEqual(got.U, want.U) || !reflect.DeepEqual(got.V, want.V) {
+		t.Fatalf("%s: pair arrays differ", label)
+	}
+	if !reflect.DeepEqual(got.pos, want.pos) {
+		t.Fatalf("%s: pos arrays differ", label)
+	}
+}
+
+// TestIncComputeDeltaSequenceFuzz is the delta-equivalence fuzz of the
+// dynamic-graph subsystem: for every seed, a random (graph, pattern) start
+// state advances through a sequence of random deltas, and after every step
+// the incrementally maintained candidate index, product CSR and simulation
+// fixpoint must be identical to a from-scratch evaluation of the new
+// snapshot — at fresh-build worker counts 1 and 8, and under a forced
+// incremental path as well as a forced full-recompute path (ratio 0 vs 1),
+// which must agree with each other too.
+func TestIncComputeDeltaSequenceFuzz(t *testing.T) {
+	const labels = 4
+	for seed := int64(1); seed <= 12; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dict := graph.NewDict()
+			g := randomDynGraph(rng, 24+rng.Intn(30), 90+rng.Intn(120), labels, dict)
+			p := randomDynPattern(rng, labels)
+
+			inc := NewIncState(g, p, 1)        // adaptive (default ratio)
+			forced := NewIncState(g, p, 1)     // never falls back
+			recomputed := NewIncState(g, p, 1) // always falls back
+			for step := 0; step < 10; step++ {
+				d := randomDelta(rng, g, labels)
+				gNew, err := graph.ApplyDelta(g, d)
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+
+				var stats IncStats
+				inc, stats, err = IncCompute(inc, gNew, d, IncOptions{Workers: 1})
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				forced, _, err = IncCompute(forced, gNew, d, IncOptions{Workers: 1, RecomputeRatio: 1})
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				recomputed, _, err = IncCompute(recomputed, gNew, d, IncOptions{Workers: 1, RecomputeRatio: 1e-9})
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				if stats.TotalPairs > 0 && !stats.Recomputed && stats.AffectedPairs == 0 && d.Size() > 0 {
+					// Fine: a delta can be entirely outside the candidate
+					// space; nothing to assert, just exercise the path.
+					_ = stats
+				}
+
+				for _, workers := range []int{1, 8} {
+					label := fmt.Sprintf("step %d workers %d", step, workers)
+					freshCI := BuildCandidatesParallel(gNew, p, workers)
+					assertCandidatesEqual(t, label, inc.CI, freshCI)
+					freshProd := BuildProduct(gNew, p, freshCI, workers)
+					assertProductsEqual(t, label, inc.Prod, freshProd)
+					freshRes := ComputeWithProduct(freshProd)
+					if !reflect.DeepEqual(inc.Res.InSim, freshRes.InSim) || inc.Res.Matched != freshRes.Matched {
+						t.Fatalf("%s: fixpoint differs (matched %v vs %v)", label, inc.Res.Matched, freshRes.Matched)
+					}
+					// The reference kernel agrees as well (both kernels).
+					refRes := ComputeReference(gNew, p, freshCI)
+					if !reflect.DeepEqual(inc.Res.InSim, refRes.InSim) || inc.Res.Matched != refRes.Matched {
+						t.Fatalf("%s: reference kernel disagrees", label)
+					}
+				}
+				// Forced-incremental and forced-recompute states agree with
+				// the adaptive one on everything, counters included (both
+				// carry valid alive-pair counters into the next step).
+				if !reflect.DeepEqual(forced.Res.InSim, inc.Res.InSim) || !reflect.DeepEqual(recomputed.Res.InSim, inc.Res.InSim) {
+					t.Fatalf("step %d: fallback paths disagree", step)
+				}
+				assertProductsEqual(t, fmt.Sprintf("step %d forced", step), forced.Prod, inc.Prod)
+				assertProductsEqual(t, fmt.Sprintf("step %d recomputed", step), recomputed.Prod, inc.Prod)
+				// Alive pairs must carry identical settled counters on every
+				// path (dead pairs' counters are documented garbage).
+				for q := 0; q < len(inc.Res.InSim); q++ {
+					if !inc.Res.InSim[q] {
+						continue
+					}
+					for s := inc.Prod.Base[q]; s < inc.Prod.Base[q+1]; s++ {
+						if inc.cnt[s] != recomputed.cnt[s] || inc.cnt[s] != forced.cnt[s] {
+							t.Fatalf("step %d: counter drift at pair %d slot %d: %d / %d / %d",
+								step, q, s, inc.cnt[s], forced.cnt[s], recomputed.cnt[s])
+						}
+					}
+				}
+				g = gNew
+			}
+		})
+	}
+}
+
+// TestIncComputeRejectsMismatchedGraph pins the guard: gNew must be the
+// snapshot the delta produces from the state's graph.
+func TestIncComputeRejectsMismatchedGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dict := graph.NewDict()
+	g := randomDynGraph(rng, 10, 30, 3, dict)
+	p := randomDynPattern(rng, 3)
+	st := NewIncState(g, p, 1)
+	var d graph.Delta
+	d.AddNode("L0", nil)
+	if _, _, err := IncCompute(st, g, &d, IncOptions{}); err == nil {
+		t.Fatal("IncCompute accepted a graph whose node count does not match the delta")
+	}
+}

@@ -142,9 +142,22 @@ func BuildProduct(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex, worker
 		})
 	}
 
-	// Reverse CSR: one sequential counting pass and one sequential fill in
-	// ascending (source pair, slot) order, so each pair's reverse list is
-	// sorted by the predecessor's absolute slot.
+	pr.Base = base
+	pr.SlotOff = slotOff
+	pr.Fwd = fwd
+	pr.buildReverse()
+	return pr
+}
+
+// buildReverse derives the reverse CSR from the forward arrays: one
+// sequential counting pass and one sequential fill in ascending (source
+// pair, slot) order, so each pair's reverse list is sorted by the
+// predecessor's absolute slot. Shared by BuildProduct and the incremental
+// PatchProduct, which is what keeps the two construction paths bit-for-bit
+// identical.
+func (pr *Product) buildReverse() {
+	total := len(pr.Base) - 1
+	base, slotOff, fwd := pr.Base, pr.SlotOff, pr.Fwd
 	revOff := make([]int32, total+1)
 	for _, t := range fwd {
 		revOff[t+1]++
@@ -166,14 +179,9 @@ func BuildProduct(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex, worker
 			}
 		}
 	}
-
-	pr.Base = base
-	pr.SlotOff = slotOff
-	pr.Fwd = fwd
 	pr.RevOff = revOff
 	pr.Rev = rev
 	pr.RevSlot = revSlot
-	return pr
 }
 
 // NumPairs returns the number of product nodes (candidate pairs).

@@ -46,6 +46,16 @@ func ComputeWithCandidates(g *graph.Graph, p *pattern.Pattern, ci *CandidateInde
 // non-candidate neighbours. The fixpoint is unique, so the result is
 // identical to the reference kernel's.
 func ComputeWithProduct(prod *Product) *Result {
+	res, _ := computeWithProductCnt(prod)
+	return res
+}
+
+// computeWithProductCnt is ComputeWithProduct returning the settled per-slot
+// counter array as well. For every pair alive at the fixpoint, cnt[s] is the
+// number of alive successors of slot s — the invariant the incremental
+// engine (IncCompute) seeds its delta maintenance from. Counters of dead
+// pairs are frozen at their death value and are never read back.
+func computeWithProductCnt(prod *Product) (*Result, []int32) {
 	ci := prod.CI
 	nq := len(ci.Lists)
 	total := ci.NumPairs()
@@ -91,7 +101,13 @@ func ComputeWithProduct(prod *Product) *Result {
 		}
 	}
 
-	res := &Result{CI: ci, InSim: inSim, Matched: true}
+	res := &Result{CI: ci, InSim: inSim, Matched: matched(ci, inSim, nq)}
+	return res, cnt
+}
+
+// matched reports whether every query node retains at least one alive pair
+// (the paper's global match condition: M(Q,G) = ∅ otherwise).
+func matched(ci *CandidateIndex, inSim []bool, nq int) bool {
 	for u := 0; u < nq; u++ {
 		lo, hi := ci.PairRange(u)
 		any := false
@@ -102,11 +118,10 @@ func ComputeWithProduct(prod *Product) *Result {
 			}
 		}
 		if !any {
-			res.Matched = false
-			break
+			return false
 		}
 	}
-	return res
+	return true
 }
 
 // MatchesOf returns the alive matches of query node u in ascending data-node

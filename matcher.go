@@ -5,6 +5,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"divtopk/internal/cache"
 	"divtopk/internal/core"
@@ -17,16 +19,24 @@ import (
 // after which the Matcher is safe for concurrent use from many goroutines:
 // every query path reads the warmed, immutable index.
 //
+// A Matcher also serves dynamic graphs: Update applies a Delta, warms the
+// new snapshot's bound index off to the side, and atomically swaps it in,
+// so queries always run against one consistent snapshot (graph + index)
+// and never observe a half-applied update. The snapshot version is part of
+// every cache key, which makes entries cached against an older snapshot
+// unreachable — stale results are never scanned for, let alone served.
+//
 // Options passed to NewMatcher become the session defaults; options passed
 // to an individual query are applied on top of them. With WithCache the
 // session additionally memoizes results in an LRU keyed by a canonical
 // query fingerprint, with singleflight admission — the serving layer in
 // internal/server builds on exactly this.
 type Matcher struct {
-	g       *Graph
-	base    []Option
-	workers int
-	cache   *cache.Cache
+	cur      atomic.Pointer[Graph]
+	updateMu sync.Mutex // serializes Update (queries never take it)
+	base     []Option
+	workers  int
+	cache    *cache.Cache
 }
 
 // CacheStats is a snapshot of a Matcher's result-cache counters. Misses
@@ -53,18 +63,44 @@ func NewMatcher(g *Graph, opts ...Option) *Matcher {
 	// cache is what keeps concurrent queries contention-free.
 	g.boundsCache().Warm(nil)
 	m := &Matcher{
-		g:       g,
 		base:    opts,
 		workers: parallel.Workers(o.engine.Parallelism),
 	}
+	m.cur.Store(g)
 	if o.cacheEntries > 0 {
 		m.cache = cache.New(o.cacheEntries)
 	}
 	return m
 }
 
-// Graph returns the session's graph.
-func (m *Matcher) Graph() *Graph { return m.g }
+// Graph returns the session's current graph snapshot. After an Update the
+// returned snapshot keeps working — it is immutable — but no longer receives
+// queries routed through the session.
+func (m *Matcher) Graph() *Graph { return m.cur.Load() }
+
+// Version returns the current snapshot's version (see Graph.Version).
+func (m *Matcher) Version() uint64 { return m.cur.Load().Version() }
+
+// Update applies d to the session's current snapshot and atomically swaps
+// the session to the result, returning the new snapshot (its Version is the
+// old one plus 1). The new snapshot's bound index is fully warmed before
+// the swap, so queries never hit a cold index; queries running concurrently
+// with the update finish on the old snapshot (and are cached under the old
+// version, where no future query will look them up). Updates are serialized
+// with each other; queries are never blocked. On error the session is
+// unchanged.
+func (m *Matcher) Update(d *Delta) (*Graph, error) {
+	m.updateMu.Lock()
+	defer m.updateMu.Unlock()
+	g := m.cur.Load()
+	g2, err := ApplyDelta(g, d)
+	if err != nil {
+		return nil, err
+	}
+	g2.boundsCache().Warm(nil)
+	m.cur.Store(g2)
+	return g2, nil
+}
 
 // CacheStats returns a snapshot of the session result-cache counters (the
 // zero value when the Matcher was built without WithCache).
@@ -99,14 +135,17 @@ const (
 )
 
 // queryKey returns the canonical cache key of one query: a hash over the
-// query kind, k, λ, every result-affecting option, and the pattern's text
-// serialization (deterministic, so structurally equal patterns share a
-// key). Parallelism is deliberately excluded — every worker count returns
+// graph snapshot version, the query kind, k, λ, every result-affecting
+// option, and the pattern's text serialization (deterministic, so
+// structurally equal patterns share a key). The version participates so
+// that entries cached before a graph update can never be served after it —
+// stale entries become unreachable rather than scanned and age out of the
+// LRU. Parallelism is deliberately excluded — every worker count returns
 // identical results — and for the full-evaluation algorithms (baseline,
 // TopKDiv) the engine knobs that only steer early termination are
 // normalized away, so e.g. WithBatches(8) and WithBatches(32) share the
 // baseline's entry.
-func queryKey(kind string, p *Pattern, k int, lambda float64, o options) (string, error) {
+func queryKey(kind string, version uint64, p *Pattern, k int, lambda float64, o options) (string, error) {
 	// Each entry point consults only its own algorithm flag: TopK ignores
 	// approx and TopKDiversified ignores baseline, so the irrelevant flag is
 	// dropped from the key (a session default for one family must not split
@@ -133,8 +172,8 @@ func queryKey(kind string, p *Pattern, k int, lambda float64, o options) (string
 		strategy, seed, batches, bounds = 0, 0, 0, 0
 	}
 	var buf bytes.Buffer
-	fmt.Fprintf(&buf, "%sk=%d|lambda=%g|baseline=%v|approx=%v|strategy=%d|seed=%d|batches=%d|bounds=%d\n",
-		kind, k, lambda, baseline, approx, strategy, seed, batches, bounds)
+	fmt.Fprintf(&buf, "%sv=%d|k=%d|lambda=%g|baseline=%v|approx=%v|strategy=%d|seed=%d|batches=%d|bounds=%d\n",
+		kind, version, k, lambda, baseline, approx, strategy, seed, batches, bounds)
 	if err := WritePattern(&buf, p); err != nil {
 		return "", fmt.Errorf("divtopk: canonicalizing pattern for cache key: %w", err)
 	}
@@ -146,30 +185,43 @@ func queryKey(kind string, p *Pattern, k int, lambda float64, o options) (string
 // Safe to call from multiple goroutines. With WithCache the returned Result
 // may be shared with other callers and must be treated as read-only.
 func (m *Matcher) TopK(p *Pattern, k int, opts ...Option) (*Result, error) {
+	res, _, err := m.topK(p, k, m.merged(opts))
+	return res, err
+}
+
+// TopKWithVersion is TopK reporting the graph snapshot version the answer
+// was computed (or cached) against — what the serving layer echoes in its
+// responses. A query racing an Update is answered consistently by exactly
+// one snapshot, the one whose version is returned.
+func (m *Matcher) TopKWithVersion(p *Pattern, k int, opts ...Option) (*Result, uint64, error) {
 	return m.topK(p, k, m.merged(opts))
 }
 
-// topK runs one top-k query with an already-merged option slice, consulting
-// the session cache when present.
-func (m *Matcher) topK(p *Pattern, k int, merged []Option) (*Result, error) {
+// topK runs one top-k query with an already-merged option slice against the
+// current snapshot, consulting the session cache when present. The snapshot
+// is loaded once: evaluation and cache key agree on it even mid-Update.
+func (m *Matcher) topK(p *Pattern, k int, merged []Option) (*Result, uint64, error) {
+	g := m.cur.Load()
+	ver := g.Version()
 	if m.cache == nil {
-		return TopK(m.g, p, k, merged...)
+		res, err := TopK(g, p, k, merged...)
+		return res, ver, err
 	}
-	key, err := queryKey(kindTopK, p, k, 0, buildOptions(merged))
+	key, err := queryKey(kindTopK, ver, p, k, 0, buildOptions(merged))
 	if err != nil {
-		return nil, err
+		return nil, ver, err
 	}
 	v, err := m.cache.Do(key, func() (any, error) {
-		res, err := TopK(m.g, p, k, merged...)
+		res, err := TopK(g, p, k, merged...)
 		if err != nil {
 			return nil, err
 		}
 		return res, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, ver, err
 	}
-	return v.(*Result), nil
+	return v.(*Result), ver, nil
 }
 
 // TopKDiversified answers one diversified top-k query on the session; see
@@ -177,29 +229,43 @@ func (m *Matcher) topK(p *Pattern, k int, merged []Option) (*Result, error) {
 // With WithCache the returned DiversifiedResult may be shared with other
 // callers and must be treated as read-only.
 func (m *Matcher) TopKDiversified(p *Pattern, k int, lambda float64, opts ...Option) (*DiversifiedResult, error) {
+	res, _, err := m.topKDiversified(p, k, lambda, m.merged(opts))
+	return res, err
+}
+
+// TopKDiversifiedWithVersion is TopKWithVersion's diversified counterpart.
+func (m *Matcher) TopKDiversifiedWithVersion(p *Pattern, k int, lambda float64, opts ...Option) (*DiversifiedResult, uint64, error) {
 	return m.topKDiversified(p, k, lambda, m.merged(opts))
 }
 
-// topKDiversified is topK's counterpart for the diversified entry point.
-func (m *Matcher) topKDiversified(p *Pattern, k int, lambda float64, merged []Option) (*DiversifiedResult, error) {
-	if m.cache == nil {
-		return TopKDiversified(m.g, p, k, lambda, merged...)
+// topKDiversified is topK's counterpart for the diversified entry point. λ
+// is validated before the cache key is derived: a NaN must surface as the
+// structured ErrLambdaRange, not as a poisoned fingerprint.
+func (m *Matcher) topKDiversified(p *Pattern, k int, lambda float64, merged []Option) (*DiversifiedResult, uint64, error) {
+	g := m.cur.Load()
+	ver := g.Version()
+	if err := validateLambda(lambda); err != nil {
+		return nil, ver, err
 	}
-	key, err := queryKey(kindDiversified, p, k, lambda, buildOptions(merged))
+	if m.cache == nil {
+		res, err := TopKDiversified(g, p, k, lambda, merged...)
+		return res, ver, err
+	}
+	key, err := queryKey(kindDiversified, ver, p, k, lambda, buildOptions(merged))
 	if err != nil {
-		return nil, err
+		return nil, ver, err
 	}
 	v, err := m.cache.Do(key, func() (any, error) {
-		res, err := TopKDiversified(m.g, p, k, lambda, merged...)
+		res, err := TopKDiversified(g, p, k, lambda, merged...)
 		if err != nil {
 			return nil, err
 		}
 		return res, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, ver, err
 	}
-	return v.(*DiversifiedResult), nil
+	return v.(*DiversifiedResult), ver, nil
 }
 
 // batchOptions prepares the option slice for one query of a batch: the
@@ -228,7 +294,7 @@ func (m *Matcher) BatchTopK(patterns []*Pattern, k int, opts ...Option) ([]*Resu
 	pool := parallel.NewPool(m.workers)
 	for i := range patterns {
 		pool.Go(func() {
-			results[i], errs[i] = m.topK(patterns[i], k, merged)
+			results[i], _, errs[i] = m.topK(patterns[i], k, merged)
 		})
 	}
 	pool.Wait()
@@ -250,7 +316,7 @@ func (m *Matcher) BatchTopKDiversified(patterns []*Pattern, k int, lambda float6
 	pool := parallel.NewPool(m.workers)
 	for i := range patterns {
 		pool.Go(func() {
-			results[i], errs[i] = m.topKDiversified(patterns[i], k, lambda, merged)
+			results[i], _, errs[i] = m.topKDiversified(patterns[i], k, lambda, merged)
 		})
 	}
 	pool.Wait()

@@ -1,0 +1,204 @@
+package divtopk
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestMatcherUpdateVersionedCacheKeys is the session-layer half of the
+// delta-equivalence acceptance criterion: a result cached before an update
+// is never served after it (the snapshot version participates in every
+// cache key), and post-update answers are byte-identical to a fresh session
+// over the updated graph.
+func TestMatcherUpdateVersionedCacheKeys(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 2)
+	m := NewMatcher(g, WithCache(64))
+	q := patterns[0]
+
+	before, ver, err := m.TopKWithVersion(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 0 || m.Version() != 0 {
+		t.Fatalf("fresh session version = %d/%d, want 0", ver, m.Version())
+	}
+	if _, err := m.TopK(q, 10); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CacheStats(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("pre-update stats %+v, want 1 miss 1 hit", s)
+	}
+
+	// Update: append a node wired into the neighborhood of node 0.
+	var d Delta
+	idx := d.AddNode(g.Label(0))
+	nn := g.NumNodes() + idx
+	d.InsertEdge(0, nn)
+	d.InsertEdge(nn, 1)
+	g2, err := m.Update(&d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Version() != 1 || m.Version() != 1 {
+		t.Fatalf("post-update version = %d/%d, want 1", g2.Version(), m.Version())
+	}
+
+	// The same query must MISS now — the stale entry is unreachable — and
+	// match a cold session over the updated graph byte for byte.
+	after, ver, err := m.TopKWithVersion(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 1 {
+		t.Fatalf("post-update answer version = %d, want 1", ver)
+	}
+	if s := m.CacheStats(); s.Misses != 2 {
+		t.Fatalf("post-update query did not re-evaluate: %+v", s)
+	}
+	cold, err := NewMatcher(g2).TopK(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "post-update", after, cold)
+
+	// Old snapshot still answers like it always did (immutability), and the
+	// old cached entry is still served to... nobody: only version-0 keys
+	// reach it, and the session is at version 1 forever.
+	oldAgain, err := TopK(g, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "old snapshot", before, oldAgain)
+
+	// Diversified results are keyed by version the same way.
+	if _, _, err := m.TopKDiversifiedWithVersion(q, 5, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	miss := m.CacheStats().Misses
+	var d2 Delta
+	d2.DeleteEdge(0, nn)
+	if _, err := m.Update(&d2); err != nil {
+		t.Fatal(err)
+	}
+	if _, dver, err := m.TopKDiversifiedWithVersion(q, 5, 0.5); err != nil || dver != 2 {
+		t.Fatalf("diversified post-update version = %d err = %v, want 2 nil", dver, err)
+	}
+	if s := m.CacheStats(); s.Misses != miss+1 {
+		t.Fatalf("diversified query reused a stale entry: %+v", s)
+	}
+}
+
+// TestMatcherUpdateFailureLeavesSessionIntact pins the error path: a bad
+// delta changes nothing.
+func TestMatcherUpdateFailureLeavesSessionIntact(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 1)
+	m := NewMatcher(g, WithCache(16))
+	if _, err := m.TopK(patterns[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	var bad Delta
+	bad.InsertEdge(0, 10_000_000)
+	if _, err := m.Update(&bad); err == nil {
+		t.Fatal("bad delta accepted")
+	}
+	if m.Version() != 0 || m.Graph() != g {
+		t.Fatal("failed update swapped the session graph")
+	}
+	if _, err := m.TopK(patterns[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.CacheStats(); s.Hits != 1 {
+		t.Fatalf("cache not intact after failed update: %+v", s)
+	}
+}
+
+// TestMatcherConcurrentUpdatesAndQueries is the -race exercise of the swap:
+// queries, batch queries and updates (which intern new labels into the dict
+// the live graph reads) run concurrently; every answer must come from a
+// consistent snapshot (matching one of the sequential per-version answers).
+func TestMatcherConcurrentUpdatesAndQueries(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 2)
+	m := NewMatcher(g, WithCache(128))
+	q := patterns[0]
+
+	const updates = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, _, err := m.TopKWithVersion(q, 10); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := m.TopKDiversified(q, 5, 0.5); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < updates; i++ {
+			var d Delta
+			// A fresh label every time: Intern runs against the dict the
+			// query goroutines are reading labels from.
+			idx := d.AddNode(fmt.Sprintf("dyn-%d", i))
+			nn := m.Graph().NumNodes() + idx
+			d.InsertEdge(0, nn)
+			if _, err := m.Update(&d); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if m.Version() != updates {
+		t.Fatalf("version = %d, want %d", m.Version(), updates)
+	}
+}
+
+// TestLambdaValidationLibraryLayer is the library half of the λ bugfix:
+// every diversified entry point rejects NaN/±Inf/out-of-range λ with the
+// structured ErrLambdaRange instead of silently producing NaN F.
+func TestLambdaValidationLibraryLayer(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 1)
+	q := patterns[0]
+	m := NewMatcher(g, WithCache(8))
+
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), -0.25, 1.25} {
+		if _, err := TopKDiversified(g, q, 5, bad); !errors.Is(err, ErrLambdaRange) {
+			t.Errorf("TopKDiversified(λ=%v) err = %v, want ErrLambdaRange", bad, err)
+		}
+		if _, err := TopKDiversified(g, q, 5, bad, WithApproximation()); !errors.Is(err, ErrLambdaRange) {
+			t.Errorf("TopKDiv(λ=%v) err = %v, want ErrLambdaRange", bad, err)
+		}
+		if _, err := m.TopKDiversified(q, 5, bad); !errors.Is(err, ErrLambdaRange) {
+			t.Errorf("Matcher.TopKDiversified(λ=%v) err = %v, want ErrLambdaRange", bad, err)
+		}
+		if _, err := m.BatchTopKDiversified(patterns, 5, bad); !errors.Is(err, ErrLambdaRange) {
+			t.Errorf("BatchTopKDiversified(λ=%v) err = %v, want ErrLambdaRange", bad, err)
+		}
+	}
+	// The cache holds no entry for any rejected λ.
+	if s := m.CacheStats(); s.Entries != 0 || s.Misses != 0 {
+		t.Fatalf("rejected λ touched the cache: %+v", s)
+	}
+	// Boundary values work.
+	for _, ok := range []float64{0, 1} {
+		if _, err := TopKDiversified(g, q, 5, ok); err != nil {
+			t.Errorf("λ=%v rejected: %v", ok, err)
+		}
+	}
+}

@@ -70,13 +70,17 @@ func WithApproximation() Option {
 }
 
 // WithCache equips a Matcher with a result cache of the given capacity (in
-// entries): an LRU keyed by a canonical fingerprint of (pattern, k, λ,
-// algorithm options) with singleflight admission, so N concurrent identical
-// queries cost one evaluation and repeated queries cost none. Because every
-// engine is deterministic, a cached result is identical to a fresh
-// evaluation; callers share the stored Result and must treat it as
-// read-only. The option is consulted by NewMatcher only — the package-level
-// TopK/TopKDiversified never cache — and entries <= 0 disables caching.
+// entries): an LRU keyed by a canonical fingerprint of (graph snapshot
+// version, pattern, k, λ, algorithm options) with singleflight admission,
+// so N concurrent identical queries cost one evaluation and repeated
+// queries cost none. Because every engine is deterministic, a cached result
+// is identical to a fresh evaluation; callers share the stored Result and
+// must treat it as read-only. The snapshot version in the key is what makes
+// caching sound for dynamic graphs: after Matcher.Update, entries cached
+// against the previous snapshot are unreachable (they age out of the LRU
+// instead of being scanned). The option is consulted by NewMatcher only —
+// the package-level TopK/TopKDiversified never cache — and entries <= 0
+// disables caching.
 func WithCache(entries int) Option {
 	return func(o *options) { o.cacheEntries = entries }
 }
