@@ -35,6 +35,16 @@ func (g *Graph) boundsCache() *core.BoundsCache {
 	return g.bounds
 }
 
+// adoptBounds installs an already-built bound index into a facade Graph
+// that has never been queried — the Matcher.Update path, which advances the
+// previous snapshot's index off to the side and hands the result to the new
+// snapshot instead of letting it warm a cold cache from scratch. The index
+// must cover g's underlying snapshot; adoption is a no-op if something
+// already created the cache.
+func (g *Graph) adoptBounds(bc *core.BoundsCache) {
+	g.boundsOnce.Do(func() { g.bounds = bc })
+}
+
 // NumNodes returns |V|.
 func (g *Graph) NumNodes() int { return g.g.NumNodes() }
 

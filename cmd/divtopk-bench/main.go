@@ -8,9 +8,9 @@
 // The default configuration is the 150k-node generator graph the repo's
 // acceptance numbers are recorded on; -short shrinks it to CI size. The
 // report is printed as a table and, with -out, written as JSON
-// (BENCH_PR4.json is a committed run of this command):
+// (BENCH_PR5.json is a committed run of this command):
 //
-//	go run ./cmd/divtopk-bench -out BENCH_PR4.json
+//	go run ./cmd/divtopk-bench -out BENCH_PR5.json
 //	go run ./cmd/divtopk-bench -short -serving=false
 package main
 

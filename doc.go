@@ -70,21 +70,35 @@
 // deltas. A Delta batches node appends, edge inserts and edge deletes;
 // ApplyDelta derives the next snapshot in one merge pass over the old
 // adjacency and bumps its Version. Matcher.Update applies a delta to a live
-// session: the new snapshot's bound index is warmed off to the side, then
-// swapped in atomically, and because the snapshot version participates in
-// every cache key, a result cached before an update can never be served
-// after it. TopKWithVersion and TopKDiversifiedWithVersion report the
-// snapshot version behind each answer; the serving layer exposes updates as
+// session: the previous snapshot's bound index is advanced off to the side
+// and swapped in atomically with the graph, and because the snapshot
+// version participates in every cache key, a result cached before an
+// update can never be served after it. TopKWithVersion and
+// TopKDiversifiedWithVersion report the snapshot version behind each
+// answer; the serving layer exposes updates as
 // POST /v1/graphs/{name}/updates and echoes the version in every response.
-// Session queries re-evaluate against the new snapshot (an update costs a
-// delta apply plus a full bound-index warm). For callers maintaining one
-// standing (graph, pattern) evaluation across deltas, the engine layer
-// offers internal/simulation.IncCompute: it maintains the simulation
-// fixpoint and product CSR incrementally over the delta's affected area,
-// falling back to full recomputation (its correctness oracle, enforced by
-// randomized delta-sequence fuzz) when the affected share grows past a
-// ratio — the simdelta rows of the tracked baseline measure it against
-// from-scratch recomputation. See the README's "Dynamic graphs" section.
+//
+// The descendant-label bound index is versioned derived state rather than a
+// per-snapshot rebuild: its rows are a pure function of the snapshot's
+// cached SCC condensation and the member labels, so the advance diffs the
+// two condensations at the component level and recomputes only the
+// affected rectangle — the ancestor closure of the structurally changed
+// components, for only the labels the delta can reach — copying every
+// other row and falling back to a full rebuild of the warmed labels past
+// an adaptive ratio (default 0.25, WithIndexRebuildRatio). A mismatched
+// snapshot version is a hard error; the fresh-warm path remains the
+// correctness oracle, enforced by randomized delta-chain fuzz for both
+// count modes. Matcher.UpdateWithStats (and the daemon's "index" response
+// object) reports the maintenance mode, affected-row share and wall time
+// of every update. For callers maintaining one standing (graph, pattern)
+// evaluation across deltas, the engine layer offers
+// internal/simulation.IncCompute: it maintains the simulation fixpoint and
+// product CSR incrementally over the delta's affected area — sharing the
+// same closure-traversal helper (graph.Expand) and the same two-level
+// fallback discipline as the index advance — with the simdelta and
+// boundadv rows of the tracked baseline measuring both maintenance layers
+// against from-scratch recomputation. See the README's "Dynamic graphs"
+// section.
 //
 // # Performance
 //

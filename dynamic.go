@@ -72,7 +72,8 @@ func (g *Graph) Version() uint64 { return g.g.Version() }
 // one linear pass, and the result's Version is the input's plus one. The
 // input graph is untouched and keeps serving queries; the snapshots share
 // the label dictionary and all unchanged per-node data. The new snapshot's
-// bound index is built lazily on first use (or eagerly by Matcher.Update).
+// bound index is built lazily on first use; Matcher.Update instead advances
+// the previous snapshot's index incrementally (see Matcher.UpdateWithStats).
 func ApplyDelta(g *Graph, d *Delta) (*Graph, error) {
 	g2, err := graph.ApplyDelta(g.g, &d.d)
 	if err != nil {

@@ -19,9 +19,10 @@ import (
 )
 
 // This file is the tracked benchmark baseline of the repository
-// (BENCH_PR4.json): a repeatable, fixed-seed measurement of every hot
+// (BENCH_PR5.json): a repeatable, fixed-seed measurement of every hot
 // component — candidate computation, simulation refinement, relevant-set
-// computation, the find-all baseline, the early-termination engine, TopKDiv
+// computation, the find-all baseline, the early-termination engine, TopKDiv,
+// the two delta-maintenance layers (simulation state and the bound index)
 // and serving throughput — with the frozen pre-CSR reference kernel
 // (core.KernelReference) measured side by side as the "before" column.
 // cmd/divtopk-bench runs it and emits the JSON; future PRs are judged
@@ -146,22 +147,29 @@ type BaselineEntry struct {
 }
 
 // ServingSummary is the serving-throughput slice of the report. The update
-// fields track the mixed update/query workload (zero in a read-only run).
+// fields track the mixed update/query workload (zero in a read-only run);
+// the index_* fields aggregate the per-update index-maintenance stats the
+// update responses carry (incremental vs. rebuild split, mean affected-row
+// share, median maintenance wall time).
 type ServingSummary struct {
-	Throughput      float64 `json:"req_per_sec"`
-	P50Micros       int64   `json:"p50_us"`
-	P99Micros       int64   `json:"p99_us"`
-	HitRate         float64 `json:"cache_hit_rate"`
-	Requests        int     `json:"requests"`
-	Errors          int     `json:"errors"`
-	Updates         int     `json:"updates,omitempty"`
-	UpdateErrors    int     `json:"update_errors,omitempty"`
-	UpdateP50Micros int64   `json:"update_p50_us,omitempty"`
-	UpdateP95Micros int64   `json:"update_p95_us,omitempty"`
-	FinalVersion    uint64  `json:"final_version,omitempty"`
+	Throughput       float64 `json:"req_per_sec"`
+	P50Micros        int64   `json:"p50_us"`
+	P99Micros        int64   `json:"p99_us"`
+	HitRate          float64 `json:"cache_hit_rate"`
+	Requests         int     `json:"requests"`
+	Errors           int     `json:"errors"`
+	Updates          int     `json:"updates,omitempty"`
+	UpdateErrors     int     `json:"update_errors,omitempty"`
+	UpdateP50Micros  int64   `json:"update_p50_us,omitempty"`
+	UpdateP95Micros  int64   `json:"update_p95_us,omitempty"`
+	FinalVersion     uint64  `json:"final_version,omitempty"`
+	IndexIncremental int     `json:"index_incremental,omitempty"`
+	IndexRebuilds    int     `json:"index_rebuilds,omitempty"`
+	IndexShareMean   float64 `json:"index_affected_share_mean,omitempty"`
+	IndexWallP50     int64   `json:"index_wall_p50_us,omitempty"`
 }
 
-// BaselineReport is the JSON document committed as BENCH_PR4.json.
+// BaselineReport is the JSON document committed as BENCH_PR5.json.
 type BaselineReport struct {
 	GeneratedBy string         `json:"generated_by"`
 	GoVersion   string         `json:"go_version"`
@@ -212,6 +220,9 @@ func (r *BaselineReport) Format() string {
 		fmt.Fprintf(&b, "  updates: %d (%d errors, p50 %dus, p95 %dus, final version %d)\n",
 			r.ServingMixed.Updates, r.ServingMixed.UpdateErrors, r.ServingMixed.UpdateP50Micros,
 			r.ServingMixed.UpdateP95Micros, r.ServingMixed.FinalVersion)
+		fmt.Fprintf(&b, "  index: %d incremental / %d rebuilds, mean affected share %.3f, maintenance p50 %dus\n",
+			r.ServingMixed.IndexIncremental, r.ServingMixed.IndexRebuilds,
+			r.ServingMixed.IndexShareMean, r.ServingMixed.IndexWallP50)
 	}
 	return b.String()
 }
@@ -402,7 +413,7 @@ func RunBaseline(cfg BaselineConfig, progress io.Writer) (*BaselineReport, error
 	rep.Speedups["topkdiv"] = divRef.NsPerOp / divCSR.NsPerOp
 
 	logf("measuring delta maintenance (%d-delta chain, inc vs recompute)", cfg.Deltas)
-	chainG, chainD := deltaChain(g, cfg.Deltas, cfg.Seed)
+	chainG, chainD, chainS := deltaChain(g, cfg.Deltas, cfg.Seed)
 	p0 := patterns[0]
 	st0 := simulation.NewIncState(chainG[0], p0, cfg.Parallelism)
 	incOpts := simulation.IncOptions{Workers: cfg.Parallelism}
@@ -434,6 +445,47 @@ func RunBaseline(cfg BaselineConfig, progress io.Writer) (*BaselineReport, error
 	})
 	rep.Speedups["simdelta"] = dmRe.NsPerOp / dmInc.NsPerOp
 
+	logf("measuring bound-index maintenance (%d-delta chain, advance vs rebuild)", cfg.Deltas)
+	// Both sides run over the snapshots' cached condensations (computed on
+	// first touch and shared, exactly as in production, where queries and
+	// maintenance reuse one condensation per snapshot); the A/B therefore
+	// isolates the index maintenance itself — partial recompute of the
+	// affected rectangle versus a per-snapshot recount of every label.
+	bc0 := core.NewBoundsCache(chainG[0], true)
+	bc0.Warm(nil)
+	// Sanity-walk the chain against the from-scratch oracle once so a
+	// maintenance bug fails the benchmark loudly instead of timing garbage.
+	{
+		bc := bc0
+		for i, sum := range chainS {
+			var err error
+			if bc, _, err = bc.Advance(chainG[i+1], sum, core.AdvanceOptions{}); err != nil {
+				return nil, fmt.Errorf("bench: bound-index chain: %w", err)
+			}
+			bc.Warm(nil)
+		}
+		if err := boundRowsEqual(bc, chainG[len(chainG)-1]); err != nil {
+			return nil, fmt.Errorf("bench: bound-index chain diverged from rebuild oracle: %w", err)
+		}
+	}
+	baAdv := rep.measure("boundadv/inc", func() {
+		bc := bc0
+		for i, sum := range chainS {
+			var err error
+			if bc, _, err = bc.Advance(chainG[i+1], sum, core.AdvanceOptions{}); err != nil {
+				panic(err)
+			}
+			bc.Warm(nil)
+		}
+	})
+	baRe := rep.measure("boundadv/rebuild", func() {
+		for _, gi := range chainG[1:] {
+			c := core.NewBoundsCache(gi, true)
+			c.Warm(nil)
+		}
+	})
+	rep.Speedups["boundadv"] = baRe.NsPerOp / baAdv.NsPerOp
+
 	// Serving throughput is measured by cmd/divtopk-bench (the in-process
 	// daemon needs the public facade, which internal/bench cannot import
 	// without a test-package cycle); it fills rep.Serving when cfg.Serving
@@ -444,11 +496,13 @@ func RunBaseline(cfg BaselineConfig, progress io.Writer) (*BaselineReport, error
 // deltaChain pregenerates a chain of graph snapshots linked by random small
 // deltas (a few appends, inserts and deletes each — the affected-area
 // regime incremental maintenance exists for). chainG[0] is g; chainG[i+1] =
-// ApplyDelta(chainG[i], chainD[i]).
-func deltaChain(g *graph.Graph, deltas int, seed int64) ([]*graph.Graph, []*graph.Delta) {
+// ApplyDelta(chainG[i], chainD[i]); chainS[i] is that application's
+// affected-area summary (what the bound-index advance consumes).
+func deltaChain(g *graph.Graph, deltas int, seed int64) ([]*graph.Graph, []*graph.Delta, []*graph.DeltaSummary) {
 	rng := rand.New(rand.NewSource(seed * 7919))
 	chainG := []*graph.Graph{g}
 	var chainD []*graph.Delta
+	var chainS []*graph.DeltaSummary
 	for i := 0; i < deltas; i++ {
 		cur := chainG[len(chainG)-1]
 		n := cur.NumNodes()
@@ -470,30 +524,43 @@ func deltaChain(g *graph.Graph, deltas int, seed int64) ([]*graph.Graph, []*grap
 				d.DeleteEdge(e[0], e[1])
 			}
 		}
-		next, err := graph.ApplyDelta(cur, &d)
+		next, sum, err := graph.ApplyDeltaWithSummary(cur, &d)
 		if err != nil {
 			panic(fmt.Sprintf("bench: delta chain generation: %v", err))
 		}
 		chainG = append(chainG, next)
 		chainD = append(chainD, &d)
+		chainS = append(chainS, sum)
 	}
-	return chainG, chainD
+	return chainG, chainD, chainS
+}
+
+// boundRowsEqual compares an advanced bound index against a fresh warm of
+// the snapshot it claims to cover.
+func boundRowsEqual(bc *core.BoundsCache, g *graph.Graph) error {
+	oracle := core.NewBoundsCache(g, true)
+	oracle.Warm(nil)
+	return bc.RowsEqual(oracle)
 }
 
 // Summarize converts a load-generator report into the report's serving
 // slice.
 func (r *ServingReport) Summarize() *ServingSummary {
 	return &ServingSummary{
-		Throughput:      r.Throughput,
-		P50Micros:       r.P50.Microseconds(),
-		P99Micros:       r.P99.Microseconds(),
-		HitRate:         r.HitRate,
-		Requests:        r.Requests,
-		Errors:          r.Errors,
-		Updates:         r.Updates,
-		UpdateErrors:    r.UpdateErrors,
-		UpdateP50Micros: r.UpdateP50.Microseconds(),
-		UpdateP95Micros: r.UpdateP95.Microseconds(),
-		FinalVersion:    r.FinalVersion,
+		Throughput:       r.Throughput,
+		P50Micros:        r.P50.Microseconds(),
+		P99Micros:        r.P99.Microseconds(),
+		HitRate:          r.HitRate,
+		Requests:         r.Requests,
+		Errors:           r.Errors,
+		Updates:          r.Updates,
+		UpdateErrors:     r.UpdateErrors,
+		UpdateP50Micros:  r.UpdateP50.Microseconds(),
+		UpdateP95Micros:  r.UpdateP95.Microseconds(),
+		FinalVersion:     r.FinalVersion,
+		IndexIncremental: r.IndexIncremental,
+		IndexRebuilds:    r.IndexRebuilds,
+		IndexShareMean:   r.IndexShareMean,
+		IndexWallP50:     r.IndexWallP50Micro,
 	}
 }

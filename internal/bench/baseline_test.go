@@ -39,6 +39,7 @@ func TestRunBaselineSmoke(t *testing.T) {
 		"relevant/reference", "relevant/csr", "findall/reference",
 		"findall/csr", "topk/engine", "topkdiv/reference", "topkdiv/csr",
 		"simdelta/inc", "simdelta/recompute",
+		"boundadv/inc", "boundadv/rebuild",
 	}
 	if len(rep.Entries) != len(want) {
 		t.Fatalf("got %d entries, want %d", len(rep.Entries), len(want))
@@ -51,7 +52,7 @@ func TestRunBaselineSmoke(t *testing.T) {
 			t.Fatalf("entry %q has non-positive ns/op", name)
 		}
 	}
-	for _, k := range []string{"simulation", "relevant", "findall", "topkdiv", "simdelta"} {
+	for _, k := range []string{"simulation", "relevant", "findall", "topkdiv", "simdelta", "boundadv"} {
 		if rep.Speedups[k] <= 0 {
 			t.Fatalf("speedup %q missing", k)
 		}
@@ -161,7 +162,7 @@ func BenchmarkBaselineSimulationCSR(b *testing.B) {
 // scratch.
 func BenchmarkBaselineDeltaInc(b *testing.B) {
 	ps, g, cfg := workload(b)
-	chainG, chainD := deltaChain(g, cfg.Deltas, cfg.Seed)
+	chainG, chainD, _ := deltaChain(g, cfg.Deltas, cfg.Seed)
 	st0 := simulation.NewIncState(chainG[0], ps[0], cfg.Parallelism)
 	opts := simulation.IncOptions{Workers: cfg.Parallelism}
 	b.ReportAllocs()
@@ -179,13 +180,50 @@ func BenchmarkBaselineDeltaInc(b *testing.B) {
 
 func BenchmarkBaselineDeltaRecompute(b *testing.B) {
 	ps, g, cfg := workload(b)
-	chainG, _ := deltaChain(g, cfg.Deltas, cfg.Seed)
+	chainG, _, _ := deltaChain(g, cfg.Deltas, cfg.Seed)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, gi := range chainG[1:] {
 			ci := simulation.BuildCandidatesParallel(gi, ps[0], cfg.Parallelism)
 			simulation.ComputeWithProduct(simulation.BuildProduct(gi, ps[0], ci, cfg.Parallelism))
+		}
+	}
+}
+
+// BenchmarkBaselineBoundAdvance / ...BoundRebuild are the bound-index A/B
+// pair: advancing the descendant-label index through a chain of small
+// deltas (recomputing only each delta's affected rows × affected labels)
+// versus rebuilding every label on every snapshot. Snapshot condensations
+// are cached per graph and shared by both sides, as in production.
+func BenchmarkBaselineBoundAdvance(b *testing.B) {
+	_, g, cfg := workload(b)
+	chainG, _, chainS := deltaChain(g, cfg.Deltas, cfg.Seed)
+	bc0 := core.NewBoundsCache(chainG[0], true)
+	bc0.Warm(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bc := bc0
+		for j, sum := range chainS {
+			var err error
+			if bc, _, err = bc.Advance(chainG[j+1], sum, core.AdvanceOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			bc.Warm(nil)
+		}
+	}
+}
+
+func BenchmarkBaselineBoundRebuild(b *testing.B) {
+	_, g, cfg := workload(b)
+	chainG, _, _ := deltaChain(g, cfg.Deltas, cfg.Seed)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, gi := range chainG[1:] {
+			c := core.NewBoundsCache(gi, true)
+			c.Warm(nil)
 		}
 	}
 }

@@ -64,14 +64,22 @@ type ServingReport struct {
 	HitRate        float64
 	// Update columns of the mixed workload (zero when UpdateEvery is 0):
 	// update counts/latencies are tracked apart from queries — an update
-	// pays a delta apply plus a full bound-index warm, a different regime
-	// than a cached query — and FinalVersion is the graph version after the
-	// run (== Updates when every update succeeded).
+	// pays a delta apply plus incremental bound-index maintenance, a
+	// different regime than a cached query — and FinalVersion is the graph
+	// version after the run (== Updates when every update succeeded).
 	Updates      int
 	UpdateErrors int
 	UpdateP50    time.Duration
 	UpdateP95    time.Duration
 	FinalVersion uint64
+	// Index-maintenance columns, aggregated from the per-update "index"
+	// stats object every update response carries: how many updates stayed
+	// on the incremental path versus falling back to a rebuild, and the
+	// mean affected-row share across successful updates.
+	IndexIncremental  int
+	IndexRebuilds     int
+	IndexShareMean    float64
+	IndexWallP50Micro int64
 }
 
 // String renders the report as the one-stop summary cmd/divtopkd prints.
@@ -88,6 +96,8 @@ func (r *ServingReport) String() string {
 		fmt.Fprintf(&b, "\nupdates: %d (%d errors) p50=%s p95=%s, final version %d",
 			r.Updates, r.UpdateErrors, r.UpdateP50.Round(time.Microsecond),
 			r.UpdateP95.Round(time.Microsecond), r.FinalVersion)
+		fmt.Fprintf(&b, "\nindex: %d incremental, %d rebuilds, mean affected share %.3f, maintenance p50=%dus",
+			r.IndexIncremental, r.IndexRebuilds, r.IndexShareMean, r.IndexWallP50Micro)
 	}
 	return b.String()
 }
@@ -113,6 +123,12 @@ type updater struct {
 	nodes    int
 	seq      int
 	pending  [][2]int // edges added by earlier updates and not yet deleted
+
+	// Aggregated index-maintenance stats from the update responses.
+	incremental int
+	rebuilds    int
+	shareSum    float64
+	wallMicros  []int64
 }
 
 // do issues one update: append a node wired to node 0 and, every other
@@ -141,6 +157,11 @@ func (u *updater) do(client *http.Client) (time.Duration, bool) {
 	}
 	var out struct {
 		Nodes int `json:"nodes"`
+		Index struct {
+			Mode          string  `json:"mode"`
+			AffectedShare float64 `json:"affected_share"`
+			WallMicros    int64   `json:"wall_us"`
+		} `json:"index"`
 	}
 	ok := resp.StatusCode == http.StatusOK
 	_ = json.NewDecoder(resp.Body).Decode(&out)
@@ -153,6 +174,13 @@ func (u *updater) do(client *http.Client) (time.Duration, bool) {
 		}
 		u.pending = append(u.pending, [2]int{0, nn})
 		u.seq++
+		if out.Index.Mode == "rebuild" {
+			u.rebuilds++
+		} else {
+			u.incremental++
+		}
+		u.shareSum += out.Index.AffectedShare
+		u.wallMicros = append(u.wallMicros, out.Index.WallMicros)
 	}
 	return lat, ok
 }
@@ -301,6 +329,17 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 	}
 	sort.Slice(updLat, func(i, j int) bool { return updLat[i] < updLat[j] })
 	rep.UpdateP50, rep.UpdateP95 = pctOf(updLat, 0.50), pctOf(updLat, 0.95)
+	if upd != nil {
+		rep.IndexIncremental = upd.incremental
+		rep.IndexRebuilds = upd.rebuilds
+		if n := upd.incremental + upd.rebuilds; n > 0 {
+			rep.IndexShareMean = upd.shareSum / float64(n)
+		}
+		sort.Slice(upd.wallMicros, func(i, j int) bool { return upd.wallMicros[i] < upd.wallMicros[j] })
+		if len(upd.wallMicros) > 0 {
+			rep.IndexWallP50Micro = upd.wallMicros[int(0.50*float64(len(upd.wallMicros)-1))]
+		}
+	}
 	rep.CacheHits = after.Cache.Hits - before.Cache.Hits
 	rep.CacheMisses = after.Cache.Misses - before.Cache.Misses
 	rep.CacheCoalesced = after.Cache.Coalesced - before.Cache.Coalesced

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"divtopk/internal/graph"
+)
+
+// This file advances a BoundsCache across a graph delta instead of
+// rebuilding it: the descendant-label index as versioned derived state.
+//
+// The index's rows are a pure function of the snapshot's SCC condensation
+// and the member labels, so the affected area of a delta is found at the
+// component level: DiffCondensation matches the two snapshots' components
+// by member set and marks as dirty every component whose membership,
+// successor set or cyclicity changed — on graphs with a giant SCC (every
+// scale-free graph this repository benchmarks on), edge churn inside the
+// component is structurally invisible and dirties nothing. Rows can change
+// only for the ancestor closure of the dirty components, and a label can
+// change value only if a labelled node is reachable from an insert head in
+// the new snapshot, was reachable from a delete head in the old one, or
+// sits in the forward closure of a membership change (multiplicities of the
+// loose DP and the self-count of the exact mode flow through those regions
+// and nowhere else). Advance recomputes exactly that rectangle — affected
+// rows × affected labels — through the partial passes of graph.DescScope,
+// copies every other row, and falls back to a full rebuild once the
+// rectangle's share of the index makes incremental work pointless,
+// mirroring simulation.IncCompute's two-level fallback.
+
+// AdvanceOptions tune BoundsCache.Advance.
+type AdvanceOptions struct {
+	// RebuildRatio is the work-share threshold above which Advance abandons
+	// incremental maintenance for a full rebuild of the warmed labels
+	// (default 0.25). The work share is (affected rows / total rows) ×
+	// (affected warmed labels / warmed labels) — the recomputed rectangle's
+	// share of the whole index. It is checked twice: optimistically (as if
+	// a single label were affected) before the label analysis, and exactly
+	// once the affected labels are known.
+	RebuildRatio float64
+}
+
+func (o AdvanceOptions) ratio() float64 {
+	if o.RebuildRatio <= 0 {
+		return 0.25
+	}
+	return o.RebuildRatio
+}
+
+// AdvanceStats describes what one Advance call did.
+type AdvanceStats struct {
+	// Incremental reports whether the advance stayed on the partial path
+	// (false: the fallback rebuilt every warmed label from scratch).
+	Incremental bool
+	// TotalRows is the new snapshot's node count; AffectedRows is the
+	// number of rows rewritten per affected label (every row on a rebuild).
+	TotalRows    int
+	AffectedRows int
+	// RowShare is AffectedRows/TotalRows; WorkShare additionally scales by
+	// the affected-label share — the quantity the fallback thresholds.
+	RowShare  float64
+	WorkShare float64
+	// LabelsRecomputed and LabelsCopied split the warmed labels into the
+	// two maintenance classes.
+	LabelsRecomputed int
+	LabelsCopied     int
+	// DirtyComps counts the condensation components the delta structurally
+	// changed; ScopeComps the components the partial passes traversed.
+	DirtyComps int
+	ScopeComps int
+}
+
+// Mode names the maintenance path taken, for logs and wire responses.
+func (s AdvanceStats) Mode() string {
+	if s.Incremental {
+		return "incremental"
+	}
+	return "rebuild"
+}
+
+// RowsEqual reports whether the two caches hold identical warmed state:
+// the same label set with byte-identical count rows. It is the oracle
+// comparison of the maintenance benchmarks and tests — an advanced cache
+// must satisfy RowsEqual against a fresh NewBoundsCache+Warm of the same
+// snapshot. The first divergence is described in the error.
+func (c *BoundsCache) RowsEqual(other *BoundsCache) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	if len(c.counts) != len(other.counts) {
+		return fmt.Errorf("%d warmed labels vs %d", len(c.counts), len(other.counts))
+	}
+	for id, row := range c.counts {
+		orow, ok := other.counts[id]
+		if !ok {
+			return fmt.Errorf("label %d warmed on one side only", id)
+		}
+		if len(row) != len(orow) {
+			return fmt.Errorf("label %d: %d rows vs %d", id, len(row), len(orow))
+		}
+		for v := range row {
+			if row[v] != orow[v] {
+				return fmt.Errorf("label %d row %d: %d vs %d", id, v, row[v], orow[v])
+			}
+		}
+	}
+	return nil
+}
+
+// Advance derives the bound index of gNew from this cache without touching
+// it: gNew must be the snapshot ApplyDelta produced from the cache's graph
+// and sum that application's summary — the snapshot version is verified and
+// a mismatched advance is a hard error, never a silent wrong index. The
+// returned cache covers exactly the labels this one had warm (a label the
+// delta introduced stays cold and fills lazily, or eagerly via Warm); its
+// counts are byte-identical to a fresh NewBoundsCache+Warm on gNew, which
+// the randomized delta-chain fuzz enforces for both modes. Advance reads
+// this cache under its lock and is safe to run while the old snapshot
+// keeps serving queries.
+func (c *BoundsCache) Advance(gNew *graph.Graph, sum *graph.DeltaSummary, opts AdvanceOptions) (*BoundsCache, AdvanceStats, error) {
+	if sum == nil {
+		return nil, AdvanceStats{}, fmt.Errorf("core: Advance: nil delta summary")
+	}
+	if want, got := c.g.Version()+1, gNew.Version(); got != want {
+		return nil, AdvanceStats{}, fmt.Errorf("core: Advance: graph version %d, want %d — gNew must be the immediate successor of the cache's snapshot", got, want)
+	}
+	if sum.OldNodes != c.g.NumNodes() || sum.NewNodes != gNew.NumNodes() {
+		return nil, AdvanceStats{}, fmt.Errorf("core: Advance: summary covers %d→%d nodes, cache and graph have %d→%d — summary and delta do not match",
+			sum.OldNodes, sum.NewNodes, c.g.NumNodes(), gNew.NumNodes())
+	}
+
+	// Snapshot the warmed rows; fills in flight on the old snapshot simply
+	// miss the cut and refill lazily against gNew.
+	c.mu.RLock()
+	warm := make(map[graph.LabelID][]int32, len(c.counts))
+	for id, row := range c.counts {
+		warm[id] = row
+	}
+	c.mu.RUnlock()
+	ids := make([]graph.LabelID, 0, len(warm))
+	for id := range warm {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+
+	nOld, nNew := sum.OldNodes, sum.NewNodes
+	stats := AdvanceStats{Incremental: true, TotalRows: nNew}
+	fresh := func() *BoundsCache {
+		return &BoundsCache{
+			g:      gNew,
+			mode:   c.mode,
+			counts: make(map[graph.LabelID][]int32, len(warm)),
+			flight: make(map[graph.LabelID]chan struct{}),
+		}
+	}
+	if len(ids) == 0 {
+		// Nothing warm to advance: the new cache starts cold like this one.
+		return fresh(), stats, nil
+	}
+	rebuild := func() (*BoundsCache, AdvanceStats, error) {
+		nc := fresh()
+		for i, row := range graph.DescendantLabelCounts(gNew, ids, c.mode) {
+			nc.counts[ids[i]] = row
+		}
+		stats.Incremental = false
+		stats.AffectedRows = nNew
+		stats.RowShare = 1
+		stats.WorkShare = 1
+		stats.LabelsRecomputed = len(ids)
+		stats.LabelsCopied = 0
+		return nc, stats, nil
+	}
+
+	ratio := opts.ratio()
+	condOld := c.g.Condensation()
+	condNew := gNew.Condensation()
+	diff := graph.DiffCondensation(condOld, condNew, nOld)
+	stats.DirtyComps = diff.NumDirty
+
+	if diff.NumDirty == 0 {
+		// Structurally invisible delta (no appends possible: an appended
+		// node's component can match no old one). Every row is unchanged;
+		// the new cache shares the slices.
+		nc := fresh()
+		for id, row := range warm {
+			nc.counts[id] = row
+		}
+		stats.LabelsCopied = len(ids)
+		return nc, stats, nil
+	}
+
+	// Affected rows: the ancestor closure of the dirty components.
+	dirty := make([]int32, 0, diff.NumDirty)
+	for cn, d := range diff.DirtyNew {
+		if d {
+			dirty = append(dirty, int32(cn))
+		}
+	}
+	inAff := make([]bool, condNew.NumComps)
+	affComps := graph.ExpandComps(dirty, condNew.Pred, inAff)
+	for _, cc := range affComps {
+		stats.AffectedRows += len(condNew.Members[cc])
+	}
+	stats.RowShare = float64(stats.AffectedRows) / float64(nNew)
+	// Level-1 fallback: even a single affected label busts the budget.
+	stats.WorkShare = stats.RowShare / float64(len(ids))
+	if stats.WorkShare > ratio {
+		return rebuild()
+	}
+
+	// Affected labels. Gains live in the new snapshot's forward closure of
+	// the insert heads; losses in the old snapshot's forward closure of the
+	// delete heads; membership changes perturb multiplicities and
+	// self-counts through their own forward closures on both sides. Labels
+	// outside the union keep every row (including the all-zero rows of
+	// appended nodes: an appended node with a descendant of label l puts l
+	// in the new-side closure through its own dirty component).
+	affLabel := make(map[graph.LabelID]bool)
+	collect := func(g *graph.Graph, cond *graph.Condensation, comps []int32) {
+		for _, cc := range comps {
+			for _, v := range cond.Members[cc] {
+				affLabel[g.LabelIDOf(v)] = true
+			}
+		}
+	}
+	newSeeds := make([]int32, 0, len(sum.InsertHeads)+diff.NumDirty)
+	for _, v := range sum.InsertHeads {
+		newSeeds = append(newSeeds, condNew.Comp[v])
+	}
+	for cn, co := range diff.NewToOld {
+		if co < 0 {
+			newSeeds = append(newSeeds, int32(cn))
+		}
+	}
+	inDownNew := make([]bool, condNew.NumComps)
+	collect(gNew, condNew, graph.ExpandComps(newSeeds, condNew.Succ, inDownNew))
+
+	oldSeeds := make([]int32, 0, len(sum.DeleteHeads))
+	for _, v := range sum.DeleteHeads {
+		oldSeeds = append(oldSeeds, condOld.Comp[v])
+	}
+	for co, cn := range diff.OldToNew {
+		if cn < 0 {
+			oldSeeds = append(oldSeeds, int32(co))
+		}
+	}
+	inDownOld := make([]bool, condOld.NumComps)
+	collect(c.g, condOld, graph.ExpandComps(oldSeeds, condOld.Succ, inDownOld))
+
+	for _, id := range ids {
+		if affLabel[id] {
+			stats.LabelsRecomputed++
+		}
+	}
+	stats.LabelsCopied = len(ids) - stats.LabelsRecomputed
+	// Level-2 fallback: the exact recomputed rectangle.
+	stats.WorkShare = stats.RowShare * float64(stats.LabelsRecomputed) / float64(len(ids))
+	if stats.WorkShare > ratio {
+		return rebuild()
+	}
+
+	nc := fresh()
+	var scope *graph.DescScope
+	if stats.LabelsRecomputed > 0 {
+		scope = graph.NewDescScope(condNew, affComps)
+		stats.ScopeComps = scope.Comps()
+	}
+	for _, id := range ids {
+		old := warm[id]
+		switch {
+		case affLabel[id]:
+			row := make([]int32, nNew)
+			copy(row, old)
+			scope.Recompute(gNew, id, c.mode, row)
+			nc.counts[id] = row
+		case nNew == nOld:
+			nc.counts[id] = old // unchanged, share the slice
+		default:
+			row := make([]int32, nNew) // appended tail stays zero
+			copy(row, old)
+			nc.counts[id] = row
+		}
+	}
+	return nc, stats, nil
+}

@@ -22,7 +22,15 @@ import (
 // in-flight computation instead of duplicating or racing on it), and the
 // traversal itself runs outside the lock, so queries over warmed labels
 // are never blocked by a cold fill. Warm precomputes all labels up front
-// to eliminate cold-start waits entirely.
+// to eliminate cold-start waits entirely. All fills share the snapshot's
+// cached condensation (Graph.Condensation), so the SCC work is paid once
+// per graph no matter how many labels fill or how lazily.
+//
+// A BoundsCache is versioned derived state: it indexes exactly one graph
+// snapshot, and Advance derives the next snapshot's cache from it by
+// recomputing only what a delta's affected area can have changed — see
+// advance.go. Caches are immutable across snapshots the way graphs are:
+// Advance returns a new cache and leaves this one serving the old snapshot.
 type BoundsCache struct {
 	g    *graph.Graph
 	mode graph.DescMode
@@ -49,25 +57,26 @@ func NewBoundsCache(g *graph.Graph, exact bool) *BoundsCache {
 }
 
 // Warm precomputes the counts for the given labels (all graph labels when
-// nil), making subsequent use contention-free.
+// nil), making subsequent use contention-free. Each label fills through the
+// same flight-coordinated path lazy queries use, so the traversals run
+// outside the cache lock: readers of already-warm labels are never blocked
+// behind a warm in progress (they used to be — Warm held the write lock for
+// the whole computation), and concurrent Warms split the work instead of
+// duplicating it. All label fills share the snapshot's cached condensation,
+// so warming n labels pays the SCC computation once, not n times.
 func (c *BoundsCache) Warm(labels []string) {
 	if labels == nil {
 		labels = c.g.Dict().Names()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	var ids []graph.LabelID
 	for _, name := range labels {
 		if id, ok := c.g.Dict().ID(name); ok {
-			if _, done := c.counts[id]; !done {
-				ids = append(ids, id)
-			}
+			c.countsFor(id)
 		}
 	}
-	for i, cs := range graph.DescendantLabelCounts(c.g, ids, c.mode) {
-		c.counts[ids[i]] = cs
-	}
 }
+
+// Graph returns the snapshot this cache indexes.
+func (c *BoundsCache) Graph() *graph.Graph { return c.g }
 
 func (c *BoundsCache) countsFor(l graph.LabelID) []int32 {
 	for {

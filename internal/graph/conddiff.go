@@ -1,0 +1,125 @@
+package graph
+
+// This file relates the SCC condensations of two adjacent graph snapshots.
+// The descendant-label index's rows are a pure function of the condensation
+// and the member labels: a node's exact count is the number of labelled
+// nodes among the members of the components reachable from its component
+// (itself included when nontrivial), and the loose count is the
+// deduplicated-DAG path sum over the same structure. Node-level edge churn
+// that leaves the condensation untouched — the common case on graphs with a
+// giant SCC, where most inserts and deletes land inside the component —
+// therefore provably changes no row. DiffCondensation finds the components
+// for which that argument fails; everything the incremental index
+// maintenance recomputes is seeded from them.
+
+// CondensationDiff describes how the SCC structure moved between two
+// snapshots of one update lineage.
+type CondensationDiff struct {
+	// NewToOld maps each new component to the old component with the
+	// identical member set, or -1 when no old component matches (the
+	// component gained, lost or exchanged members, or contains appended
+	// nodes).
+	NewToOld []int32
+	// OldToNew is the inverse matching: old components with no identical
+	// new component map to -1.
+	OldToNew []int32
+	// DirtyNew marks the new components whose index rows cannot be proven
+	// unchanged by structure alone: membership changed (NewToOld == -1),
+	// the successor set changed (compared through the matching), or the
+	// Nontrivial flag flipped (a singleton gained or lost its self-loop).
+	// Every row change of the descendant-label index originates at a dirty
+	// component: a component that reaches no dirty component has, by
+	// induction over the reverse topological order, an isomorphic
+	// downstream condensation with identical member sets, so both the
+	// exact and the loose counts of its members are unchanged.
+	DirtyNew []bool
+	// NumDirty counts the true entries of DirtyNew.
+	NumDirty int
+}
+
+// DiffCondensation matches the components of two condensations by member
+// set and classifies the new components as clean or dirty; see
+// CondensationDiff. oldCond must be the condensation of the snapshot the
+// delta was applied to and newCond that of the snapshot it produced
+// (appended nodes hold the largest IDs, which is the only ordering fact the
+// matching relies on: member lists are ascending in both).
+func DiffCondensation(oldCond, newCond *Condensation, oldNodes int) *CondensationDiff {
+	d := &CondensationDiff{
+		NewToOld: make([]int32, newCond.NumComps),
+		OldToNew: make([]int32, oldCond.NumComps),
+		DirtyNew: make([]bool, newCond.NumComps),
+	}
+	for i := range d.OldToNew {
+		d.OldToNew[i] = -1
+	}
+	for cn := 0; cn < newCond.NumComps; cn++ {
+		d.NewToOld[cn] = -1
+		members := newCond.Members[cn]
+		// The smallest member decides the only possible match: member sets
+		// are ascending, so equal sets share their first element.
+		rep := members[0]
+		if int(rep) >= oldNodes {
+			continue // contains appended nodes only
+		}
+		co := oldCond.Comp[rep]
+		if !sameMembers(members, oldCond.Members[co]) {
+			continue
+		}
+		d.NewToOld[cn] = co
+		d.OldToNew[co] = int32(cn)
+	}
+
+	// Successor-set comparison through the matching, with a stamp array so
+	// no per-component set is materialized: stamp the old successors of the
+	// matched component, then require every new successor to map onto a
+	// stamped old component and the counts to agree.
+	stamp := make([]int32, oldCond.NumComps)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for cn := 0; cn < newCond.NumComps; cn++ {
+		co := d.NewToOld[cn]
+		if co < 0 {
+			d.DirtyNew[cn] = true
+			continue
+		}
+		if newCond.Nontrivial[cn] != oldCond.Nontrivial[co] {
+			d.DirtyNew[cn] = true
+			continue
+		}
+		succNew, succOld := newCond.Succ[cn], oldCond.Succ[co]
+		if len(succNew) != len(succOld) {
+			d.DirtyNew[cn] = true
+			continue
+		}
+		for _, s := range succOld {
+			stamp[s] = int32(cn)
+		}
+		for _, s := range succNew {
+			so := d.NewToOld[s]
+			if so < 0 || stamp[so] != int32(cn) {
+				d.DirtyNew[cn] = true
+				break
+			}
+		}
+	}
+	for _, dirty := range d.DirtyNew {
+		if dirty {
+			d.NumDirty++
+		}
+	}
+	return d
+}
+
+// sameMembers reports whether two ascending member lists are identical.
+func sameMembers(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}

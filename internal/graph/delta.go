@@ -161,15 +161,90 @@ func mergeAdjacency(nNew int, oldOff []int32, oldAdj []NodeID, nOld int,
 	return off, adj, nil
 }
 
-// ApplyDelta derives a new immutable graph snapshot from g and d: appended
-// nodes take the next dense IDs, deletes are removed from and inserts merged
-// into both CSR directions in one linear pass each (the old adjacency is
-// already sorted, so no re-sort of the edge set happens), and the result's
-// Version is g.Version()+1. g itself is untouched and remains fully usable;
-// the two snapshots share the label dictionary (appended labels are interned
-// into it — Dict is safe for that even while g serves queries) and all
-// per-node data that did not change.
+// DeltaSummary is the affected-area summary of one applied delta: which
+// parts of the graph the delta's edits are incident to, in the terms the
+// derived-state layers (the descendant-label bound index foremost) need to
+// decide what a maintenance pass may have to touch. Together with the
+// condensation diff of the two snapshots (DiffCondensation — the "changed
+// SCC membership" half of the affected area), it bounds both the rows and
+// the labels an incremental index advance can affect.
+type DeltaSummary struct {
+	// OldNodes and NewNodes are the node counts before and after the delta;
+	// appended nodes hold the IDs OldNodes..NewNodes-1.
+	OldNodes, NewNodes int
+	// TouchedSources lists the nodes whose out-adjacency the delta changed
+	// (sources of inserted and deleted edges), sorted and deduplicated.
+	// The bound-index advance derives row dirtiness from the condensation
+	// diff instead (an edge whose source keeps its component's structure
+	// changes no row), so this set is diagnostic — the raw touched
+	// endpoints for logs, tests and future consumers that reason at the
+	// node level rather than the component level.
+	TouchedSources []NodeID
+	// InsertHeads and DeleteHeads list the destinations of inserted and
+	// deleted edges, sorted and deduplicated. A count gained anywhere is a
+	// node reachable from an insert head in the new snapshot; a count lost
+	// anywhere was reachable from a delete head in the old one — the two
+	// seed sets of the label-affectedness analysis.
+	InsertHeads []NodeID
+	DeleteHeads []NodeID
+}
+
+// Appended reports the number of nodes the delta appended.
+func (s *DeltaSummary) Appended() int { return s.NewNodes - s.OldNodes }
+
+// endpointSet extracts one endpoint column of an edge list, sorted unique.
+func endpointSet(edges [][2]NodeID, col int) []NodeID {
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]NodeID, len(edges))
+	for i, e := range edges {
+		out[i] = e[col]
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	uniq := out[:1]
+	for _, v := range out[1:] {
+		if v != uniq[len(uniq)-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	return uniq
+}
+
+// summarize builds the affected-area summary of d against a graph with
+// nOld nodes.
+func (d *Delta) summarize(nOld int) *DeltaSummary {
+	touched := make([][2]NodeID, 0, len(d.EdgeInserts)+len(d.EdgeDeletes))
+	touched = append(touched, d.EdgeInserts...)
+	touched = append(touched, d.EdgeDeletes...)
+	return &DeltaSummary{
+		OldNodes:       nOld,
+		NewNodes:       nOld + len(d.NodeAppends),
+		TouchedSources: endpointSet(touched, 0),
+		InsertHeads:    endpointSet(d.EdgeInserts, 1),
+		DeleteHeads:    endpointSet(d.EdgeDeletes, 1),
+	}
+}
+
+// ApplyDelta derives a new immutable graph snapshot from g and d; see
+// ApplyDeltaWithSummary, which it wraps when the caller has no use for the
+// affected-area summary.
 func ApplyDelta(g *Graph, d *Delta) (*Graph, error) {
+	g2, _, err := ApplyDeltaWithSummary(g, d)
+	return g2, err
+}
+
+// ApplyDeltaWithSummary derives a new immutable graph snapshot from g and d:
+// appended nodes take the next dense IDs, deletes are removed from and
+// inserts merged into both CSR directions in one linear pass each (the old
+// adjacency is already sorted, so no re-sort of the edge set happens), and
+// the result's Version is g.Version()+1. g itself is untouched and remains
+// fully usable; the two snapshots share the label dictionary (appended
+// labels are interned into it — Dict is safe for that even while g serves
+// queries) and all per-node data that did not change. The returned
+// DeltaSummary describes the delta's affected area for the derived-state
+// layers that advance with the graph instead of rebuilding per snapshot.
+func ApplyDeltaWithSummary(g *Graph, d *Delta) (*Graph, *DeltaSummary, error) {
 	nOld := g.n
 	nNew := nOld + len(d.NodeAppends)
 	check := func(edges [][2]NodeID, what string) error {
@@ -182,14 +257,14 @@ func ApplyDelta(g *Graph, d *Delta) (*Graph, error) {
 		return nil
 	}
 	if err := check(d.EdgeInserts, "insert"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := check(d.EdgeDeletes, "delete"); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, e := range d.EdgeDeletes {
 		if int(e[0]) >= nOld || int(e[1]) >= nOld {
-			return nil, fmt.Errorf("graph: delta deletes edge (%d,%d) incident to an appended node", e[0], e[1])
+			return nil, nil, fmt.Errorf("graph: delta deletes edge (%d,%d) incident to an appended node", e[0], e[1])
 		}
 	}
 
@@ -197,13 +272,13 @@ func ApplyDelta(g *Graph, d *Delta) (*Graph, error) {
 	delOut := sortedUniqueEdges(d.EdgeDeletes, false)
 	outOff, outAdj, err := mergeAdjacency(nNew, g.outOff, g.outAdj, nOld, insOut, delOut, 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	insIn := sortedUniqueEdges(d.EdgeInserts, true)
 	delIn := sortedUniqueEdges(d.EdgeDeletes, true)
 	inOff, inAdj, err := mergeAdjacency(nNew, g.inOff, g.inAdj, nOld, insIn, delIn, 1)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	// Capped slices: the first append below copies instead of scribbling into
@@ -245,5 +320,5 @@ func ApplyDelta(g *Graph, d *Delta) (*Graph, error) {
 		inAdj:   inAdj,
 		byLabel: byLabel,
 		version: g.version + 1,
-	}, nil
+	}, d.summarize(nOld), nil
 }

@@ -1,6 +1,10 @@
 package graph
 
-import "divtopk/internal/bitset"
+import (
+	"slices"
+
+	"divtopk/internal/bitset"
+)
 
 // This file implements the descendant-label index sketched in §4.1 of the
 // paper ("for each node v in G, the index records the numbers of its
@@ -10,6 +14,12 @@ import "divtopk/internal/bitset"
 // the loose initialization of the upper bound v.h; the tight initialization
 // (which reproduces the h values of the paper's Examples 7 and 8) instead
 // counts over the candidate product graph and lives in internal/core.
+//
+// All entry points run over the snapshot's cached Condensation, so a
+// multi-label fill (and any number of lazy per-label fills) pays the SCC
+// computation once per graph, and the DescScope entry points recompute the
+// rows of an affected component set only — the partial passes behind
+// core.BoundsCache.Advance.
 
 // DescMode selects how descendant counts are computed.
 type DescMode int
@@ -31,7 +41,7 @@ const (
 // A node is a descendant of v if it is reachable from v by a path of one or
 // more edges; v counts as its own descendant exactly when it lies on a cycle.
 func DescendantLabelCounts(g *Graph, labels []LabelID, mode DescMode) [][]int32 {
-	cond := CondenseGraph(g)
+	cond := g.Condensation()
 	out := make([][]int32, len(labels))
 	for i, l := range labels {
 		if mode == DescExact {
@@ -147,4 +157,196 @@ func looseLabelCounts(g *Graph, cond *Condensation, l LabelID) []int32 {
 		}
 	}
 	return counts
+}
+
+// DescScope is the restriction of a partial descendant-count recompute: the
+// set of components whose index rows must be rewritten (the "affected"
+// components, typically the ancestor closure of a delta's dirty components)
+// together with their forward closure — the region a bottom-up per-label
+// pass has to traverse, since a component's counts aggregate everything
+// below it. The scope is label-independent; build it once per delta and
+// recompute any number of labels through it.
+type DescScope struct {
+	cond *Condensation
+	// comps lists the scope (forward closure of the affected set) in
+	// ascending component index — reverse topological order, the order both
+	// passes consume.
+	comps []int32
+	// local maps a component index to its position in comps, -1 outside.
+	local []int32
+	// pending[i] is the number of scope-internal predecessors of comps[i]
+	// (predecessors outside the scope never consume its bitset).
+	pending []int32
+	// affected[i] reports whether comps[i]'s rows are rewritten.
+	affected []bool
+	// affectedRows is the total member count of the affected components.
+	affectedRows int
+}
+
+// NewDescScope builds the scope for the given affected components over
+// cond: the traversal region is their forward (descendant) closure, which
+// is self-contained — every successor of a scope component is in the scope.
+// affectedComps must be duplicate-free.
+func NewDescScope(cond *Condensation, affectedComps []int32) *DescScope {
+	s := &DescScope{cond: cond, local: make([]int32, cond.NumComps)}
+	in := make([]bool, cond.NumComps)
+	closure := ExpandComps(affectedComps, cond.Succ, in)
+	// Ascending component index == reverse topological order.
+	slices.Sort(closure)
+	s.comps = closure
+	for i := range s.local {
+		s.local[i] = -1
+	}
+	for i, c := range closure {
+		s.local[c] = int32(i)
+	}
+	s.pending = make([]int32, len(closure))
+	s.affected = make([]bool, len(closure))
+	for i, c := range closure {
+		for _, p := range cond.Pred[c] {
+			if s.local[p] >= 0 {
+				s.pending[i]++
+			}
+		}
+	}
+	for _, c := range affectedComps {
+		i := s.local[c]
+		if !s.affected[i] {
+			s.affected[i] = true
+			s.affectedRows += len(cond.Members[c])
+		}
+	}
+	return s
+}
+
+// AffectedRows returns the number of index rows (nodes) the scope rewrites.
+func (s *DescScope) AffectedRows() int { return s.affectedRows }
+
+// Comps returns the number of components the per-label passes traverse.
+func (s *DescScope) Comps() int { return len(s.comps) }
+
+// Recompute rewrites out[v] for every member v of the scope's affected
+// components with the fresh count of label l under mode, leaving every
+// other row of out untouched. It is the partial counterpart of
+// DescendantLabelCounts: restricted to the scope's forward-closed region,
+// it computes the same integers the full pass would (the universe of a
+// bitset pass shrinks to the labelled nodes inside the region, which cannot
+// change any count — an affected component's descendants all lie in the
+// region). out must be sized g.NumNodes().
+func (s *DescScope) Recompute(g *Graph, l LabelID, mode DescMode, out []int32) {
+	if mode == DescExact {
+		s.recomputeExact(g, l, out)
+	} else {
+		s.recomputeLoose(g, l, out)
+	}
+}
+
+// recomputeExact is exactLabelCounts restricted to the scope.
+func (s *DescScope) recomputeExact(g *Graph, l LabelID, out []int32) {
+	cond := s.cond
+	// Universe: l-labeled nodes inside the scope (bit order is irrelevant —
+	// only cardinalities are read).
+	idx := make(map[NodeID]int)
+	for _, c := range s.comps {
+		for _, v := range cond.Members[c] {
+			if g.LabelIDOf(v) == l {
+				idx[v] = len(idx)
+			}
+		}
+	}
+	if len(idx) == 0 {
+		for i, c := range s.comps {
+			if s.affected[i] {
+				for _, v := range cond.Members[c] {
+					out[v] = 0
+				}
+			}
+		}
+		return
+	}
+
+	sets := make([]*bitset.Set, len(s.comps))
+	pending := make([]int32, len(s.comps))
+	copy(pending, s.pending)
+	for i, c := range s.comps {
+		b := bitset.New(len(idx))
+		for _, succ := range cond.Succ[c] {
+			sp := s.local[succ] // scope is forward-closed: sp >= 0
+			b.UnionWith(sets[sp])
+			pending[sp]--
+			if pending[sp] == 0 {
+				sets[sp] = nil
+			}
+		}
+		if cond.Nontrivial[c] {
+			for _, v := range cond.Members[c] {
+				if j, ok := idx[v]; ok {
+					b.Add(j)
+				}
+			}
+			if s.affected[i] {
+				cnt := int32(b.Count())
+				for _, v := range cond.Members[c] {
+					out[v] = cnt
+				}
+			}
+		} else {
+			v := cond.Members[c][0]
+			if s.affected[i] {
+				out[v] = int32(b.Count())
+			}
+			if j, ok := idx[v]; ok {
+				b.Add(j)
+			}
+		}
+		sets[i] = b
+		if pending[i] == 0 {
+			sets[i] = nil
+		}
+	}
+}
+
+// recomputeLoose is looseLabelCounts restricted to the scope; the
+// saturation arithmetic mirrors the full pass step for step so the partial
+// rows are byte-identical to a full recompute.
+func (s *DescScope) recomputeLoose(g *Graph, l LabelID, out []int32) {
+	const maxInt32 = int32(^uint32(0) >> 1)
+	cond := s.cond
+	sat := func(x int64) int64 {
+		if x > int64(maxInt32) {
+			return int64(maxInt32)
+		}
+		return x
+	}
+	own := make([]int64, len(s.comps))
+	for i, c := range s.comps {
+		for _, v := range cond.Members[c] {
+			if g.LabelIDOf(v) == l {
+				own[i]++
+			}
+		}
+	}
+	cnt := make([]int64, len(s.comps))
+	for i, c := range s.comps {
+		total := int64(0)
+		for _, succ := range cond.Succ[c] {
+			total = sat(total + cnt[s.local[succ]])
+		}
+		cnt[i] = sat(total + own[i])
+	}
+	for i, c := range s.comps {
+		if !s.affected[i] {
+			continue
+		}
+		for _, v := range cond.Members[c] {
+			visible := int64(0)
+			for _, succ := range cond.Succ[c] {
+				visible = sat(visible + cnt[s.local[succ]])
+			}
+			if cond.Nontrivial[c] {
+				visible = sat(visible + own[i])
+			}
+			out[v] = int32(visible)
+		}
+	}
 }

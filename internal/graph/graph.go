@@ -148,6 +148,14 @@ type Graph struct {
 	// version counts the deltas applied since the Builder snapshot: Build
 	// returns version 0 and every ApplyDelta increments it by one.
 	version uint64
+
+	// cond caches the snapshot's SCC condensation: graphs are immutable, so
+	// it is computed at most once and shared by every consumer (the
+	// descendant-label index fills all its labels from one condensation, and
+	// incremental index maintenance diffs the cached condensations of two
+	// adjacent snapshots instead of recomputing either side).
+	condOnce sync.Once
+	cond     *Condensation
 }
 
 // NumNodes returns |V|.
@@ -219,6 +227,15 @@ func (g *Graph) NodesWithLabel(name string) []NodeID {
 		return nil
 	}
 	return g.byLabel[id]
+}
+
+// Condensation returns the SCC condensation of the graph's out-adjacency,
+// computed on first use and cached for the snapshot's lifetime (graphs are
+// immutable, so the condensation never invalidates). Safe for concurrent
+// use; concurrent first callers wait for the single computation.
+func (g *Graph) Condensation() *Condensation {
+	g.condOnce.Do(func() { g.cond = CondenseCSR(g.n, g.outOff, g.outAdj) })
+	return g.cond
 }
 
 // HasEdge reports whether the edge (u, v) exists. It binary-searches the

@@ -388,10 +388,25 @@ func (req *UpdateRequest) Delta() (*divtopk.Delta, error) {
 	return &d, nil
 }
 
+// UpdateResponse is the body of a successful POST
+// /v1/graphs/{name}/updates: the new snapshot's identity plus the
+// index-maintenance stats of the update — whether the bound index advanced
+// incrementally or fell back to a rebuild, how much of it the delta's
+// affected area covered, and what the maintenance cost. Operators watching
+// a dynamic graph use the Index object to see whether their update shape
+// stays in the cheap regime.
+type UpdateResponse struct {
+	Name    string             `json:"name"`
+	Version uint64             `json:"version"`
+	Nodes   int                `json:"nodes"`
+	Edges   int                `json:"edges"`
+	Index   divtopk.IndexStats `json:"index"`
+}
+
 // handleUpdate applies a delta to a registered graph's session. The matcher
-// swaps atomically, so in-flight queries finish on the snapshot they
-// started on and the response's version tags every answer computed on the
-// new one.
+// advances the bound index off to the side and swaps graph and index
+// atomically, so in-flight queries finish on the snapshot they started on
+// and the response's version tags every answer computed on the new one.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var req UpdateRequest
@@ -408,14 +423,24 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, codeBadDelta, "%v", err)
 		return
 	}
-	g, err := m.Update(d)
+	g, stats, err := m.UpdateWithStats(d)
+	if errors.Is(err, divtopk.ErrIndexMaintenance) {
+		// Index maintenance failing is a server-side invariant violation,
+		// not the client's delta: a 400 here would send clients debugging
+		// a well-formed request.
+		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+		return
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, codeBadDelta, "applying delta: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"name": name, "version": g.Version(),
-		"nodes": g.NumNodes(), "edges": g.NumEdges(),
+	writeJSON(w, http.StatusOK, UpdateResponse{
+		Name:    name,
+		Version: g.Version(),
+		Nodes:   g.NumNodes(),
+		Edges:   g.NumEdges(),
+		Index:   stats,
 	})
 }
 

@@ -12,12 +12,22 @@ import (
 	"divtopk/internal/server"
 )
 
-// updateResponse is the wire shape of POST /v1/graphs/{name}/updates.
+// updateResponse is the wire shape of POST /v1/graphs/{name}/updates,
+// declared locally so the test notices if the server's field names drift.
 type updateResponse struct {
 	Name    string `json:"name"`
 	Version uint64 `json:"version"`
 	Nodes   int    `json:"nodes"`
 	Edges   int    `json:"edges"`
+	Index   struct {
+		Mode             string  `json:"mode"`
+		AffectedRows     int     `json:"affected_rows"`
+		TotalRows        int     `json:"total_rows"`
+		AffectedShare    float64 `json:"affected_share"`
+		LabelsRecomputed int     `json:"labels_recomputed"`
+		LabelsCopied     int     `json:"labels_copied"`
+		WallMicros       int64   `json:"wall_us"`
+	} `json:"index"`
 }
 
 func decodeError(t *testing.T, body []byte) server.ErrorResponse {
@@ -83,6 +93,25 @@ func TestUpdateEndpointAndVersionedInvalidation(t *testing.T) {
 	}
 	if ur.Version != 1 || ur.Nodes != nn+1 {
 		t.Fatalf("update response %+v, want version 1, nodes %d", ur, nn+1)
+	}
+	// The index-maintenance stats ride on every update response.
+	if ur.Index.Mode != "incremental" && ur.Index.Mode != "rebuild" {
+		t.Fatalf("index mode %q, want incremental or rebuild", ur.Index.Mode)
+	}
+	if ur.Index.TotalRows != nn+1 {
+		t.Fatalf("index total_rows %d, want %d", ur.Index.TotalRows, nn+1)
+	}
+	if ur.Index.AffectedShare < 0 || ur.Index.AffectedShare > 1 {
+		t.Fatalf("index affected_share %v outside [0,1]", ur.Index.AffectedShare)
+	}
+	if ur.Index.AffectedRows < 0 || ur.Index.AffectedRows > ur.Index.TotalRows {
+		t.Fatalf("index affected_rows %d outside [0,%d]", ur.Index.AffectedRows, ur.Index.TotalRows)
+	}
+	if ur.Index.Mode == "incremental" && ur.Index.LabelsCopied == 0 && ur.Index.LabelsRecomputed == 0 {
+		t.Fatalf("incremental update reports no label maintenance at all: %+v", ur.Index)
+	}
+	if ur.Index.WallMicros < 0 {
+		t.Fatalf("index wall_us %d negative", ur.Index.WallMicros)
 	}
 
 	// The next identical query must MISS (the old entry is unreachable

@@ -197,17 +197,21 @@ func IncCompute(st *IncState, gNew *graph.Graph, d *graph.Delta, opts IncOptions
 			}
 		}
 	}
-	for i := 0; i < len(revive); i++ {
-		q := revive[i]
+	// The closure expansion is the shared affected-area traversal
+	// (graph.Expand) that also drives the bound index's Advance: the same
+	// worklist discipline, here over reverse product edges.
+	revive = graph.Expand(revive, func(q int32, emit func(int32)) {
 		for e := prod.RevOff[q]; e < prod.RevOff[q+1]; e++ {
-			pid := prod.Rev[e]
-			if !inSim[pid] {
-				inSim[pid] = true
-				recompute[pid] = true
-				revive = append(revive, pid)
-			}
+			emit(prod.Rev[e])
 		}
-	}
+	}, func(pid int32) bool {
+		if inSim[pid] {
+			return false
+		}
+		inSim[pid] = true
+		recompute[pid] = true
+		return true
+	})
 	affected := 0
 	for q := 0; q < total; q++ {
 		if recompute[q] {

@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"divtopk/internal/cache"
 	"divtopk/internal/core"
+	"divtopk/internal/graph"
 	"divtopk/internal/parallel"
 )
 
@@ -19,9 +22,11 @@ import (
 // after which the Matcher is safe for concurrent use from many goroutines:
 // every query path reads the warmed, immutable index.
 //
-// A Matcher also serves dynamic graphs: Update applies a Delta, warms the
-// new snapshot's bound index off to the side, and atomically swaps it in,
-// so queries always run against one consistent snapshot (graph + index)
+// A Matcher also serves dynamic graphs: Update applies a Delta, advances
+// the previous snapshot's bound index off to the side — recomputing only
+// what the delta's affected area covers instead of rebuilding the index
+// per update — and atomically swaps graph and index in together, so
+// queries always run against one consistent snapshot (graph + index)
 // and never observe a half-applied update. The snapshot version is part of
 // every cache key, which makes entries cached against an older snapshot
 // unreachable — stale results are never scanned for, let alone served.
@@ -32,11 +37,12 @@ import (
 // query fingerprint, with singleflight admission — the serving layer in
 // internal/server builds on exactly this.
 type Matcher struct {
-	cur      atomic.Pointer[Graph]
-	updateMu sync.Mutex // serializes Update (queries never take it)
-	base     []Option
-	workers  int
-	cache    *cache.Cache
+	cur        atomic.Pointer[Graph]
+	updateMu   sync.Mutex // serializes Update (queries never take it)
+	base       []Option
+	workers    int
+	cache      *cache.Cache
+	indexRatio float64 // adaptive fallback of the index advance
 }
 
 // CacheStats is a snapshot of a Matcher's result-cache counters. Misses
@@ -63,8 +69,9 @@ func NewMatcher(g *Graph, opts ...Option) *Matcher {
 	// cache is what keeps concurrent queries contention-free.
 	g.boundsCache().Warm(nil)
 	m := &Matcher{
-		base:    opts,
-		workers: parallel.Workers(o.engine.Parallelism),
+		base:       opts,
+		workers:    parallel.Workers(o.engine.Parallelism),
+		indexRatio: o.indexRatio,
 	}
 	m.cur.Store(g)
 	if o.cacheEntries > 0 {
@@ -81,25 +88,93 @@ func (m *Matcher) Graph() *Graph { return m.cur.Load() }
 // Version returns the current snapshot's version (see Graph.Version).
 func (m *Matcher) Version() uint64 { return m.cur.Load().Version() }
 
+// ErrIndexMaintenance wraps a failure to advance the bound index during
+// Update. The session builds the advance inputs itself, so this is an
+// internal invariant violation — a bug — never a problem with the caller's
+// delta; the serving layer maps it to a 500, not a 400. Match it with
+// errors.Is.
+var ErrIndexMaintenance = errors.New("divtopk: bound-index maintenance failed")
+
+// IndexStats describes how one Update maintained the descendant-label
+// bound index: whether the incremental advance held or the adaptive
+// fallback rebuilt the warmed labels, how much of the index the delta's
+// affected area covered, and what the maintenance cost in wall time. The
+// serving layer forwards these on every update response.
+type IndexStats struct {
+	// Mode is "incremental" (partial recompute of the affected rectangle)
+	// or "rebuild" (the fallback recomputed every warmed label).
+	Mode string `json:"mode"`
+	// AffectedRows is the number of index rows (nodes) rewritten per
+	// recomputed label; TotalRows is the snapshot's node count.
+	AffectedRows int `json:"affected_rows"`
+	TotalRows    int `json:"total_rows"`
+	// AffectedShare is AffectedRows/TotalRows — the row share of the
+	// affected area (1 on a rebuild).
+	AffectedShare float64 `json:"affected_share"`
+	// LabelsRecomputed and LabelsCopied split the index's labels into the
+	// ones whose rows the delta could affect (recomputed through the
+	// partial passes) and the ones proven untouched (rows carried over).
+	LabelsRecomputed int `json:"labels_recomputed"`
+	LabelsCopied     int `json:"labels_copied"`
+	// WallMicros is the wall time of the whole index maintenance step
+	// (advance or rebuild, plus warming any labels the delta introduced).
+	WallMicros int64 `json:"wall_us"`
+}
+
 // Update applies d to the session's current snapshot and atomically swaps
-// the session to the result, returning the new snapshot (its Version is the
-// old one plus 1). The new snapshot's bound index is fully warmed before
-// the swap, so queries never hit a cold index; queries running concurrently
-// with the update finish on the old snapshot (and are cached under the old
-// version, where no future query will look them up). Updates are serialized
-// with each other; queries are never blocked. On error the session is
-// unchanged.
+// the session to the result; see UpdateWithStats, which it wraps when the
+// caller has no use for the index-maintenance stats.
 func (m *Matcher) Update(d *Delta) (*Graph, error) {
+	g, _, err := m.UpdateWithStats(d)
+	return g, err
+}
+
+// UpdateWithStats applies d to the session's current snapshot and
+// atomically swaps the session to the result, returning the new snapshot
+// (its Version is the old one plus 1) and the index-maintenance stats. The
+// new snapshot's bound index is advanced from the previous snapshot's off
+// to the side — recomputing only the rows and labels the delta's affected
+// area covers, with an adaptive fallback to a full rebuild (see
+// WithIndexRebuildRatio) — and swapped in together with the graph, so
+// queries never hit a cold index and never observe a half-applied update;
+// queries running concurrently with the update finish on the old snapshot
+// (and are cached under the old version, where no future query will look
+// them up). Updates are serialized with each other; queries are never
+// blocked. On error the session is unchanged.
+func (m *Matcher) UpdateWithStats(d *Delta) (*Graph, IndexStats, error) {
 	m.updateMu.Lock()
 	defer m.updateMu.Unlock()
 	g := m.cur.Load()
-	g2, err := ApplyDelta(g, d)
+	g2raw, sum, err := graph.ApplyDeltaWithSummary(g.g, &d.d)
 	if err != nil {
-		return nil, err
+		return nil, IndexStats{}, err
 	}
-	g2.boundsCache().Warm(nil)
+	t0 := time.Now()
+	bc, adv, err := g.boundsCache().Advance(g2raw, sum, core.AdvanceOptions{RebuildRatio: m.indexRatio})
+	if err != nil {
+		// The session built the inputs itself, so a mismatch is a bug, not
+		// a bad delta; surface it rather than limping on with a cold index.
+		return nil, IndexStats{}, fmt.Errorf("%w: %v", ErrIndexMaintenance, err)
+	}
+	g2 := &Graph{g: g2raw}
+	g2.adoptBounds(bc)
+	// Labels the delta introduced are not covered by the advance (the old
+	// index never had them); fill them against the new snapshot before the
+	// swap so queries still never see a cold label.
+	bc.Warm(nil)
+	stats := IndexStats{
+		Mode:             adv.Mode(),
+		AffectedRows:     adv.AffectedRows,
+		TotalRows:        adv.TotalRows,
+		LabelsRecomputed: adv.LabelsRecomputed,
+		LabelsCopied:     adv.LabelsCopied,
+		WallMicros:       time.Since(t0).Microseconds(),
+	}
+	if adv.TotalRows > 0 {
+		stats.AffectedShare = float64(adv.AffectedRows) / float64(adv.TotalRows)
+	}
 	m.cur.Store(g2)
-	return g2, nil
+	return g2, stats, nil
 }
 
 // CacheStats returns a snapshot of the session result-cache counters (the

@@ -202,3 +202,72 @@ func TestLambdaValidationLibraryLayer(t *testing.T) {
 		}
 	}
 }
+
+// TestMatcherUpdateWithStats pins the index-maintenance surface of Update:
+// the stats describe a real maintenance step, query results after an
+// advanced index are byte-identical to a cold session over the updated
+// graph, and both forced maintenance paths (never fall back / always
+// rebuild) agree with the adaptive one.
+func TestMatcherUpdateWithStats(t *testing.T) {
+	g, patterns := testGraphAndPatterns(t, 1)
+	q := patterns[0]
+	sessions := map[string]*Matcher{
+		"adaptive":    NewMatcher(g),
+		"incremental": NewMatcher(g, WithIndexRebuildRatio(1)),
+		"rebuild":     NewMatcher(g, WithIndexRebuildRatio(1e-12)),
+	}
+
+	for step := 0; step < 3; step++ {
+		var d Delta
+		idx := d.AddNode(fmt.Sprintf("dynstat-%d", step%2))
+		// All sessions walk the same chain, so any one's node count works.
+		nn := sessions["adaptive"].Graph().NumNodes() + idx
+		d.InsertEdge(0, nn)
+		if step == 2 {
+			d.DeleteEdge(0, nn-1) // edge added by the previous step
+		}
+
+		var reference *Result
+		for name, m := range sessions {
+			g2, stats, err := m.UpdateWithStats(&d)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", name, step, err)
+			}
+			if stats.Mode != "incremental" && stats.Mode != "rebuild" {
+				t.Fatalf("%s step %d: mode %q", name, step, stats.Mode)
+			}
+			if name == "rebuild" && stats.Mode != "rebuild" {
+				t.Fatalf("forced-rebuild session advanced incrementally: %+v", stats)
+			}
+			if stats.Mode == "rebuild" && (stats.AffectedRows != stats.TotalRows || stats.AffectedShare != 1) {
+				t.Fatalf("rebuild stats must cover every row: %+v", stats)
+			}
+			if name == "incremental" && stats.Mode != "incremental" {
+				t.Fatalf("forced-incremental session fell back: %+v", stats)
+			}
+			if stats.TotalRows != g2.NumNodes() {
+				t.Fatalf("%s step %d: TotalRows %d, want %d", name, step, stats.TotalRows, g2.NumNodes())
+			}
+			if stats.AffectedShare < 0 || stats.AffectedShare > 1 {
+				t.Fatalf("%s step %d: AffectedShare %v", name, step, stats.AffectedShare)
+			}
+			if stats.WallMicros < 0 {
+				t.Fatalf("%s step %d: negative wall time", name, step)
+			}
+			res, err := m.TopK(q, 10)
+			if err != nil {
+				t.Fatalf("%s step %d: %v", name, step, err)
+			}
+			if reference == nil {
+				cold, err := NewMatcher(g2).TopK(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertResultsIdentical(t, fmt.Sprintf("%s step %d vs cold", name, step), res, cold)
+				reference = res
+			} else {
+				assertResultsIdentical(t, fmt.Sprintf("%s step %d vs adaptive", name, step), res, reference)
+			}
+		}
+	}
+}

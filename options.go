@@ -10,6 +10,7 @@ type options struct {
 	baseline     bool
 	approx       bool
 	cacheEntries int
+	indexRatio   float64
 }
 
 func buildOptions(opts []Option) options {
@@ -83,6 +84,21 @@ func WithApproximation() Option {
 // disables caching.
 func WithCache(entries int) Option {
 	return func(o *options) { o.cacheEntries = entries }
+}
+
+// WithIndexRebuildRatio tunes the adaptive fallback of the incremental
+// bound-index maintenance a Matcher performs on Update: the index advances
+// with the graph by recomputing only the rows and labels the delta's
+// affected area covers, and falls back to a full rebuild of the warmed
+// labels once that rectangle's share of the whole index exceeds r
+// (default 0.25 — past a quarter of the index, seeding the partial passes
+// costs as much as starting over). r = 1 never falls back; a tiny positive
+// r effectively always rebuilds (useful to A/B the two paths). Results are
+// identical either way — the fallback trades wall-clock time only. The
+// option is consulted by NewMatcher; the package-level functions never
+// advance an index.
+func WithIndexRebuildRatio(r float64) Option {
+	return func(o *options) { o.indexRatio = r }
 }
 
 // Parallelism bounds the number of worker goroutines a query (and a
