@@ -1,0 +1,44 @@
+GO ?= go
+VET_BIN := bin/divtopk-vet
+
+.PHONY: all build test race bench lint lint-custom vet-tool clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# What the race CI job runs: the whole suite under the race detector with
+# shuffled test order, so accidental inter-test ordering dependencies and
+# data races both surface.
+race:
+	$(GO) test -race -shuffle=on ./...
+
+bench:
+	$(GO) test -run '^$$' -bench Baseline -benchmem -benchtime 1x ./internal/bench/
+
+# vet-tool builds the custom analyzer suite. tools/vet is a nested module
+# (so the root module stays dependency-free), hence the cd: the root
+# ./... patterns do not reach it.
+vet-tool:
+	cd tools/vet && $(GO) build -o ../../$(VET_BIN) ./cmd/divtopk-vet
+
+# lint is the single local entry point for every static gate CI enforces:
+# formatting, stock go vet, the analyzer suite's own tests, and the
+# divtopk-vet invariant checks over the whole repository.
+lint: vet-tool
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	cd tools/vet && $(GO) test ./...
+	./$(VET_BIN) ./...
+
+# lint-custom runs only the divtopk-vet invariant checks (fast inner loop).
+lint-custom: vet-tool
+	./$(VET_BIN) ./...
+
+clean:
+	rm -rf bin

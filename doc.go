@@ -115,6 +115,24 @@
 // BENCH_PR4.json (see the README's "Performance" section for how to run
 // and read it).
 //
+// # Static analysis
+//
+// The invariants the sections above rely on — snapshot immutability, the
+// single-load discipline on a session's current snapshot, version-keyed
+// result caching, arena Get/Put pairing, no heavy work under a write lock,
+// and map-order-free kernel results — are machine-checked by divtopk-vet,
+// a custom analyzer suite in tools/vet (a nested module, so this module
+// stays dependency-free). Each analyzer encodes a bug class an earlier
+// change made possible: snapmut guards the immutable snapshots dynamic
+// graphs depend on (PR 4), curload and verkey guard the atomic
+// snapshot/version swap and cache invalidation (PRs 2 and 4), arenapair
+// guards the pooled bitsets of the CSR kernel (PR 3), lockhold guards the
+// serving layer's claim/release/compute/publish locking discipline
+// (PRs 2 and 5), and detorder guards the byte-identical determinism the
+// parallel kernels promise (PR 3). Run `make lint`, or see tools/vet's
+// package documentation for the suppression syntax and the vet-tool
+// protocol.
+//
 // The module builds and tests with the standard toolchain:
 //
 //	go build ./... && go test ./...

@@ -145,6 +145,7 @@ func (m *Matcher) UpdateWithStats(d *Delta) (*Graph, IndexStats, error) {
 	m.updateMu.Lock()
 	defer m.updateMu.Unlock()
 	g := m.cur.Load()
+	//lint:allow lockhold updateMu serializes writers only; queries read via cur.Load and never take it
 	g2raw, sum, err := graph.ApplyDeltaWithSummary(g.g, &d.d)
 	if err != nil {
 		return nil, IndexStats{}, err
@@ -161,6 +162,7 @@ func (m *Matcher) UpdateWithStats(d *Delta) (*Graph, IndexStats, error) {
 	// Labels the delta introduced are not covered by the advance (the old
 	// index never had them); fill them against the new snapshot before the
 	// swap so queries still never see a cold label.
+	//lint:allow lockhold warming must finish before the swap publishes the snapshot; only writers wait
 	bc.Warm(nil)
 	stats := IndexStats{
 		Mode:             adv.Mode(),

@@ -1,0 +1,122 @@
+// Package load turns package patterns into parsed, type-checked packages
+// for the divtopk-vet driver without importing golang.org/x/tools/go/packages
+// (unavailable offline). It shells out to `go list -deps -export -json`,
+// which compiles dependencies to export data, and type-checks only the
+// target packages' sources against that export data — the same division of
+// labor the real driver stack uses.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"divtopk/tools/vet/analysis"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Packages loads the packages matching patterns, resolved in dir.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exportFile := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exportFile[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			cp := p
+			targets = append(targets, &cp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exportFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range t.GoFiles {
+			fn := filepath.Join(t.Dir, name)
+			f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", fn, err)
+			}
+			files = append(files, f)
+		}
+		info := analysis.NewInfo()
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: t.ImportPath,
+			Dir:        t.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Suppression is one parsed //lint:allow comment. The syntax is
+//
+//	//lint:allow <analyzer> <justification>
+//
+// placed on the flagged line or on the line immediately above it. The
+// justification is mandatory: suppressions exist to record a reviewed
+// decision, not to mute the tool.
+type Suppression struct {
+	Pos      token.Pos
+	Line     int // line the comment sits on
+	Analyzer string
+	Reason   string
+}
+
+var allowRE = regexp.MustCompile(`^//lint:allow(?:\s+(\S+))?\s*(.*)$`)
+
+// Suppressions parses every //lint:allow comment in files. Malformed
+// suppressions (no analyzer name or no justification) are returned as
+// diagnostics so the gate fails on them instead of silently honoring or
+// ignoring them.
+func Suppressions(fset *token.FileSet, files []*ast.File) ([]Suppression, []Diagnostic) {
+	var sups []Suppression
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:allow") {
+					continue
+				}
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil || m[1] == "" {
+					bad = append(bad, Diagnostic{Pos: c.Pos(),
+						Message: "malformed suppression: want //lint:allow <analyzer> <justification>"})
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{Pos: c.Pos(),
+						Message: "suppression of " + m[1] + " has no justification (reviewed reason is mandatory)"})
+					continue
+				}
+				sups = append(sups, Suppression{
+					Pos:      c.Pos(),
+					Line:     fset.Position(c.Pos()).Line,
+					Analyzer: m[1],
+					Reason:   strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// FilterSuppressed drops diagnostics of analyzer name that are covered by a
+// suppression in the same file on the same line or the line above.
+func FilterSuppressed(fset *token.FileSet, sups []Suppression, name string, diags []Diagnostic) []Diagnostic {
+	if len(sups) == 0 {
+		return diags
+	}
+	type key struct {
+		file string
+		line int
+	}
+	covered := make(map[key]bool)
+	for _, s := range sups {
+		if s.Analyzer != name {
+			continue
+		}
+		p := fset.Position(s.Pos)
+		covered[key{p.Filename, s.Line}] = true
+		covered[key{p.Filename, s.Line + 1}] = true
+	}
+	var kept []Diagnostic
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		if covered[key{p.Filename, p.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,96 @@
+// Package arenapair checks the bitset.Arena Get/Put discipline.
+//
+// Invariant (PR 3, zero-alloc relevant-set kernel): interior bitsets come
+// from a bitset.Arena and must return to it — the kernel's steady state
+// performs no allocation only because every Get is balanced by a Put once
+// the set's consumers are done (see internal/simulation/relevant.go, whose
+// release bookkeeping returns each component's set exactly when its last
+// predecessor has unioned it). A function that Gets from an arena and never
+// Puts leaks pooled sets one query at a time.
+//
+// The check is per function and path-insensitive: a function that calls
+// Arena.Get on some arena value must also call Arena.Put on that value at
+// least once (a deferred Put counts; Puts inside the release loops of
+// nested closures count). Functions that intentionally hand sets over —
+// e.g. an arena that dies wholesale with its owning engine — carry a
+// reviewed //lint:allow arenapair justification instead.
+package arenapair
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/internal/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "arenapair",
+	Doc: "flag bitset.Arena.Get without a matching Put in the same function " +
+		"(pooled sets must return to the arena)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type usage struct {
+		gets []token.Pos
+		puts int
+	}
+	// Keyed by the receiver's source text: "arena" and "e.rarena" are
+	// different pools even when rooted at the same object.
+	uses := make(map[string]*usage)
+	var order []string
+	get := func(recv ast.Expr) *usage {
+		k := types.ExprString(recv)
+		u, ok := uses[k]
+		if !ok {
+			u = &usage{}
+			uses[k] = u
+			order = append(order, k)
+		}
+		return u
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, ok := typeutil.MethodCall(pass.TypesInfo, call, "bitset", "Arena", "Get"); ok && len(call.Args) == 0 {
+			u := get(recv)
+			u.gets = append(u.gets, call.Pos())
+		}
+		if recv, ok := typeutil.MethodCall(pass.TypesInfo, call, "bitset", "Arena", "Put"); ok {
+			get(recv).puts++
+		}
+		return true
+	})
+
+	for _, k := range order {
+		u := uses[k]
+		if len(u.gets) == 0 || u.puts > 0 {
+			continue
+		}
+		for _, pos := range u.gets {
+			pass.Reportf(pos,
+				"%s.Get() in %s has no matching %s.Put() on any path: pooled sets must "+
+					"return to the arena (a deferred Put counts) or the leak needs a reviewed "+
+					"//lint:allow arenapair justification",
+				k, typeutil.FuncFor(fd), k)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package arenapair_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/arenapair"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), arenapair.Analyzer, "a")
+}

@@ -1,0 +1,62 @@
+// Package a exercises the Get/Put pairing discipline.
+package a
+
+import "bitset"
+
+func use(s *bitset.Set) {}
+
+// good pairs the Get with a direct Put.
+func good(a *bitset.Arena) {
+	s := a.Get()
+	use(s)
+	a.Put(s)
+}
+
+// goodDeferred pairs the Get with a deferred Put — covers every exit path.
+func goodDeferred(a *bitset.Arena) {
+	s := a.Get()
+	defer a.Put(s)
+	use(s)
+}
+
+// goodLoop mirrors the relevant-set kernel: Gets in a level loop, Puts in
+// the release bookkeeping of the same function.
+func goodLoop(a *bitset.Arena, keep []bool) {
+	sets := make([]*bitset.Set, len(keep))
+	for i := range keep {
+		sets[i] = a.Get()
+	}
+	for i := range keep {
+		if !keep[i] {
+			a.Put(sets[i])
+			sets[i] = nil
+		}
+	}
+}
+
+// goodTwoArenas keeps separate pools separate: each arena has its own Put.
+func goodTwoArenas(a, b *bitset.Arena) {
+	sa, sb := a.Get(), b.Get()
+	use(sa)
+	use(sb)
+	a.Put(sa)
+	b.Put(sb)
+}
+
+// bad leaks the pooled set: no Put on any path.
+func bad(a *bitset.Arena) {
+	s := a.Get() // want `no matching a\.Put\(\) on any path`
+	use(s)
+}
+
+// badEscape returns the set without detaching it from the pool discipline.
+func badEscape(a *bitset.Arena) *bitset.Set {
+	return a.Get() // want `no matching a\.Put\(\) on any path`
+}
+
+// suppressed records the engine-lifetime pattern: the arena dies wholesale
+// with its owner, so nothing ever returns.
+func suppressed(a *bitset.Arena) *bitset.Set {
+	//lint:allow arenapair arena dies with its owning engine; sets are never reused
+	return a.Get()
+}

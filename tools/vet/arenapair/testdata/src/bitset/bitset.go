@@ -1,0 +1,29 @@
+// Package bitset is the minimized arena: Get carves a pooled set, Put
+// returns it for reuse.
+package bitset
+
+type Set struct{ words []uint64 }
+
+func (s *Set) Add(i int) { s.words[i>>6] |= 1 << (uint(i) & 63) }
+
+type Arena struct {
+	words int
+	free  []*Set
+}
+
+func NewArena(bits int) *Arena { return &Arena{words: (bits + 63) / 64} }
+
+func (a *Arena) Get() *Set {
+	if n := len(a.free); n > 0 {
+		s := a.free[n-1]
+		a.free = a.free[:n-1]
+		return s
+	}
+	return &Set{words: make([]uint64, a.words)}
+}
+
+func (a *Arena) Put(s *Set) {
+	if s != nil {
+		a.free = append(a.free, s)
+	}
+}

@@ -1,0 +1,158 @@
+// Command divtopk-vet is the multichecker binary for the divtopk analyzer
+// suite: it machine-checks the engine's concurrency and versioning
+// invariants (see the analyzer packages under tools/vet for the rules and
+// the PRs whose bugs motivated them).
+//
+// Standalone (run from the repository root; -dir resolves the patterns):
+//
+//	divtopk-vet ./...
+//	divtopk-vet -dir /path/to/repo ./internal/...
+//
+// As a cmd/go vet tool (the binary also speaks the vet config protocol):
+//
+//	go vet -vettool=$(pwd)/bin/divtopk-vet ./...
+//
+// Exit status: 0 clean, 1 tool failure, 2 findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/analysis/load"
+	"divtopk/tools/vet/arenapair"
+	"divtopk/tools/vet/curload"
+	"divtopk/tools/vet/detorder"
+	"divtopk/tools/vet/lockhold"
+	"divtopk/tools/vet/snapmut"
+	"divtopk/tools/vet/verkey"
+)
+
+// analyzers is the full suite.
+var analyzers = []*analysis.Analyzer{
+	snapmut.Analyzer,
+	curload.Analyzer,
+	verkey.Analyzer,
+	arenapair.Analyzer,
+	lockhold.Analyzer,
+	detorder.Analyzer,
+}
+
+func main() {
+	// cmd/go version handshake: `divtopk-vet -V=full` must print a
+	// "name version ..." line for the build cache key.
+	for _, a := range os.Args[1:] {
+		if a == "-V=full" || a == "-V" {
+			fmt.Printf("divtopk-vet version %s\n", version())
+			return
+		}
+		// cmd/go flag discovery: respond with the (empty) set of tool
+		// flags it may forward, as a JSON array.
+		if a == "-flags" {
+			fmt.Println("[]")
+			return
+		}
+	}
+
+	fs := flag.NewFlagSet("divtopk-vet", flag.ExitOnError)
+	dir := fs.String("dir", ".", "directory to resolve package patterns in")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: divtopk-vet [-dir d] packages...\n       divtopk-vet unit.cfg  (cmd/go vet tool protocol)\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(1)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	args := fs.Args()
+
+	// A single .cfg argument is cmd/go invoking us as -vettool.
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		unitCheck(args[0])
+		return
+	}
+	if len(args) == 0 {
+		fs.Usage()
+		os.Exit(1)
+	}
+
+	pkgs, err := load.Packages(*dir, args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "divtopk-vet: %v\n", err)
+		os.Exit(1)
+	}
+	exit := 0
+	for _, p := range pkgs {
+		diags := runSuite(&analysis.Pass{
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Types,
+			PkgPath:   p.ImportPath,
+			TypesInfo: p.Info,
+		})
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", p.Fset.Position(d.pos), d.name, d.msg)
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+// diagRecord is one finding tagged with its analyzer.
+type diagRecord struct {
+	pos  token.Pos
+	name string
+	msg  string
+}
+
+// runSuite applies every analyzer to one package pass skeleton, honoring
+// //lint:allow suppressions and surfacing malformed ones, and returns the
+// findings in stable position order. Test files are exempt: the invariants
+// guard production code, and tests deliberately drive the raw primitives
+// (unversioned cache keys, never-returned arena sets) to exercise them.
+func runSuite(base *analysis.Pass) []diagRecord {
+	var files []*ast.File
+	for _, f := range base.Files {
+		if strings.HasSuffix(base.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	base.Files = files
+
+	var out []diagRecord
+	sups, bad := analysis.Suppressions(base.Fset, base.Files)
+	for _, b := range bad {
+		out = append(out, diagRecord{pos: b.Pos, name: "lintallow", msg: b.Message})
+	}
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := *base
+		pass.Analyzer = a
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if _, err := a.Run(&pass); err != nil {
+			out = append(out, diagRecord{name: a.Name, msg: fmt.Sprintf("analyzer failed: %v", err)})
+			continue
+		}
+		for _, d := range analysis.FilterSuppressed(base.Fset, sups, a.Name, diags) {
+			out = append(out, diagRecord{pos: d.Pos, name: a.Name, msg: d.Message})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })
+	return out
+}

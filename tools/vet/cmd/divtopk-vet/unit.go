@@ -1,0 +1,143 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+
+	"divtopk/tools/vet/analysis"
+)
+
+// vetConfig mirrors the JSON configuration cmd/go writes for -vettool
+// invocations (the unitchecker protocol): one file per compilation unit,
+// with import resolution and export data precomputed by the go command.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitCheck analyzes one compilation unit described by a cfg file and
+// reports findings the way cmd/go expects: facts file always written (the
+// suite exports none, so it is empty), diagnostics on stderr, exit 2 when
+// any finding survives suppression.
+func unitCheck(cfgFile string) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fatalf("reading config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parsing config %s: %v", cfgFile, err)
+	}
+	// The go command requires the facts ("vetx") output to exist after a
+	// successful run; this suite uses no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: facts only, no diagnostics wanted.
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := analysis.NewInfo()
+	conf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor("gc", runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalf("type-checking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags := runSuite(&analysis.Pass{
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		PkgPath:   cfg.ImportPath,
+		TypesInfo: info,
+	})
+	if len(diags) == 0 {
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.pos), d.name, d.msg)
+	}
+	os.Exit(2)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "divtopk-vet: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// version derives the -V=full version string. The binary's content hash is
+// unavailable to itself, so use the main module's version/checksum when
+// built from a module (go install), falling back to a digest of the build
+// settings — changing the tool's source in the working tree still changes
+// nothing here, which only makes `go vet` reuse cached results; CI always
+// rebuilds from scratch.
+func version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if bi.Main.Sum != "" {
+		return bi.Main.Version + "-" + bi.Main.Sum
+	}
+	h := sha256.New()
+	for _, s := range bi.Settings {
+		fmt.Fprintf(h, "%s=%s\n", s.Key, s.Value)
+	}
+	return fmt.Sprintf("devel-%x", h.Sum(nil)[:8])
+}

@@ -1,0 +1,138 @@
+// Package curload flags functions that load a session's atomic snapshot
+// pointer more than once, or that mix a direct load with a Version() call on
+// the same session.
+//
+// Invariant (PR 4/PR 5, Matcher.cur): the current graph snapshot lives in an
+// atomic.Pointer named cur, swapped wholesale by Update. Any function that
+// calls m.cur.Load() twice — or calls m.cur.Load() and m.Version() — can
+// observe two different snapshots across a concurrent Update: a torn
+// snapshot/version pair, which is exactly how a result computed on one graph
+// gets cached or reported under another graph's version. Bind the snapshot
+// once (g := m.cur.Load()) and derive everything, including the version,
+// from g.
+package curload
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/internal/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "curload",
+	Doc: "flag repeated cur.Load() or mixed cur.Load()/Version() in one " +
+		"function (torn snapshot/version pairs)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// baseKey identifies the session value a call chain is rooted at: by object
+// when the root is a plain identifier chain, by source text otherwise.
+type baseKey struct {
+	obj types.Object
+	str string
+}
+
+func keyOf(pass *analysis.Pass, e ast.Expr) baseKey {
+	if obj := typeutil.ObjOf(pass.TypesInfo, e); obj != nil {
+		return baseKey{obj: obj}
+	}
+	return baseKey{str: types.ExprString(e)}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type usage struct {
+		loads    []token.Pos
+		versions []token.Pos
+	}
+	uses := make(map[baseKey]*usage)
+	var order []baseKey
+	get := func(k baseKey) *usage {
+		u, ok := uses[k]
+		if !ok {
+			u = &usage{}
+			uses[k] = u
+			order = append(order, k)
+		}
+		return u
+	}
+
+	// First pass: find every <base>.cur.Load() where cur is an
+	// atomic.Pointer field, keyed by base.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || fun.Sel.Name != "Load" {
+			return true
+		}
+		field, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+		if !ok || field.Sel.Name != "cur" {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[field]
+		if !ok || !typeutil.IsNamed(tv.Type, "atomic", "Pointer") {
+			return true
+		}
+		u := get(keyOf(pass, field.X))
+		u.loads = append(u.loads, call.Pos())
+		return true
+	})
+	if len(uses) == 0 {
+		return
+	}
+
+	// Second pass: Version() calls whose receiver is one of the loaded-from
+	// session values (same object), i.e. a version read that re-loads the
+	// pointer internally.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || fun.Sel.Name != "Version" {
+			return true
+		}
+		k := keyOf(pass, fun.X)
+		if u, ok := uses[k]; ok {
+			// Only count when the receiver is the session value itself, not
+			// e.g. the loaded snapshot (whose key differs).
+			u.versions = append(u.versions, call.Pos())
+		}
+		return true
+	})
+
+	for _, k := range order {
+		u := uses[k]
+		for _, pos := range u.loads[1:] {
+			pass.Reportf(pos,
+				"second cur.Load() in %s: bind the snapshot once — a reload may observe a "+
+					"different snapshot across a concurrent Update (torn snapshot/version pair)",
+				typeutil.FuncFor(fd))
+		}
+		for _, pos := range u.versions {
+			pass.Reportf(pos,
+				"%s mixes cur.Load() with Version() on the same session: Version() reloads the "+
+					"pointer and can disagree with the bound snapshot; use the loaded snapshot's Version",
+				typeutil.FuncFor(fd))
+		}
+	}
+}

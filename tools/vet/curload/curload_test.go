@@ -1,0 +1,12 @@
+package curload_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/curload"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), curload.Analyzer, "a")
+}

@@ -1,0 +1,53 @@
+// Package a minimizes the Matcher session shape: an atomic.Pointer field
+// named cur holding the current graph snapshot, swapped by updates.
+package a
+
+import "sync/atomic"
+
+type Graph struct{ version uint64 }
+
+func (g *Graph) Version() uint64 { return g.version }
+
+type Matcher struct {
+	cur atomic.Pointer[Graph]
+}
+
+// Version is the canonical single-load accessor: the Version() call runs on
+// the loaded snapshot, not on the session, so nothing can tear.
+func (m *Matcher) Version() uint64 { return m.cur.Load().Version() }
+
+// good binds the snapshot once and derives everything from it.
+func good(m *Matcher) (uint64, *Graph) {
+	g := m.cur.Load()
+	return g.Version(), g
+}
+
+// bad loads twice: an Update between the loads hands back two different
+// snapshots.
+func bad(m *Matcher) (uint64, *Graph) {
+	v := m.cur.Load().Version()
+	return v, m.cur.Load() // want `second cur\.Load\(\)`
+}
+
+// mixed pairs a bound snapshot with a version read that reloads internally.
+func mixed(m *Matcher) (*Graph, uint64) {
+	g := m.cur.Load()
+	return g, m.Version() // want `mixes cur\.Load\(\) with Version\(\)`
+}
+
+// twoMatchers loads from two distinct sessions — one load each, no tearing
+// within either session. Must not be flagged (false-positive guard).
+func twoMatchers(a, b *Matcher) (uint64, uint64) {
+	ga := a.cur.Load()
+	gb := b.cur.Load()
+	return ga.Version(), gb.Version()
+}
+
+// suppressed documents a reviewed double load (e.g. a stats probe that
+// tolerates tearing).
+func suppressed(m *Matcher) (uint64, uint64) {
+	v1 := m.cur.Load().Version()
+	//lint:allow curload monotonic probe, tearing acceptable for diagnostics
+	v2 := m.cur.Load().Version()
+	return v1, v2
+}

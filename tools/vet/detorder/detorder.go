@@ -1,0 +1,185 @@
+// Package detorder flags result slices built by appending in map iteration
+// order inside the deterministic kernel packages.
+//
+// Invariant (PR 2/PR 3, determinism): every engine in this module returns
+// byte-identical results across Parallelism 1..8 and across the
+// reference/CSR kernels — that discipline is what lets the tests keep the
+// frozen reference kernel as an oracle and what makes result caching sound.
+// Go's map iteration order is deliberately randomized, so a map-range loop
+// that appends into a result slice produces a different order per run
+// unless the slice is sorted afterwards. In the kernel packages
+// (internal/simulation, internal/diversify, internal/core) that is a
+// determinism bug by definition.
+//
+// Allowed shapes: ranging over a slice/array, and the collect-then-sort
+// idiom — appending inside the map range is fine when the same function
+// later passes the slice to a sort/slices call.
+package detorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/internal/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detorder",
+	Doc: "flag map-range iteration feeding an ordered result slice in the " +
+		"deterministic kernel packages (randomized order breaks the " +
+		"Parallelism-independence guarantee)",
+	Run: run,
+}
+
+// scope restricts the analyzer to the packages whose outputs are pinned
+// byte-identical by the determinism tests. Packages outside the main module
+// (testdata, other repos) are always analyzed.
+var scope = []string{
+	"internal/simulation",
+	"internal/diversify",
+	"internal/core",
+}
+
+func inScope(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "divtopk") {
+		return true
+	}
+	for _, s := range scope {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !inScope(pass.PkgPath) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type appendSite struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var sites []appendSite
+
+	// Find `s = append(s, ...)` inside the body of a range over a map.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMap(pass.TypesInfo, rs.X) {
+			return true
+		}
+		ast.Inspect(rs.Body, func(m ast.Node) bool {
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+					continue
+				}
+				dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(dst)
+				if obj == nil {
+					continue
+				}
+				// Only the canonical accumulate shape s = append(s, ...).
+				if i < len(as.Lhs) {
+					if lid, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); !ok ||
+						pass.TypesInfo.ObjectOf(lid) != obj {
+						continue
+					}
+				}
+				sites = append(sites, appendSite{obj: obj, pos: call.Pos()})
+			}
+			return true
+		})
+		return true
+	})
+	if len(sites) == 0 {
+		return
+	}
+
+	// A slice that is later sorted in this function is the collect-then-sort
+	// idiom; anything else keeps the randomized order.
+	sorted := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgID, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok {
+					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+						sorted[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+
+	for _, s := range sites {
+		if sorted[s.obj] {
+			continue
+		}
+		pass.Reportf(s.pos,
+			"%s appends to %q in map iteration order without sorting it afterwards: map "+
+				"ranges are randomized, which breaks the byte-identical determinism the "+
+				"kernel guarantees across Parallelism settings — sort the slice or iterate "+
+				"a deterministic index",
+			typeutil.FuncFor(fd), s.obj.Name())
+	}
+}
+
+func isMap(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Map)
+	return ok
+}

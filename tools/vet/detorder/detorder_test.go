@@ -1,0 +1,12 @@
+package detorder_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/detorder"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detorder.Analyzer, "a")
+}

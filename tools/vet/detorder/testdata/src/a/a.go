@@ -1,0 +1,64 @@
+// Package a exercises the map-range-into-result-slice check.
+package a
+
+import "sort"
+
+// bad returns keys in randomized map order: two runs (or two workers)
+// produce different slices.
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends to "out" in map iteration order`
+	}
+	return out
+}
+
+// goodSorted is the collect-then-sort idiom: the order is re-established
+// before the slice is observable.
+func goodSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSliceSorted uses sort.Slice with a comparator.
+func goodSliceSorted(m map[string]int) []int {
+	vals := make([]int, 0, len(m))
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// goodIndexed ranges over a deterministic slice, not the map.
+func goodIndexed(m map[string]int, order []string) []int {
+	out := make([]int, 0, len(order))
+	for _, k := range order {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// goodPositional writes to positions derived from the element, not from
+// iteration order.
+func goodPositional(m map[string]int, n int) []bool {
+	out := make([]bool, n)
+	for _, v := range m {
+		out[v] = true
+	}
+	return out
+}
+
+// suppressed records a reviewed unordered accumulation (set semantics).
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:allow detorder consumer treats the slice as an unordered set
+		out = append(out, k)
+	}
+	return out
+}

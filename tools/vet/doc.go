@@ -1,0 +1,56 @@
+// Package vet anchors the divtopk-vet static-analysis suite: a set of
+// repo-specific analyzers that machine-check the concurrency and versioning
+// invariants the divtopk engine's correctness rests on. Each analyzer
+// encodes one rule that was once only written down in comments (and, in
+// several cases, was violated and fixed in an earlier PR):
+//
+//   - snapmut: published graph snapshots are immutable — no writes to
+//     graph.Graph fields or their CSR/dict backing slices outside the
+//     whitelisted construction paths (New*/Build/ApplyDelta*/Read) and
+//     sync.Once-guarded lazy caches.
+//   - curload: one atomic snapshot load per function — a second cur.Load(),
+//     or mixing cur.Load() with Version(), can observe a torn
+//     snapshot/version pair across a concurrent Update.
+//   - verkey: every query-result cache admission must flow the graph
+//     snapshot version into its key, so entries cached against an older
+//     snapshot are unreachable rather than stale.
+//   - arenapair: a bitset.Arena.Get needs a matching Put in the same
+//     function (deferred counts), or a reviewed justification — the arena's
+//     zero-alloc steady state depends on sets coming back.
+//   - lockhold: no heavy computation (Compute*/Warm*/Condensation/...)
+//     and no channel sends while a sync.Mutex/RWMutex write lock acquired
+//     in the same function is held.
+//   - detorder: no ordered result slice may be built by appending in map
+//     iteration order inside the deterministic kernels — the guarantee
+//     behind the Parallelism-1..8 byte-identical tests.
+//
+// The module is nested under tools/vet so the main divtopk module stays
+// dependency-free. The build environment is offline, so instead of
+// golang.org/x/tools/go/analysis the analyzers are written against the
+// source-compatible stdlib-only subset in ./analysis (same Analyzer / Pass /
+// Diagnostic shape; swap the import path to port to the real framework).
+//
+// Run the whole suite from the repository root with:
+//
+//	make lint
+//
+// or directly:
+//
+//	go -C tools/vet build -o ../../bin/divtopk-vet ./cmd/divtopk-vet
+//	./bin/divtopk-vet ./...
+//
+// The binary also speaks the cmd/go vet-tool protocol:
+//
+//	go vet -vettool=$(pwd)/bin/divtopk-vet ./...
+//
+// A diagnostic can be suppressed with a reviewed, justified comment on the
+// flagged line or the line directly above it:
+//
+//	//lint:allow <analyzer> <justification>
+//
+// The justification is mandatory; a bare //lint:allow is itself a finding.
+//
+// Test files (_test.go) are exempt from all analyzers: the invariants guard
+// production code, and tests deliberately drive the raw primitives —
+// unversioned cache keys, never-returned arena sets — to exercise them.
+package vet

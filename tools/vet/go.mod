@@ -1,0 +1,3 @@
+module divtopk/tools/vet
+
+go 1.24

@@ -1,0 +1,281 @@
+// Package lockhold flags heavy computation and channel sends performed
+// while a sync.Mutex / sync.RWMutex write lock acquired in the same
+// function is held.
+//
+// Invariant (PR 2/PR 5, BoundsCache and Registry): locks in the serving
+// path guard map lookups and pointer swaps, never traversals. PR 5 fixed
+// exactly this bug — BoundsCache.Warm computed descendant-label counts
+// under the write lock, serializing every concurrent query behind a cold
+// fill; the fixed countsFor claims a flight under the lock, releases it,
+// and computes outside. The analyzer enforces that shape: between Lock()
+// and Unlock() (a deferred Unlock holds to the end of the function) no
+// Compute*/Warm*/Condensation-class call and no channel send may appear.
+//
+// The walk is a structured approximation of control flow: early-return
+// branches that unlock and leave do not clear the lock on the fall-through
+// path, and a lock is only considered held after a branch if it is held on
+// every merging path. Closures are separate scopes: a lock acquired in the
+// enclosing function is not attributed to calls inside a func literal
+// (which typically runs elsewhere — goroutines, deferred cleanup).
+package lockhold
+
+import (
+	"go/ast"
+	"maps"
+	"regexp"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/internal/typeutil"
+	"go/types"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc: "flag heavy compute or channel sends while holding a mutex write " +
+		"lock acquired in the same function",
+	Run: run,
+}
+
+// heavyRE / heavyNames define the "heavy computation" class: the engine's
+// per-query and per-graph traversal entry points. Extend the list when a
+// new expensive subsystem entry point appears.
+var heavyRE = regexp.MustCompile(`^(Compute|Warm)`)
+
+var heavyNames = map[string]bool{
+	"Condensation":          true,
+	"CondenseCSR":           true,
+	"DescendantLabelCounts": true,
+	"BuildProduct":          true,
+	"ApplyDelta":            true,
+	"ApplyDeltaWithSummary": true,
+	"NewMatcher":            true, // warms the whole bound index
+}
+
+func isHeavy(name string) bool { return heavyNames[name] || heavyRE.MatchString(name) }
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, fd: fd}
+			w.block(fd.Body, make(lockSet))
+			// Func literals are separate lock scopes, each walked with an
+			// empty entry state.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					w.block(lit.Body, make(lockSet))
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// lockSet maps a mutex expression's source text ("c.mu", "mu") to held.
+type lockSet map[string]bool
+
+func intersect(a, b lockSet) lockSet {
+	out := make(lockSet)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type walker struct {
+	pass *analysis.Pass
+	fd   *ast.FuncDecl
+}
+
+// mutexOp matches e as <mutex>.Lock() / <mutex>.Unlock() on sync.Mutex or
+// sync.RWMutex (write side only; RLock/RUnlock never match).
+func (w *walker) mutexOp(e ast.Expr) (key string, lock bool, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return "", false, false
+	}
+	for _, method := range [2]string{"Lock", "Unlock"} {
+		if recv, hit := typeutil.MethodCall(w.pass.TypesInfo, call, "sync", "Mutex", method); hit {
+			return types.ExprString(recv), method == "Lock", true
+		}
+		if recv, hit := typeutil.MethodCall(w.pass.TypesInfo, call, "sync", "RWMutex", method); hit {
+			return types.ExprString(recv), method == "Lock", true
+		}
+	}
+	return "", false, false
+}
+
+// scan reports heavy calls inside expression e (not descending into func
+// literals) while any lock is held.
+func (w *walker) scan(e ast.Expr, locked lockSet) {
+	if e == nil || len(locked) == 0 {
+		return
+	}
+	held := ""
+	for k := range locked {
+		held = k
+		break
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if name := typeutil.CalleeName(x); isHeavy(name) {
+				w.pass.Reportf(x.Pos(),
+					"call to %s in %s while %s is locked: heavy computation must run outside "+
+						"the lock (claim state under the lock, release, compute, re-lock to publish)",
+					name, typeutil.FuncFor(w.fd), held)
+			}
+		}
+		return true
+	})
+}
+
+// stmt walks one statement, returning the lock state after it.
+func (w *walker) stmt(s ast.Stmt, locked lockSet) lockSet {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if key, lock, ok := w.mutexOp(st.X); ok {
+			if lock {
+				locked[key] = true
+			} else {
+				delete(locked, key)
+			}
+			return locked
+		}
+		w.scan(st.X, locked)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			w.scan(e, locked)
+		}
+		for _, e := range st.Lhs {
+			w.scan(e, locked)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scan(v, locked)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the function:
+		// deliberately no state change. Other deferred calls run at return
+		// time, outside this walk's linear order; skip them.
+	case *ast.GoStmt:
+		// Runs concurrently; not under this goroutine's locks.
+	case *ast.SendStmt:
+		w.scan(st.Chan, locked)
+		w.scan(st.Value, locked)
+		if len(locked) > 0 {
+			held := ""
+			for k := range locked {
+				held = k
+				break
+			}
+			w.pass.Reportf(st.Arrow,
+				"channel send in %s while %s is locked: a blocked receiver deadlocks every "+
+					"other user of the lock — send after unlocking",
+				typeutil.FuncFor(w.fd), held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			w.scan(e, locked)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			locked = w.stmt(st.Init, locked)
+		}
+		w.scan(st.Cond, locked)
+		postBody := w.block(st.Body, maps.Clone(locked))
+		bodyTerm := typeutil.BlockTerminates(st.Body)
+		postElse := locked
+		elseTerm := false
+		if st.Else != nil {
+			postElse = w.stmt(st.Else, maps.Clone(locked))
+			elseTerm = typeutil.Terminates(st.Else)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return locked
+		case bodyTerm:
+			return postElse
+		case elseTerm:
+			return postBody
+		default:
+			return intersect(postBody, postElse)
+		}
+	case *ast.BlockStmt:
+		return w.block(st, locked)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, locked)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			locked = w.stmt(st.Init, locked)
+		}
+		w.scan(st.Cond, locked)
+		post := w.block(st.Body, maps.Clone(locked))
+		if st.Post != nil {
+			w.stmt(st.Post, post)
+		}
+		// The loop may run zero times; a lock is held afterwards only if it
+		// is held both on entry and after one iteration.
+		return intersect(locked, post)
+	case *ast.RangeStmt:
+		w.scan(st.X, locked)
+		post := w.block(st.Body, maps.Clone(locked))
+		return intersect(locked, post)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			locked = w.stmt(st.Init, locked)
+		}
+		w.scan(st.Tag, locked)
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, maps.Clone(locked))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, maps.Clone(locked))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm, maps.Clone(locked))
+				}
+				w.stmts(cc.Body, maps.Clone(locked))
+			}
+		}
+	case *ast.IncDecStmt:
+		w.scan(st.X, locked)
+	}
+	return locked
+}
+
+func (w *walker) stmts(list []ast.Stmt, locked lockSet) lockSet {
+	for _, s := range list {
+		locked = w.stmt(s, locked)
+	}
+	return locked
+}
+
+func (w *walker) block(b *ast.BlockStmt, locked lockSet) lockSet {
+	if b == nil {
+		return locked
+	}
+	return w.stmts(b.List, locked)
+}

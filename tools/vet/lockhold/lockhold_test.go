@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/lockhold"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockhold.Analyzer, "a")
+}

@@ -1,0 +1,95 @@
+// Package a exercises the heavy-work-under-lock check against the shapes
+// in the serving layer: claim state under the lock, release, compute.
+package a
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+	ch    chan int
+}
+
+func ComputeCounts(n int) []int { return make([]int, n) }
+
+func Warm() {}
+
+// bad runs the traversal between Lock and Unlock — the exact shape of the
+// pre-PR5 BoundsCache.Warm bug.
+func (s *store) bad() {
+	s.mu.Lock()
+	Warm() // want `call to Warm in bad while s\.mu is locked`
+	s.mu.Unlock()
+}
+
+// badDefer holds the lock to the end of the function via defer.
+func (s *store) badDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := ComputeCounts(3) // want `call to ComputeCounts in badDefer while s\.mu is locked`
+	return len(c)
+}
+
+// badRW: RWMutex.Lock is the write side — same rule.
+func (s *store) badRW() {
+	s.rw.Lock()
+	Warm() // want `call to Warm in badRW while s\.rw is locked`
+	s.rw.Unlock()
+}
+
+// badSend blocks every other user of the lock behind a receiver.
+func (s *store) badSend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want `channel send in badSend while s\.mu is locked`
+}
+
+// goodReleased claims under the lock and computes outside — the fixed
+// countsFor shape. Must not be flagged.
+func (s *store) goodReleased() []int {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	return ComputeCounts(n)
+}
+
+// goodEarlyReturn unlocks in the hit branch and falls through to compute
+// after the final unlock.
+func (s *store) goodEarlyReturn(k string) int {
+	s.mu.Lock()
+	if v, ok := s.items[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return len(ComputeCounts(1))
+}
+
+// goodRead: a read lock never blocks other readers; the invariant targets
+// the write side only.
+func (s *store) goodRead() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return len(s.items)
+}
+
+// goodClosure: the literal runs elsewhere (deferred cleanup); its lock use
+// is its own scope.
+func (s *store) goodClosure() func() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		delete(s.items, "k")
+	}
+}
+
+// suppressed records a reviewed exception (tiny graphs, cold path).
+func (s *store) suppressed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:allow lockhold cold startup path, runs once before serving begins
+	Warm()
+}

@@ -1,0 +1,173 @@
+// Package snapmut flags writes to graph.Graph fields or their backing
+// slices outside the whitelisted construction paths.
+//
+// Invariant (PR 4, dynamic graphs): a Graph published through
+// Matcher.cur / a Registry session is an immutable snapshot shared by every
+// in-flight query; the only code allowed to write Graph state is the code
+// that builds a not-yet-published graph — Builder.Build, New*, ApplyDelta*,
+// io Read — plus sync.Once-guarded lazy caches (Graph.Condensation), which
+// are single-assignment by construction. Any other write is a data race
+// against concurrent readers and a torn snapshot for cached results.
+package snapmut
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/internal/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "snapmut",
+	Doc: "flag writes to graph.Graph state outside construction paths " +
+		"(published snapshots are immutable)",
+	Run: run,
+}
+
+// constructionRE matches the names of functions in the graph package that
+// legitimately write fields of a graph that is not yet published.
+var constructionRE = regexp.MustCompile(`^(New|Build|ApplyDelta|Read)`)
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// checkFunc walks one function, tracking whether the current node sits
+// inside a func literal passed to (*sync.Once).Do — the lazy-init idiom that
+// is exempt (single assignment, happens-before published reads).
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	onceLits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		if _, ok := typeutil.MethodCall(pass.TypesInfo, call, "sync", "Once", "Do"); !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.FuncLit); ok {
+			onceLits[lit] = true
+		}
+		return true
+	})
+
+	// exempt: whitelisted construction function in the package declaring
+	// the Graph type itself. Clients can never be construction paths.
+	exemptFunc := pass.Pkg.Name() == "graph" && constructionRE.MatchString(fd.Name.Name)
+
+	var stack []ast.Node
+	inOnce := func() bool {
+		for _, n := range stack {
+			if lit, ok := n.(*ast.FuncLit); ok && onceLits[lit] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if exemptFunc || inOnce() {
+			return true
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkWrite(pass, fd, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, fd, st.X)
+		case *ast.CallExpr:
+			// copy(g.field, ...) writes through the backing slice.
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "copy" && len(st.Args) == 2 {
+				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+					checkWrite(pass, fd, st.Args[0])
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one write target and reports graph-state writes.
+func checkWrite(pass *analysis.Pass, fd *ast.FuncDecl, lhs ast.Expr) {
+	indexed := false
+	e := ast.Unparen(lhs)
+peel:
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			indexed = true
+			e = ast.Unparen(x.X)
+		case *ast.SliceExpr:
+			indexed = true
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		default:
+			break peel
+		}
+	}
+	switch base := e.(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[base]
+		if !ok || sel.Kind() != types.FieldVal {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[base.X]
+		if !ok || !typeutil.IsNamed(tv.Type, "graph", "Graph") {
+			return
+		}
+		// Writes inside the declaring package's construction paths were
+		// already exempted; everything else is a mutation of (possibly)
+		// published snapshot state.
+		what := "field"
+		if indexed {
+			what = "backing slice of field"
+		}
+		pass.Reportf(lhs.Pos(),
+			"write to %s graph.Graph.%s in %s: published snapshots are immutable; "+
+				"mutate only inside New*/Build/ApplyDelta*/Read or a sync.Once lazy init",
+			what, base.Sel.Name, typeutil.FuncFor(fd))
+	case *ast.CallExpr:
+		// g.Out(v)[i] = x — writing into a slice returned by a Graph
+		// accessor aliases the CSR arrays of the live snapshot.
+		if !indexed {
+			return
+		}
+		fun, ok := ast.Unparen(base.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[fun.X]
+		if !ok || !typeutil.IsNamed(tv.Type, "graph", "Graph") {
+			return
+		}
+		if rt, ok := pass.TypesInfo.Types[base]; !ok || !isSlice(rt.Type) {
+			return
+		}
+		pass.Reportf(lhs.Pos(),
+			"write into slice returned by (*graph.Graph).%s in %s: accessors alias the "+
+				"immutable CSR/label arrays of the published snapshot — copy before modifying",
+			fun.Sel.Name, typeutil.FuncFor(fd))
+	}
+}
+
+func isSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}

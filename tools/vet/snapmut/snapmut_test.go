@@ -1,0 +1,12 @@
+package snapmut_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/snapmut"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), snapmut.Analyzer, "graph", "a")
+}

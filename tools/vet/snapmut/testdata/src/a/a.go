@@ -1,0 +1,29 @@
+// Package a is client code over the graph package: accessors alias the
+// snapshot's backing arrays, so writing through them mutates the published
+// graph.
+package a
+
+import "graph"
+
+func mutateThroughAccessor(g *graph.Graph) {
+	g.Out(0)[0] = 1 // want `write into slice returned by \(\*graph\.Graph\)\.Out`
+}
+
+func okCopyFirst(g *graph.Graph) []graph.NodeID {
+	out := g.Out(0)
+	res := make([]graph.NodeID, len(out))
+	copy(res, out)
+	res[0] = 9 // fine: res is a private copy
+	return res
+}
+
+// NewScratch is NOT a construction path — the whitelist applies only inside
+// the package that declares Graph.
+func NewScratch(g *graph.Graph) {
+	g.Out(0)[0] = 2 // want `write into slice returned by`
+}
+
+func suppressedScratch(g *graph.Graph) {
+	//lint:allow snapmut throwaway graph built by this helper, never published
+	g.Out(0)[0] = 3
+}

@@ -1,0 +1,62 @@
+// Package graph is the minimized snapshot type: the real
+// divtopk/internal/graph.Graph reduced to the shapes snapmut reasons about.
+package graph
+
+import "sync"
+
+type NodeID = int32
+
+type Graph struct {
+	n      int
+	outAdj []NodeID
+	labels []int32
+
+	once sync.Once
+	cond *int
+}
+
+// New is a whitelisted construction path: the graph is not yet published.
+func New(n int) *Graph {
+	g := &Graph{}
+	g.n = n
+	g.outAdj = make([]NodeID, n)
+	g.labels = make([]int32, n)
+	return g
+}
+
+// ApplyDelta builds the next snapshot; writes target the unpublished copy.
+func ApplyDelta(g *Graph, extra NodeID) *Graph {
+	g2 := New(g.n)
+	g2.outAdj[0] = extra
+	copy(g2.labels, g.labels)
+	return g2
+}
+
+// Read parses a graph; construction path.
+func Read(data []int32) *Graph {
+	g := New(len(data))
+	copy(g.labels, data)
+	return g
+}
+
+// Condensation lazily computes derived state under sync.Once: single
+// assignment with a happens-before edge to every reader — allowed.
+func (g *Graph) Condensation() *int {
+	g.once.Do(func() {
+		v := g.n
+		g.cond = &v
+	})
+	return g.cond
+}
+
+func (g *Graph) Out(v NodeID) []NodeID { return g.outAdj }
+
+func (g *Graph) NumNodes() int { return g.n }
+
+// Shrink mutates a published snapshot: every write here is a violation.
+func (g *Graph) Shrink() {
+	g.n = 0                     // want `write to field graph\.Graph\.n`
+	g.outAdj[0] = 1             // want `write to backing slice of field graph\.Graph\.outAdj`
+	g.labels = nil              // want `write to field graph\.Graph\.labels`
+	copy(g.outAdj, []NodeID{1}) // want `write to field graph\.Graph\.outAdj`
+}

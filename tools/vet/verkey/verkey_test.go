@@ -1,0 +1,12 @@
+package verkey_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/verkey"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), verkey.Analyzer, "a")
+}
