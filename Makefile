@@ -27,18 +27,26 @@ vet-tool:
 	cd tools/vet && $(GO) build -o ../../$(VET_BIN) ./cmd/divtopk-vet
 
 # lint is the single local entry point for every static gate CI enforces:
-# formatting, stock go vet, the analyzer suite's own tests, and the
-# divtopk-vet invariant checks over the whole repository.
+# formatting, stock go vet, the analyzer suite's own tests (race detector
+# on — the suite exercises the engine's concurrency shapes), and the
+# divtopk-vet invariant checks over the repository AND over the analyzer
+# suite itself, with the per-analyzer finding/suppression/stale summary.
+# The gofmt sweep skips testdata trees: analyzer corpora are fixtures whose
+# layout (want-comment alignment) is part of the test, and their src dirs
+# are not packages of any module here.
 lint: vet-tool
-	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+	@out=$$(find . -path ./bin -prune -o -name '*.go' -not -path '*/testdata/*' -print | xargs gofmt -l); \
+		if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	$(GO) vet ./...
-	cd tools/vet && $(GO) test ./...
-	./$(VET_BIN) ./...
+	cd tools/vet && $(GO) test -race -shuffle=on ./...
+	./$(VET_BIN) -summary ./...
+	./$(VET_BIN) -summary -dir tools/vet ./...
 
 # lint-custom runs only the divtopk-vet invariant checks (fast inner loop).
 lint-custom: vet-tool
-	./$(VET_BIN) ./...
+	./$(VET_BIN) -summary ./...
+	./$(VET_BIN) -summary -dir tools/vet ./...
 
 clean:
 	rm -rf bin

@@ -108,8 +108,9 @@ func main() {
 			log.Fatal(err)
 		}
 		m, _ := reg.Get(g.name)
+		snap := m.Graph()
 		log.Printf("graph %q: %d nodes, %d edges (warmed in %s)",
-			g.name, m.Graph().NumNodes(), m.Graph().NumEdges(), time.Since(start).Round(time.Millisecond))
+			g.name, snap.NumNodes(), snap.NumEdges(), time.Since(start).Round(time.Millisecond))
 	}
 
 	srv := &http.Server{

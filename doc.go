@@ -129,9 +129,17 @@
 // guards the pooled bitsets of the CSR kernel (PR 3), lockhold guards the
 // serving layer's claim/release/compute/publish locking discipline
 // (PRs 2 and 5), and detorder guards the byte-identical determinism the
-// parallel kernels promise (PR 3). Run `make lint`, or see tools/vet's
-// package documentation for the suppression syntax and the vet-tool
-// protocol.
+// parallel kernels promise (PR 3). Three analyzers reason over paths and
+// package boundaries on the suite's dataflow core (a CFG engine plus
+// cross-package facts carried through go vet's .vetx channel): detflow
+// proves the deterministic kernels free of wall-clock and unseeded-random
+// calls through any helper chain, errflow proves the error of every
+// versioned mutation (ApplyDelta, Advance, IncCompute) is checked on every
+// path before the updated state is trusted, and swapver proves a published
+// snapshot and its swapped-in derived state always originate from the same
+// version source. Run `make lint`, or see tools/vet's package
+// documentation for the suppression syntax, the fact catalog and the
+// vet-tool protocol.
 //
 // The module builds and tests with the standard toolchain:
 //

@@ -391,7 +391,6 @@ func (e *engine) propagateRelevance() {
 		if int(e.ci.U[q]) == e.uo {
 			s = e.space.NewSet()
 		} else {
-			//lint:allow arenapair interior sets are engine-lifetime; the arena is freed wholesale with the engine
 			s = e.rarena.Get()
 		}
 		for _, qc := range e.prod.Succs(q) {

@@ -26,6 +26,7 @@ import (
 	"testing"
 
 	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/analysis/facts"
 )
 
 // TestData returns the abs path of the calling test's testdata directory.
@@ -52,7 +53,11 @@ type loader struct {
 	fset   *token.FileSet
 	std    types.ImporterFrom
 	pkgs   map[string]*loaded
-	infos  []*types.Info
+	// order lists the loaded testdata packages in completion order —
+	// dependencies before their importers — which is the order the analyzer
+	// must visit them for facts to flow forward.
+	order []*loaded
+	infos []*types.Info
 }
 
 func (l *loader) Import(path string) (*types.Package, error) {
@@ -101,40 +106,63 @@ func (l *loader) load(path string) (*loaded, error) {
 	}
 	p := &loaded{path: path, files: files, types: tpkg, info: info}
 	l.pkgs[path] = p
+	l.order = append(l.order, p)
 	l.infos = append(l.infos, info)
 	return p, nil
 }
 
 // Run applies a to each named testdata package under dir/src and verifies
 // the diagnostics against the // want comments of that package's files.
+//
+// Facts flow the way they do in the real drivers: every testdata package a
+// named package (transitively) imports is analyzed first, facts-only — its
+// diagnostics are discarded and its files carry no want expectations — so a
+// fact produced in testdata package "g" is visible while analyzing a named
+// package that imports "g".
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
+	analysis.RegisterFactTypes([]*analysis.Analyzer{a})
 	l := &loader{
 		srcdir: filepath.Join(dir, "src"),
 		fset:   token.NewFileSet(),
 		pkgs:   make(map[string]*loaded),
 	}
 	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	factSet := facts.NewSet()
+	analyzed := make(map[*loaded]bool)
 
-	for _, path := range pkgpaths {
-		p, err := l.load(path)
-		if err != nil {
-			t.Fatalf("loading %s: %v", path, err)
-		}
-
+	// analyze runs a over p into factSet, returning the diagnostics.
+	analyze := func(p *loaded) []analysis.Diagnostic {
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
 			Analyzer:  a,
 			Fset:      l.fset,
 			Files:     p.files,
 			Pkg:       p.types,
-			PkgPath:   path,
+			PkgPath:   p.path,
 			TypesInfo: p.info,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			FactSet:   factSet,
 		}
 		if _, err := a.Run(pass); err != nil {
-			t.Fatalf("%s: analyzer failed on %s: %v", a.Name, path, err)
+			t.Fatalf("%s: analyzer failed on %s: %v", a.Name, p.path, err)
 		}
+		analyzed[p] = true
+		return diags
+	}
+
+	for _, path := range pkgpaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		// Dependencies first (l.order is completion order), facts only.
+		for _, dep := range l.order {
+			if dep != p && !analyzed[dep] {
+				analyze(dep)
+			}
+		}
+		diags := analyze(p)
 		sups, bad := analysis.Suppressions(l.fset, p.files)
 		diags = append(analysis.FilterSuppressed(l.fset, sups, a.Name, diags), bad...)
 		check(t, l.fset, a.Name, p.files, diags)

@@ -1,0 +1,258 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as the body of function f in a file and returns it.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fd.Body
+		}
+	}
+	t.Fatal("no func f")
+	return nil
+}
+
+// calls is the test lattice: the set of single-letter functions called,
+// encoded as a sorted set.
+type calls map[string]bool
+
+func (c calls) clone() calls {
+	out := make(calls, len(c))
+	for k := range c {
+		out[k] = true
+	}
+	return out
+}
+
+func (c calls) String() string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "")
+}
+
+// exitState runs a gen-only analysis (which calls execute) with the given
+// join over the CFG of body and returns the state joined into Exit.
+func exitState(t *testing.T, body *ast.BlockStmt, join func(a, b calls) calls) string {
+	t.Helper()
+	g := New(body)
+	in := g.Fixpoint(Flow{
+		Entry: calls{},
+		Transfer: func(b *Block, s State) State {
+			st := s.(calls).clone()
+			for _, n := range b.Nodes {
+				ast.Inspect(n, func(m ast.Node) bool {
+					if _, ok := m.(*ast.FuncLit); ok {
+						return false
+					}
+					if call, ok := m.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && len(id.Name) == 1 {
+							st[id.Name] = true
+						}
+					}
+					return true
+				})
+			}
+			return st
+		},
+		Join:  func(a, b State) State { return join(a.(calls), b.(calls)) },
+		Equal: func(a, b State) bool { return reflect.DeepEqual(a, b) },
+	})
+	s, ok := in[g.Exit]
+	if !ok {
+		t.Fatal("exit unreachable")
+	}
+	return s.(calls).String()
+}
+
+func union(a, b calls) calls {
+	out := a.clone()
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(a, b calls) calls {
+	out := calls{}
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func TestFixpointJoins(t *testing.T) {
+	tests := []struct {
+		name      string
+		src       string
+		wantMust  string // intersection join: calls on every path to exit
+		wantMay   string // union join: calls on some path to exit
+		wantDefer int
+	}{
+		{
+			name:     "if-else",
+			src:      `func f(c bool) { A(); if c { B() } else { C() }; D() }`,
+			wantMust: "AD",
+			wantMay:  "ABCD",
+		},
+		{
+			name:     "if-no-else",
+			src:      `func f(c bool) { A(); if c { B() }; D() }`,
+			wantMust: "AD",
+			wantMay:  "ABD",
+		},
+		{
+			name: "loop-break-vs-return",
+			src: `func f(c bool, n int) {
+				A()
+				for i := 0; i < n; i++ {
+					if c { break }
+					B()
+					return
+				}
+				C()
+			}`,
+			// Exit paths: the in-loop return (A,B) and the fall-through after
+			// break or zero iterations (A,C).
+			wantMust: "A",
+			wantMay:  "ABC",
+		},
+		{
+			name: "zero-iteration-loop",
+			src: `func f(n int) {
+				A()
+				for i := 0; i < n; i++ { B() }
+				C()
+			}`,
+			wantMust: "AC",
+			wantMay:  "ABC",
+		},
+		{
+			name: "range-continue",
+			src: `func f(xs []int, c bool) {
+				for range xs {
+					if c { continue }
+					A()
+				}
+				B()
+			}`,
+			wantMust: "B",
+			wantMay:  "AB",
+		},
+		{
+			name:     "goto-skips",
+			src:      `func f() { goto L; B(); L: C() }`,
+			wantMust: "C",
+			wantMay:  "C", // B is unreachable
+		},
+		{
+			name: "switch-fallthrough",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					A()
+					fallthrough
+				case 2:
+					B()
+				default:
+					C()
+				}
+			}`,
+			wantMust: "",
+			wantMay:  "ABC",
+		},
+		{
+			name:     "switch-no-default",
+			src:      `func f(x int) { A(); switch x { case 1: B() }; C() }`,
+			wantMust: "AC",
+			wantMay:  "ABC",
+		},
+		{
+			name: "panic-terminates",
+			src: `func f(c bool) {
+				if c {
+					panic("x")
+				}
+				A()
+			}`,
+			// The panic path reaches Exit without A; must-join drops it.
+			wantMust: "",
+			wantMay:  "A",
+		},
+		{
+			name:      "defer-collected-not-inline",
+			src:       `func f() { defer A(); B() }`,
+			wantMust:  "B",
+			wantMay:   "B",
+			wantDefer: 1,
+		},
+		{
+			name: "select-default",
+			src: `func f(ch chan int) {
+				select {
+				case v := <-ch:
+					_ = v
+					A()
+				default:
+					B()
+				}
+				C()
+			}`,
+			wantMust: "C",
+			wantMay:  "ABC",
+		},
+		{
+			name: "labeled-break",
+			src: `func f(c bool) {
+			L:
+				for {
+					for {
+						if c { break L }
+						A()
+					}
+				}
+				B()
+			}`,
+			wantMust: "B",
+			wantMay:  "AB",
+		},
+		{
+			name:     "funclit-not-descended",
+			src:      `func f() { fn := func() { A() }; fn(); B() }`,
+			wantMust: "B",
+			wantMay:  "B",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			body := parseBody(t, tt.src)
+			if got := exitState(t, body, intersect); got != tt.wantMust {
+				t.Errorf("must (intersection) exit state = %q, want %q", got, tt.wantMust)
+			}
+			if got := exitState(t, body, union); got != tt.wantMay {
+				t.Errorf("may (union) exit state = %q, want %q", got, tt.wantMay)
+			}
+			if n := len(New(body).Defers); n != tt.wantDefer {
+				t.Errorf("defers = %d, want %d", n, tt.wantDefer)
+			}
+		})
+	}
+}

@@ -1,0 +1,128 @@
+package facts
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type testFact struct {
+	Kind string `json:"kind"`
+	N    int    `json:"n"`
+}
+
+func (*testFact) AFact() {}
+
+type otherFact struct{ S string }
+
+func (*otherFact) AFact() {}
+
+// checkPkg type-checks src as package path and returns its *types.Package.
+func checkPkg(t *testing.T, path, src string) *types.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestObjectKey(t *testing.T) {
+	pkg := checkPkg(t, "example.com/g", `package g
+type T struct{}
+func (t *T) M() {}
+func F() {}
+var V int
+`)
+	fObj := pkg.Scope().Lookup("F")
+	if got, want := ObjectKey(fObj), "example.com/g:F"; got != want {
+		t.Errorf("ObjectKey(F) = %q, want %q", got, want)
+	}
+	tObj := pkg.Scope().Lookup("T").Type()
+	m, _, _ := types.LookupFieldOrMethod(tObj, true, pkg, "M")
+	if got, want := ObjectKey(m), "example.com/g:T.M"; got != want {
+		t.Errorf("ObjectKey(T.M) = %q, want %q", got, want)
+	}
+	if got := ObjectKey(pkg.Scope().Lookup("V")); got != "" {
+		t.Errorf("ObjectKey(V) = %q, want \"\" (vars cannot carry facts)", got)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	Register("det", new(testFact))
+	Register("oth", new(otherFact))
+
+	pkg := checkPkg(t, "example.com/g", `package g
+func F() {}
+`)
+	obj := pkg.Scope().Lookup("F")
+
+	s := NewSet()
+	s.PutObject("det", obj, &testFact{Kind: "deterministic", N: 7})
+	s.PutPackage("det", "example.com/g", &testFact{Kind: "pkg", N: 1})
+	s.PutPackage("oth", "example.com/g", &otherFact{S: "x"})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("Encode produced empty output")
+	}
+
+	s2 := NewSet()
+	if err := s2.Decode(data); err != nil {
+		t.Fatal(err)
+	}
+	var got testFact
+	if !s2.GetObject("det", obj, &got) || got.Kind != "deterministic" || got.N != 7 {
+		t.Errorf("object fact after round trip = %+v, found=%v", got, s2.GetObject("det", obj, &got))
+	}
+	var gp testFact
+	if !s2.GetPackage("det", "example.com/g", &gp) || gp.Kind != "pkg" {
+		t.Errorf("package fact after round trip = %+v", gp)
+	}
+	var oth otherFact
+	if !s2.GetPackage("oth", "example.com/g", &oth) || oth.S != "x" {
+		t.Errorf("second analyzer's package fact after round trip = %+v", oth)
+	}
+	// Wrong analyzer name and wrong concrete type both miss.
+	if s2.GetObject("oth", obj, &got) {
+		t.Error("GetObject with wrong analyzer succeeded")
+	}
+	if s2.GetObject("det", obj, &oth) {
+		t.Error("GetObject into wrong concrete type succeeded")
+	}
+}
+
+func TestDecodeEmptyAndUnknown(t *testing.T) {
+	s := NewSet()
+	if err := s.Decode(nil); err != nil {
+		t.Errorf("Decode(nil) = %v, want nil (PR6 wrote empty vetx stubs)", err)
+	}
+	if err := s.Decode([]byte{}); err != nil {
+		t.Errorf("Decode(empty) = %v, want nil", err)
+	}
+	// Facts of analyzers this binary does not know are skipped, not fatal.
+	if err := s.Decode([]byte(`{"divtopk_vetx":1,"objects":{"p:F":[{"analyzer":"nope","type":"gone","value":{}}]}}`)); err != nil {
+		t.Errorf("Decode(unknown analyzer) = %v, want nil", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after skipped decodes, want 0", s.Len())
+	}
+	if err := s.Decode([]byte(`{"divtopk_vetx":99}`)); err == nil {
+		t.Error("Decode of future format version succeeded, want error")
+	}
+}

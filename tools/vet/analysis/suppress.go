@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"regexp"
@@ -19,6 +20,12 @@ type Suppression struct {
 	Line     int // line the comment sits on
 	Analyzer string
 	Reason   string
+	// Used records whether this suppression dropped at least one diagnostic
+	// in the run; FilterSuppressed sets it. A suppression that is never used
+	// is stale — the code it excused no longer triggers the analyzer — and
+	// Stale turns it into a finding so suppressions cannot outlive their
+	// reason.
+	Used bool
 }
 
 var allowRE = regexp.MustCompile(`^//lint:allow(?:\s+(\S+))?\s*(.*)$`)
@@ -27,8 +34,8 @@ var allowRE = regexp.MustCompile(`^//lint:allow(?:\s+(\S+))?\s*(.*)$`)
 // suppressions (no analyzer name or no justification) are returned as
 // diagnostics so the gate fails on them instead of silently honoring or
 // ignoring them.
-func Suppressions(fset *token.FileSet, files []*ast.File) ([]Suppression, []Diagnostic) {
-	var sups []Suppression
+func Suppressions(fset *token.FileSet, files []*ast.File) ([]*Suppression, []Diagnostic) {
+	var sups []*Suppression
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -47,7 +54,7 @@ func Suppressions(fset *token.FileSet, files []*ast.File) ([]Suppression, []Diag
 						Message: "suppression of " + m[1] + " has no justification (reviewed reason is mandatory)"})
 					continue
 				}
-				sups = append(sups, Suppression{
+				sups = append(sups, &Suppression{
 					Pos:      c.Pos(),
 					Line:     fset.Position(c.Pos()).Line,
 					Analyzer: m[1],
@@ -60,8 +67,9 @@ func Suppressions(fset *token.FileSet, files []*ast.File) ([]Suppression, []Diag
 }
 
 // FilterSuppressed drops diagnostics of analyzer name that are covered by a
-// suppression in the same file on the same line or the line above.
-func FilterSuppressed(fset *token.FileSet, sups []Suppression, name string, diags []Diagnostic) []Diagnostic {
+// suppression in the same file on the same line or the line above, marking
+// every suppression that dropped at least one diagnostic as Used.
+func FilterSuppressed(fset *token.FileSet, sups []*Suppression, name string, diags []Diagnostic) []Diagnostic {
 	if len(sups) == 0 {
 		return diags
 	}
@@ -69,22 +77,41 @@ func FilterSuppressed(fset *token.FileSet, sups []Suppression, name string, diag
 		file string
 		line int
 	}
-	covered := make(map[key]bool)
+	covered := make(map[key]*Suppression)
 	for _, s := range sups {
 		if s.Analyzer != name {
 			continue
 		}
 		p := fset.Position(s.Pos)
-		covered[key{p.Filename, s.Line}] = true
-		covered[key{p.Filename, s.Line + 1}] = true
+		covered[key{p.Filename, s.Line}] = s
+		covered[key{p.Filename, s.Line + 1}] = s
 	}
 	var kept []Diagnostic
 	for _, d := range diags {
 		p := fset.Position(d.Pos)
-		if covered[key{p.Filename, p.Line}] {
+		if s := covered[key{p.Filename, p.Line}]; s != nil {
+			s.Used = true
 			continue
 		}
 		kept = append(kept, d)
 	}
 	return kept
+}
+
+// Stale returns one diagnostic per suppression that no analyzer used during
+// the run — the pseudo-analyzer lintstale. A suppression whose finding has
+// been fixed (or whose analyzer got precise enough to stop flagging the
+// line) must be deleted with the code change that obsoleted it, or it will
+// silently excuse the next, unrelated finding on that line.
+func Stale(sups []*Suppression) []Diagnostic {
+	var out []Diagnostic
+	for _, s := range sups {
+		if s.Used {
+			continue
+		}
+		out = append(out, Diagnostic{Pos: s.Pos,
+			Message: fmt.Sprintf("stale suppression: //lint:allow %s no longer suppresses any finding — delete it (reason was: %s)",
+				s.Analyzer, s.Reason)})
+	}
+	return out
 }

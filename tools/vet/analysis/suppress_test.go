@@ -80,3 +80,24 @@ func TestFilterSuppressed(t *testing.T) {
 		t.Errorf("curload filter kept %+v, want both diagnostics (name mismatch)", kept)
 	}
 }
+
+func TestStaleSuppressions(t *testing.T) {
+	fset, files := parse(t)
+	sups, _ := Suppressions(fset, files)
+
+	// Before any filtering happened, every suppression is unused → stale.
+	stale := Stale(sups)
+	if len(stale) != 1 {
+		t.Fatalf("Stale before filtering = %d diagnostics, want 1", len(stale))
+	}
+	if msg := stale[0].Message; !strings.Contains(msg, "arenapair") || !strings.Contains(msg, "set escapes to the caller") {
+		t.Errorf("stale diagnostic %q should name the analyzer and quote the reason", msg)
+	}
+
+	// A suppression that actually dropped a diagnostic is not stale.
+	pos := fset.File(files[0].Pos()).LineStart(5)
+	FilterSuppressed(fset, sups, "arenapair", []Diagnostic{{Pos: pos, Message: "covered"}})
+	if stale = Stale(sups); len(stale) != 0 {
+		t.Errorf("Stale after a matching finding = %+v, want none", stale)
+	}
+}

@@ -8,89 +8,572 @@
 // predecessor has unioned it). A function that Gets from an arena and never
 // Puts leaks pooled sets one query at a time.
 //
-// The check is per function and path-insensitive: a function that calls
-// Arena.Get on some arena value must also call Arena.Put on that value at
-// least once (a deferred Put counts; Puts inside the release loops of
-// nested closures count). Functions that intentionally hand sets over —
-// e.g. an arena that dies wholesale with its owning engine — carry a
-// reviewed //lint:allow arenapair justification instead.
+// The check is a path-sensitive may-analysis over the cfg package's
+// control-flow graph. The abstract state is the set of outstanding Get
+// sites, each with the local variables currently bound to its set; the join
+// at a merge point is union (a leak on any path is a leak). A site dies
+// when its set is handed back (Arena.Put, a deferred Put at exit, a Put
+// inside a nested closure) or when ownership is transferred by storing the
+// set into a structure that outlives the call (a slice element, map entry,
+// or field — the release bookkeeping reaches it there). A site that is
+// outstanding on every path to exit gets the classic "no matching Put"
+// finding; one that leaks only on some paths names the branch shape; and a
+// Get that re-executes (via a loop back edge) while its previous set is
+// still outstanding is a loop-carried leak, invisible to any single-pass
+// syntactic count.
+//
+// Helpers that move sets across function boundaries carry the ArenaEffects
+// object fact: a function returning a set freshly obtained from an arena
+// parameter acquires on behalf of its caller (the call site becomes a Get
+// site, with the caller's argument as the arena), and one that Puts a set
+// parameter releases on the caller's behalf (the call site kills the
+// argument's sites). Functions that intentionally hand sets over without
+// either shape — e.g. an arena that dies wholesale with its owning engine —
+// carry a reviewed //lint:allow arenapair justification instead.
 package arenapair
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"maps"
+	"sort"
 
 	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/analysis/cfg"
+	"divtopk/tools/vet/analysis/facts"
 	"divtopk/tools/vet/internal/typeutil"
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "arenapair",
-	Doc: "flag bitset.Arena.Get without a matching Put in the same function " +
-		"(pooled sets must return to the arena)",
-	Run: run,
+	Doc: "flag bitset.Arena.Get without a matching Put on some path in the " +
+		"same function (pooled sets must return to the arena)",
+	Run:       run,
+	FactTypes: []facts.Fact{new(ArenaEffects)},
+}
+
+// ArenaEffects is the object fact for functions that acquire or release
+// pooled sets on behalf of their callers. Param indices count the flattened
+// parameter list; -1 means "does not".
+type ArenaEffects struct {
+	// AcquiresFrom is the index of the arena parameter whose freshly
+	// obtained set the function returns: the call site owes a Put.
+	AcquiresFrom int `json:"acquires_from"`
+	// ReleasesSet is the index of the set parameter the function returns to
+	// an arena: the call site's obligation ends there.
+	ReleasesSet int `json:"releases_set"`
+}
+
+// AFact marks ArenaEffects as a serializable analyzer fact.
+func (*ArenaEffects) AFact() {}
+
+// site is one outstanding acquisition: a Get call (or acquiring helper
+// call) position, the arena expression it drew from, and the display label.
+type site struct {
+	pos   token.Pos
+	arena string
+	label string
+}
+
+// aState maps each outstanding site to the set of local objects currently
+// bound to its set (empty when the result was dropped).
+type aState = map[site]map[types.Object]bool
+
+func cloneState(st aState) aState {
+	out := make(aState, len(st))
+	for k, v := range st {
+		out[k] = maps.Clone(v)
+	}
+	return out
+}
+
+func unionState(a, b aState) aState {
+	out := cloneState(a)
+	for k, v := range b {
+		if ex, ok := out[k]; ok {
+			for o := range v {
+				ex[o] = true
+			}
+		} else {
+			out[k] = maps.Clone(v)
+		}
+	}
+	return out
+}
+
+func intersectState(a, b aState) aState {
+	out := aState{}
+	for k, v := range a {
+		if bv, ok := b[k]; ok {
+			m := maps.Clone(v)
+			for o := range bv {
+				m[o] = true
+			}
+			out[k] = m
+		}
+	}
+	return out
+}
+
+func equalState(a, b aState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		bv, ok := b[k]
+		if !ok || !maps.Equal(v, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+// killObj removes every site whose set is bound to obj (a Put or an
+// ownership transfer of that variable).
+func killObj(st aState, obj types.Object) {
+	if obj == nil {
+		return
+	}
+	for k, v := range st {
+		if v[obj] {
+			delete(st, k)
+		}
+	}
 }
 
 func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass}
+	var decls []*ast.FuncDecl
 	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
 			}
-			checkFunc(pass, fd)
 		}
+	}
+	// Phase 1: ArenaEffects facts, iterated so acquire chains (a helper
+	// returning another helper's set) converge regardless of order.
+	for round := 0; round <= len(decls); round++ {
+		changed := false
+		for _, fd := range decls {
+			if c.exportEffects(fd) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Phase 2: report. Func literals are separate scopes with their own
+	// graphs (their Puts still credit the enclosing function's sites at
+	// exit — the release-loop-in-closure pattern).
+	for _, fd := range decls {
+		c.check(fd, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.check(fd, lit.Body)
+			}
+			return true
+		})
 	}
 	return nil, nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	type usage struct {
-		gets []token.Pos
-		puts int
-	}
-	// Keyed by the receiver's source text: "arena" and "e.rarena" are
-	// different pools even when rooted at the same object.
-	uses := make(map[string]*usage)
-	var order []string
-	get := func(recv ast.Expr) *usage {
-		k := types.ExprString(recv)
-		u, ok := uses[k]
-		if !ok {
-			u = &usage{}
-			uses[k] = u
-			order = append(order, k)
-		}
-		return u
-	}
+type checker struct {
+	pass *analysis.Pass
+}
 
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
+// hooks observe one replay of a block's nodes; any callback may be nil.
+type hooks struct {
+	// loop fires when a Get site executes while already outstanding — only
+	// possible through a loop back edge.
+	loop func(s site)
+	// ret fires on a return statement with the state before it (for escape
+	// detection during fact computation).
+	ret func(r *ast.ReturnStmt, st aState)
+	// put fires on every direct Arena.Put with an identifier argument.
+	put func(recv ast.Expr, arg types.Object)
+}
+
+// arenaCall matches call as a bitset.Arena method invocation.
+func (c *checker) arenaCall(call *ast.CallExpr, method string) (ast.Expr, bool) {
+	return typeutil.MethodCall(c.pass.TypesInfo, call, "bitset", "Arena", method)
+}
+
+// callEffects resolves call to a function carrying an ArenaEffects fact.
+func (c *checker) callEffects(call *ast.CallExpr) (*ArenaEffects, bool) {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.ObjectOf(fun.Sel)
+	default:
+		return nil, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	var eff ArenaEffects
+	if !c.pass.ImportObjectFact(fn, &eff) {
+		return nil, false
+	}
+	return &eff, true
+}
+
+// genSite matches e as an acquisition — a direct Arena.Get() or a call to
+// an acquiring helper — returning the new site.
+func (c *checker) genSite(e ast.Expr) (site, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return site{}, false
+	}
+	if recv, ok := c.arenaCall(call, "Get"); ok && len(call.Args) == 0 {
+		arena := types.ExprString(recv)
+		return site{pos: call.Pos(), arena: arena, label: arena + ".Get()"}, true
+	}
+	if eff, ok := c.callEffects(call); ok && eff.AcquiresFrom >= 0 && eff.AcquiresFrom < len(call.Args) {
+		return site{
+			pos:   call.Pos(),
+			arena: types.ExprString(call.Args[eff.AcquiresFrom]),
+			label: types.ExprString(call),
+		}, true
+	}
+	return site{}, false
+}
+
+// addSite records a new outstanding site bound to obj (nil for unbound),
+// firing the loop hook when the site is already live from a prior
+// iteration.
+func addSite(st aState, s site, obj types.Object, h hooks) {
+	if _, live := st[s]; live && h.loop != nil {
+		h.loop(s)
+	}
+	binds := map[types.Object]bool{}
+	if obj != nil {
+		binds[obj] = true
+	}
+	st[s] = binds
+}
+
+// isSimpleIdent returns the object of e when it is a plain (non-blank)
+// identifier.
+func (c *checker) isSimpleIdent(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return c.pass.TypesInfo.ObjectOf(id)
+}
+
+// assign applies one lhs = rhs pair.
+func (c *checker) assign(lhs, rhs ast.Expr, st aState, h hooks) {
+	lhsObj := c.isSimpleIdent(lhs)
+	simpleLHS := lhsObj != nil || isBlank(lhs)
+	if s, ok := c.genSite(rhs); ok {
+		if simpleLHS {
+			addSite(st, s, lhsObj, h) // may be unbound (blank): a leak
 		}
-		if recv, ok := typeutil.MethodCall(pass.TypesInfo, call, "bitset", "Arena", "Get"); ok && len(call.Args) == 0 {
-			u := get(recv)
-			u.gets = append(u.gets, call.Pos())
+		// Non-simple LHS (slice element, map entry, field): the set is
+		// stored into a structure that outlives this call — ownership
+		// transfers with it, no site.
+		c.scan(lhs, st, h)
+		return
+	}
+	if rhsObj := c.isSimpleIdent(rhs); rhsObj != nil {
+		if lhsObj != nil {
+			// Alias: the new name reaches the same set.
+			for _, binds := range st {
+				if binds[rhsObj] {
+					binds[lhsObj] = true
+				}
+			}
+		} else if !isBlank(lhs) {
+			// Ownership transfer into a longer-lived structure.
+			killObj(st, rhsObj)
+			c.scan(lhs, st, h)
 		}
-		if recv, ok := typeutil.MethodCall(pass.TypesInfo, call, "bitset", "Arena", "Put"); ok {
-			get(recv).puts++
+		return
+	}
+	c.scan(rhs, st, h)
+	c.scan(lhs, st, h)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// scan walks an expression (or statement fragment) that is not an
+// assignment context: naked acquisitions stay unbound, Puts and releasing
+// helper calls kill.
+func (c *checker) scan(n ast.Node, st aState, h hooks) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if c.applyCall(v, st, h) {
+				return false
+			}
 		}
 		return true
 	})
+}
 
-	for _, k := range order {
-		u := uses[k]
-		if len(u.gets) == 0 || u.puts > 0 {
-			continue
+// applyCall applies the state effect of one call, reporting whether its
+// children are already handled.
+func (c *checker) applyCall(call *ast.CallExpr, st aState, h hooks) bool {
+	if recv, ok := c.arenaCall(call, "Put"); ok && len(call.Args) == 1 {
+		arg := c.isSimpleIdent(call.Args[0])
+		if h.put != nil && arg != nil {
+			h.put(recv, arg)
 		}
-		for _, pos := range u.gets {
-			pass.Reportf(pos,
-				"%s.Get() in %s has no matching %s.Put() on any path: pooled sets must "+
-					"return to the arena (a deferred Put counts) or the leak needs a reviewed "+
-					"//lint:allow arenapair justification",
-				k, typeutil.FuncFor(fd), k)
+		killObj(st, arg)
+		return true
+	}
+	if s, ok := c.genSite(call); ok {
+		addSite(st, s, nil, h)
+		return true
+	}
+	if eff, ok := c.callEffects(call); ok && eff.ReleasesSet >= 0 && eff.ReleasesSet < len(call.Args) {
+		killObj(st, c.isSimpleIdent(call.Args[eff.ReleasesSet]))
+		return true
+	}
+	return false
+}
+
+// step applies one block node to st in place.
+func (c *checker) step(n ast.Node, st aState, h hooks) {
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		if len(v.Lhs) == len(v.Rhs) {
+			for i := range v.Rhs {
+				c.assign(v.Lhs[i], v.Rhs[i], st, h)
+			}
+			return
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Names) == len(vs.Values) {
+					for i := range vs.Values {
+						c.assign(vs.Names[i], vs.Values[i], st, h)
+					}
+				}
+			}
+			return
+		}
+	case *ast.ReturnStmt:
+		if h.ret != nil {
+			h.ret(v, st)
 		}
 	}
+	c.scan(n, st, h)
+}
+
+func (c *checker) flow() cfg.Flow {
+	return cfg.Flow{
+		Entry: aState{},
+		Transfer: func(b *cfg.Block, in cfg.State) cfg.State {
+			st := cloneState(in.(aState))
+			for _, n := range b.Nodes {
+				c.step(n, st, hooks{})
+			}
+			return st
+		},
+		Join:  func(a, b cfg.State) cfg.State { return unionState(a.(aState), b.(aState)) },
+		Equal: func(a, b cfg.State) bool { return equalState(a.(aState), b.(aState)) },
+	}
+}
+
+// sweep replays every reachable block over its fixpoint in-state.
+func (c *checker) sweep(g *cfg.Graph, in map[*cfg.Block]cfg.State, h hooks) {
+	for _, b := range g.Blocks {
+		stIn, ok := in[b]
+		if !ok {
+			continue
+		}
+		st := cloneState(stIn.(aState))
+		for _, n := range b.Nodes {
+			c.step(n, st, h)
+		}
+	}
+}
+
+// exitKills collects the objects whose sites are released at function exit
+// without appearing in straight-line code: deferred Puts (and releasing
+// helper calls), and Puts inside nested closures — the release-bookkeeping-
+// in-a-closure pattern.
+func (c *checker) exitKills(g *cfg.Graph, body *ast.BlockStmt) []types.Object {
+	var objs []types.Object
+	collect := func(call *ast.CallExpr) {
+		if _, ok := c.arenaCall(call, "Put"); ok && len(call.Args) == 1 {
+			if obj := c.isSimpleIdent(call.Args[0]); obj != nil {
+				objs = append(objs, obj)
+			}
+			return
+		}
+		if eff, ok := c.callEffects(call); ok && eff.ReleasesSet >= 0 && eff.ReleasesSet < len(call.Args) {
+			if obj := c.isSimpleIdent(call.Args[eff.ReleasesSet]); obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	for _, d := range g.Defers {
+		collect(d.Call)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					collect(call)
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+	return objs
+}
+
+// check reports leaks in body; fd names the enclosing declaration.
+func (c *checker) check(fd *ast.FuncDecl, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	mayIn := g.Fixpoint(c.flow())
+	fn := typeutil.FuncFor(fd)
+
+	// Loop-carried leaks: a site re-executing while outstanding.
+	loopReported := map[site]bool{}
+	c.sweep(g, mayIn, hooks{loop: func(s site) {
+		if !loopReported[s] {
+			loopReported[s] = true
+			c.pass.Reportf(s.pos,
+				"%s in %s re-runs while the set from the previous iteration is still "+
+					"outstanding: release it before the next iteration (loop-carried leak "+
+					"drains the arena)",
+				s.label, fn)
+		}
+	}})
+
+	mayExit := aState{}
+	if st, ok := mayIn[g.Exit]; ok {
+		mayExit = cloneState(st.(aState))
+	}
+	if len(mayExit) == 0 {
+		return
+	}
+
+	// A second fixpoint with intersection join separates "leaks on every
+	// path" from "leaks on some path".
+	mustFlow := c.flow()
+	mustFlow.Join = func(a, b cfg.State) cfg.State { return intersectState(a.(aState), b.(aState)) }
+	mustIn := g.Fixpoint(mustFlow)
+	mustExit := aState{}
+	if st, ok := mustIn[g.Exit]; ok {
+		mustExit = st.(aState)
+	}
+
+	for _, obj := range c.exitKills(g, body) {
+		killObj(mayExit, obj)
+		killObj(mustExit, obj)
+	}
+
+	var leaks []site
+	for s := range mayExit {
+		if !loopReported[s] {
+			leaks = append(leaks, s)
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	for _, s := range leaks {
+		if _, everyPath := mustExit[s]; everyPath {
+			c.pass.Reportf(s.pos,
+				"%s in %s has no matching %s.Put() on any path: pooled sets must "+
+					"return to the arena (a deferred Put counts) or the leak needs a reviewed "+
+					"//lint:allow arenapair justification",
+				s.label, fn, s.arena)
+		} else {
+			c.pass.Reportf(s.pos,
+				"%s in %s is missing %s.Put() on some path: a branch exits without "+
+					"returning the set — release on every path (a deferred Put covers them all)",
+				s.label, fn, s.arena)
+		}
+	}
+}
+
+// exportEffects computes fd's ArenaEffects fact, reporting whether it
+// changed.
+func (c *checker) exportEffects(fd *ast.FuncDecl) bool {
+	obj, ok := c.pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+	if !ok || fd.Type.Params == nil {
+		return false
+	}
+	// Flattened parameter list; arena-typed params by object and name.
+	paramIndex := map[types.Object]int{}
+	arenaParams := map[types.Object]int{}
+	arenaByName := map[string]int{}
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			po := c.pass.TypesInfo.ObjectOf(name)
+			paramIndex[po] = i
+			if po != nil && typeutil.IsNamed(po.Type(), "bitset", "Arena") {
+				arenaParams[po] = i
+				arenaByName[name.Name] = i
+			}
+			i++
+		}
+	}
+	if len(arenaParams) == 0 {
+		return false
+	}
+
+	g := cfg.New(fd.Body)
+	eff := ArenaEffects{AcquiresFrom: -1, ReleasesSet: -1}
+	h := hooks{
+		ret: func(r *ast.ReturnStmt, st aState) {
+			for _, res := range r.Results {
+				if s, ok := c.genSite(res); ok {
+					if idx, ok := arenaByName[s.arena]; ok && eff.AcquiresFrom < 0 {
+						eff.AcquiresFrom = idx
+					}
+					continue
+				}
+				if resObj := c.isSimpleIdent(res); resObj != nil {
+					for s, binds := range st {
+						if binds[resObj] {
+							if idx, ok := arenaByName[s.arena]; ok && eff.AcquiresFrom < 0 {
+								eff.AcquiresFrom = idx
+							}
+						}
+					}
+				}
+			}
+		},
+		put: func(recv ast.Expr, arg types.Object) {
+			if _, ok := arenaParams[typeutil.ObjOf(c.pass.TypesInfo, recv)]; ok {
+				if idx, ok := paramIndex[arg]; ok && eff.ReleasesSet < 0 {
+					eff.ReleasesSet = idx
+				}
+			}
+		},
+	}
+	c.sweep(g, g.Fixpoint(c.flow()), h)
+
+	if eff.AcquiresFrom < 0 && eff.ReleasesSet < 0 {
+		return false
+	}
+	var old ArenaEffects
+	if c.pass.ImportObjectFact(obj, &old) && old == eff {
+		return false
+	}
+	c.pass.ExportObjectFact(obj, &eff)
+	return true
 }

@@ -60,3 +60,78 @@ func suppressed(a *bitset.Arena) *bitset.Set {
 	//lint:allow arenapair arena dies with its owning engine; sets are never reused
 	return a.Get()
 }
+
+// --- cases the syntactic (pre-CFG) counter could not decide ---
+
+// badBranchLeak releases only when cond holds; the other branch leaks. The
+// old per-function Put count saw "one Put" and stayed silent.
+func badBranchLeak(a *bitset.Arena, cond bool) {
+	s := a.Get() // want `missing a\.Put\(\) on some path`
+	use(s)
+	if cond {
+		a.Put(s)
+	}
+}
+
+// badLoopCarried rebinds s every iteration but releases only the last set:
+// each back edge abandons the previous iteration's set.
+func badLoopCarried(a *bitset.Arena, keep []bool) {
+	var s *bitset.Set
+	for i := range keep {
+		s = a.Get() // want `re-runs while the set from the previous iteration is still outstanding`
+		if keep[i] {
+			use(s)
+		}
+	}
+	a.Put(s)
+}
+
+// goodLoopPaired releases inside every iteration before the back edge.
+func goodLoopPaired(a *bitset.Arena, keep []bool) {
+	for range keep {
+		s := a.Get()
+		use(s)
+		a.Put(s)
+	}
+}
+
+// goodStoreTransfer hands the set to a structure that outlives the call;
+// ownership (and the Put obligation) moves with it. The old counter
+// false-positived on this shape.
+func goodStoreTransfer(a *bitset.Arena, dst map[int]*bitset.Set) {
+	s := a.Get()
+	dst[0] = s
+}
+
+// --- acquisition and release through helpers (ArenaEffects facts) ---
+
+// alloc hands a fresh set to its caller: the suppression records the
+// intentional escape here, and the AcquiresFromArena side of the fact moves
+// the Put obligation to every call site.
+func alloc(a *bitset.Arena) *bitset.Set {
+	//lint:allow arenapair ownership transfers to the caller, which must Put
+	return a.Get()
+}
+
+// release returns its set to the arena on the caller's behalf.
+func release(a *bitset.Arena, s *bitset.Set) { a.Put(s) }
+
+// badHelperLeak obtains through the helper and never releases.
+func badHelperLeak(a *bitset.Arena) {
+	s := alloc(a) // want `alloc\(a\) in badHelperLeak has no matching a\.Put\(\) on any path`
+	use(s)
+}
+
+// goodHelperPair obtains through the helper and releases directly.
+func goodHelperPair(a *bitset.Arena) {
+	s := alloc(a)
+	use(s)
+	a.Put(s)
+}
+
+// goodHelperRelease pairs a direct Get with a helper release.
+func goodHelperRelease(a *bitset.Arena) {
+	s := a.Get()
+	use(s)
+	release(a, s)
+}

@@ -12,6 +12,12 @@
 //
 //	go vet -vettool=$(pwd)/bin/divtopk-vet ./...
 //
+// Both drivers thread analyzer facts across package boundaries: standalone
+// runs analyze packages in dependency order against one shared fact set,
+// and vet-tool runs decode the .vetx files of the unit's direct imports and
+// encode the full set for their importers — so a fact-driven analyzer sees
+// a helper's effects even when the helper lives in an imported package.
+//
 // Exit status: 0 clean, 1 tool failure, 2 findings.
 package main
 
@@ -25,12 +31,16 @@ import (
 	"strings"
 
 	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/analysis/facts"
 	"divtopk/tools/vet/analysis/load"
 	"divtopk/tools/vet/arenapair"
 	"divtopk/tools/vet/curload"
+	"divtopk/tools/vet/detflow"
 	"divtopk/tools/vet/detorder"
+	"divtopk/tools/vet/errflow"
 	"divtopk/tools/vet/lockhold"
 	"divtopk/tools/vet/snapmut"
+	"divtopk/tools/vet/swapver"
 	"divtopk/tools/vet/verkey"
 )
 
@@ -42,6 +52,9 @@ var analyzers = []*analysis.Analyzer{
 	arenapair.Analyzer,
 	lockhold.Analyzer,
 	detorder.Analyzer,
+	detflow.Analyzer,
+	errflow.Analyzer,
+	swapver.Analyzer,
 }
 
 func main() {
@@ -59,12 +72,14 @@ func main() {
 			return
 		}
 	}
+	analysis.RegisterFactTypes(analyzers)
 
 	fs := flag.NewFlagSet("divtopk-vet", flag.ExitOnError)
 	dir := fs.String("dir", ".", "directory to resolve package patterns in")
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	sum := fs.Bool("summary", false, "print per-analyzer finding/suppression counts after the run")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: divtopk-vet [-dir d] packages...\n       divtopk-vet unit.cfg  (cmd/go vet tool protocol)\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: divtopk-vet [-dir d] [-summary] packages...\n       divtopk-vet unit.cfg  (cmd/go vet tool protocol)\n\nanalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -96,6 +111,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "divtopk-vet: %v\n", err)
 		os.Exit(1)
 	}
+	// One fact set for the whole run: load.Packages returns targets in
+	// dependency order (go list -deps emits dependencies first), so facts
+	// a package exports are in the set before its importers are analyzed.
+	factSet := facts.NewSet()
+	stats := newSummary()
 	exit := 0
 	for _, p := range pkgs {
 		diags := runSuite(&analysis.Pass{
@@ -104,11 +124,15 @@ func main() {
 			Pkg:       p.Types,
 			PkgPath:   p.ImportPath,
 			TypesInfo: p.Info,
-		})
+			FactSet:   factSet,
+		}, stats)
 		for _, d := range diags {
 			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", p.Fset.Position(d.pos), d.name, d.msg)
 			exit = 2
 		}
+	}
+	if *sum {
+		stats.print(os.Stderr)
 	}
 	os.Exit(exit)
 }
@@ -120,12 +144,49 @@ type diagRecord struct {
 	msg  string
 }
 
+// summary aggregates per-analyzer outcome counts across packages: findings
+// that survived suppression, findings a //lint:allow absorbed, and stale
+// suppressions naming the analyzer.
+type summary map[string]*outcome
+
+type outcome struct {
+	findings, suppressed, stale int
+}
+
+func newSummary() summary { return summary{} }
+
+func (s summary) row(name string) *outcome {
+	if s == nil {
+		return &outcome{}
+	}
+	o := s[name]
+	if o == nil {
+		o = &outcome{}
+		s[name] = o
+	}
+	return o
+}
+
+func (s summary) print(w *os.File) {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "divtopk-vet summary: %-12s %8s %10s %6s\n", "analyzer", "findings", "suppressed", "stale")
+	for _, n := range names {
+		o := s[n]
+		fmt.Fprintf(w, "                     %-12s %8d %10d %6d\n", n, o.findings, o.suppressed, o.stale)
+	}
+}
+
 // runSuite applies every analyzer to one package pass skeleton, honoring
 // //lint:allow suppressions and surfacing malformed ones, and returns the
-// findings in stable position order. Test files are exempt: the invariants
+// findings in stable position order, including lintstale findings for
+// suppressions no analyzer used. Test files are exempt: the invariants
 // guard production code, and tests deliberately drive the raw primitives
 // (unversioned cache keys, never-returned arena sets) to exercise them.
-func runSuite(base *analysis.Pass) []diagRecord {
+func runSuite(base *analysis.Pass, stats summary) []diagRecord {
 	var files []*ast.File
 	for _, f := range base.Files {
 		if strings.HasSuffix(base.Fset.Position(f.Pos()).Filename, "_test.go") {
@@ -139,6 +200,7 @@ func runSuite(base *analysis.Pass) []diagRecord {
 	sups, bad := analysis.Suppressions(base.Fset, base.Files)
 	for _, b := range bad {
 		out = append(out, diagRecord{pos: b.Pos, name: "lintallow", msg: b.Message})
+		stats.row("lintallow").findings++
 	}
 	for _, a := range analyzers {
 		var diags []analysis.Diagnostic
@@ -149,8 +211,23 @@ func runSuite(base *analysis.Pass) []diagRecord {
 			out = append(out, diagRecord{name: a.Name, msg: fmt.Sprintf("analyzer failed: %v", err)})
 			continue
 		}
-		for _, d := range analysis.FilterSuppressed(base.Fset, sups, a.Name, diags) {
+		kept := analysis.FilterSuppressed(base.Fset, sups, a.Name, diags)
+		row := stats.row(a.Name)
+		row.findings += len(kept)
+		row.suppressed += len(diags) - len(kept)
+		for _, d := range kept {
 			out = append(out, diagRecord{pos: d.Pos, name: a.Name, msg: d.Message})
+		}
+	}
+	// The lintstale pseudo-analyzer: a suppression no analyzer used this
+	// run excuses nothing and must be deleted with the code change that
+	// obsoleted it.
+	for _, d := range analysis.Stale(sups) {
+		out = append(out, diagRecord{pos: d.Pos, name: "lintstale", msg: d.Message})
+	}
+	for _, s := range sups {
+		if !s.Used {
+			stats.row(s.Analyzer).stale++
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].pos < out[j].pos })

@@ -1,0 +1,97 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file tree under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// buildTool compiles the divtopk-vet binary into a temp dir.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "divtopk-vet")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building divtopk-vet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// fixture is a two-package module: b exports a nondeterministic helper, a
+// calls it. The finding in a exists only if detflow's Determinism fact for
+// b.Stamp crosses the package boundary — the call is not a direct
+// nondeterminism source in a.
+var fixture = map[string]string{
+	"go.mod": "module example.com/rt\n\ngo 1.24\n",
+	"b/b.go": `package b
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+	"a/a.go": `package a
+
+import "example.com/rt/b"
+
+func UseStamp() int64 { return b.Stamp() }
+`,
+}
+
+// TestFactsRoundTripStandalone proves the cross-package fact edge through
+// the standalone driver's shared fact set.
+func TestFactsRoundTripStandalone(t *testing.T) {
+	bin := buildTool(t)
+	mod := t.TempDir()
+	writeTree(t, mod, fixture)
+
+	cmd := exec.Command(bin, "-dir", mod, "./...")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected findings (exit 2), got success\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Fatalf("expected exit 2, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "call to b.Stamp in UseStamp: b.Stamp is nondeterministic") {
+		t.Fatalf("missing cross-package detflow finding in output:\n%s", out)
+	}
+}
+
+// TestFactsRoundTripVettool proves the same edge through the cmd/go
+// -vettool protocol: b's unit encodes its facts to a .vetx file and a's
+// unit decodes it via PackageVetx.
+func TestFactsRoundTripVettool(t *testing.T) {
+	bin := buildTool(t)
+	mod := t.TempDir()
+	writeTree(t, mod, fixture)
+
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected findings (vet failure), got success\n%s", out)
+	}
+	if !strings.Contains(string(out), "call to b.Stamp in UseStamp: b.Stamp is nondeterministic") {
+		t.Fatalf("missing cross-package detflow finding in go vet output:\n%s", out)
+	}
+}

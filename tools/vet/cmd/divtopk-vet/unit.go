@@ -15,6 +15,7 @@ import (
 	"runtime/debug"
 
 	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/analysis/facts"
 )
 
 // vetConfig mirrors the JSON configuration cmd/go writes for -vettool
@@ -39,9 +40,14 @@ type vetConfig struct {
 }
 
 // unitCheck analyzes one compilation unit described by a cfg file and
-// reports findings the way cmd/go expects: facts file always written (the
-// suite exports none, so it is empty), diagnostics on stderr, exit 2 when
-// any finding survives suppression.
+// reports findings the way cmd/go expects: the unit's fact set — its direct
+// imports' decoded .vetx files plus everything the suite exported for this
+// unit — is written to VetxOutput (whole-set encoding makes fact flow
+// transitive with only direct-import loading), diagnostics go to stderr,
+// exit 2 when any finding survives suppression. VetxOnly units run the full
+// suite too — that is what produces their facts — but their diagnostics are
+// discarded: cmd/go asks for facts only because no named package depends on
+// seeing the unit's findings.
 func unitCheck(cfgFile string) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
@@ -51,16 +57,15 @@ func unitCheck(cfgFile string) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatalf("parsing config %s: %v", cfgFile, err)
 	}
-	// The go command requires the facts ("vetx") output to exist after a
-	// successful run; this suite uses no cross-package facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fatalf("writing facts output: %v", err)
+	factSet := facts.NewSet()
+	for path, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing dependency facts degrade precision, not soundness
 		}
-	}
-	if cfg.VetxOnly {
-		// Dependency pass: facts only, no diagnostics wanted.
-		return
+		if err := factSet.Decode(data); err != nil {
+			fatalf("decoding facts of %s: %v", path, err)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -69,6 +74,7 @@ func unitCheck(cfgFile string) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				writeVetx(&cfg, factSet)
 				return
 			}
 			fatalf("parsing %s: %v", name, err)
@@ -95,6 +101,7 @@ func unitCheck(cfgFile string) {
 	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(&cfg, factSet)
 			return
 		}
 		fatalf("type-checking %s: %v", cfg.ImportPath, err)
@@ -106,14 +113,31 @@ func unitCheck(cfgFile string) {
 		Pkg:       tpkg,
 		PkgPath:   cfg.ImportPath,
 		TypesInfo: info,
-	})
-	if len(diags) == 0 {
+		FactSet:   factSet,
+	}, nil)
+	writeVetx(&cfg, factSet)
+	if cfg.VetxOnly || len(diags) == 0 {
 		return
 	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.pos), d.name, d.msg)
 	}
 	os.Exit(2)
+}
+
+// writeVetx encodes s to cfg.VetxOutput; the go command requires the file
+// to exist after every successful run.
+func writeVetx(cfg *vetConfig, s *facts.Set) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	data, err := s.Encode()
+	if err != nil {
+		fatalf("encoding facts: %v", err)
+	}
+	if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+		fatalf("writing facts output: %v", err)
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -51,3 +51,84 @@ func suppressed(m *Matcher) (uint64, uint64) {
 	v2 := m.cur.Load().Version()
 	return v1, v2
 }
+
+// --- cases the syntactic (pre-CFG) counter could not decide ---
+
+// goodBranches loads once per path: two textual loads, but no execution
+// path performs both. The old occurrence count false-positived here.
+func goodBranches(m *Matcher, fast bool) uint64 {
+	if fast {
+		return m.cur.Load().Version()
+	}
+	return m.cur.Load().Version()
+}
+
+// badLoopLoad re-loads every iteration through the back edge: results for
+// different patterns can come from different snapshots, though the source
+// contains a single textual Load.
+func badLoopLoad(m *Matcher, pats []string) uint64 {
+	var v uint64
+	for range pats {
+		v += m.cur.Load().Version() // want `second cur\.Load\(\)`
+	}
+	return v
+}
+
+// goodSessionsLoop loads once per session: the range variable rebinds each
+// iteration, so the back edge must not carry the count into the next one.
+func goodSessionsLoop(ms []*Matcher) uint64 {
+	var v uint64
+	for _, m := range ms {
+		g := m.cur.Load()
+		v += g.Version()
+	}
+	return v
+}
+
+func lookup(name string) *Matcher { return nil }
+
+// goodLookupLoop binds a fresh session each iteration through an ordinary
+// assignment (not a range binding); rebinding must reset the count.
+func goodLookupLoop(names []string) uint64 {
+	var v uint64
+	for _, n := range names {
+		m := lookup(n)
+		v += m.cur.Load().Version()
+	}
+	return v
+}
+
+// --- loads hidden behind accessors (LoadsCur facts) ---
+
+// snapshot is a zero-arg accessor that loads internally; callers that have
+// already bound the snapshot must not call it.
+func (m *Matcher) snapshot() *Graph { return m.cur.Load() }
+
+// badHelperLoad binds the snapshot, then re-loads through the accessor.
+func badHelperLoad(m *Matcher) (uint64, *Graph) {
+	g := m.cur.Load()
+	return g.Version(), m.snapshot() // want `call to snapshot in badHelperLoad re-loads`
+}
+
+// goodHelperOnly derives everything from a single accessor call.
+func goodHelperOnly(m *Matcher) uint64 {
+	return m.snapshot().version
+}
+
+// topK re-loads per pattern by design; it takes an argument, so the
+// accessor fact must not be consumed at its call sites.
+func (m *Matcher) topK(p string) int {
+	g := m.cur.Load()
+	_ = g
+	return len(p)
+}
+
+// goodPerPattern is the batch entry point: each per-pattern call binds its
+// own snapshot inside the helper. Must not be flagged.
+func goodPerPattern(m *Matcher, pats []string) int {
+	n := 0
+	for _, p := range pats {
+		n += m.topK(p)
+	}
+	return n
+}

@@ -1,0 +1,265 @@
+// Package detflow propagates determinism bottom-up over the call graph and
+// flags deterministic-kernel functions that depend — directly or through
+// any callee, in this package or an imported one — on a nondeterministic
+// source.
+//
+// Invariant (PR 2/PR 3, determinism): the kernel packages
+// (internal/simulation, internal/diversify, internal/core, internal/graph)
+// return byte-identical results across Parallelism settings and across the
+// reference/CSR kernels. detorder enforces one local shape of that
+// discipline (map-range append order); detflow closes the interprocedural
+// gap: a simulation function calling a graph helper that reads time.Now()
+// is just as nondeterministic as one calling time.Now() itself, and only
+// cross-package facts can see it.
+//
+// Every function with a body exports a Determinism object fact: whether it
+// is deterministic, and if not, the first reason found. A function is
+// nondeterministic if it
+//
+//   - calls a math/rand (or math/rand/v2) package-level function other than
+//     the constructors — the global generator is seeded per process, while
+//     rand.New(rand.NewSource(seed)) values are explicitly seeded and fine;
+//   - calls anything in crypto/rand;
+//   - calls time.Now, time.Since, or time.Until;
+//   - builds a result slice in map iteration order without sorting it
+//     (detorder.UnsortedMapAppends); or
+//   - calls a function whose own Determinism fact says nondeterministic.
+//
+// Within the kernel scope, direct stdlib sources are reported at the call,
+// and calls to nondeterministic functions are reported at the call site
+// with the callee's reason chain. Outside the scope only facts are
+// computed, so serving-layer code may use time.Now freely — until a kernel
+// function calls it.
+package detflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/analysis/facts"
+	"divtopk/tools/vet/detorder"
+	"divtopk/tools/vet/internal/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detflow",
+	Doc: "flag deterministic-kernel functions that reach a nondeterministic " +
+		"source (global rand, wall clock, map order) through any call chain",
+	Run:       run,
+	FactTypes: []facts.Fact{new(Determinism)},
+}
+
+// Determinism is the object fact exported for every analyzed function.
+type Determinism struct {
+	// Det reports whether the function's observable results are
+	// deterministic.
+	Det bool `json:"det"`
+	// Reason names the first nondeterminism source when Det is false
+	// ("calls time.Now", "calls g.Stamp, which calls time.Now").
+	Reason string `json:"reason,omitempty"`
+}
+
+// AFact marks Determinism as a serializable analyzer fact.
+func (*Determinism) AFact() {}
+
+// scope lists the packages whose outputs are pinned byte-identical; only
+// they get diagnostics. Packages outside the main module (testdata) are
+// always in scope.
+var scope = []string{
+	"internal/simulation",
+	"internal/diversify",
+	"internal/core",
+	"internal/graph",
+}
+
+func inScope(pkgPath string) bool {
+	if !strings.HasPrefix(pkgPath, "divtopk") {
+		return true
+	}
+	for _, s := range scope {
+		if strings.HasSuffix(pkgPath, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded generators — calling them is deterministic; the value methods of
+// the result are too.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// nondetTimeFuncs are the wall-clock reads; the rest of package time
+// (durations, formatting) is deterministic.
+var nondetTimeFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// source is one direct nondeterminism source in a function body.
+type source struct {
+	pos    token.Pos
+	label  string // what to report ("time.Now")
+	reason string // what to record in the fact ("calls time.Now")
+	direct bool   // a stdlib source (reported here), not a callee fact
+	// silent sources feed the fact but are not reported here: map-range
+	// appends are already detorder's finding, and two analyzers must not
+	// claim the same line.
+	silent bool
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Bottom-up within the package: iterate so chains converge regardless
+	// of declaration order (facts only flip det -> nondet, so this is a
+	// monotone fixpoint).
+	for round := 0; round <= len(decls); round++ {
+		changed := false
+		for _, fd := range decls {
+			if c.exportDeterminism(fd) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	if !inScope(pass.PkgPath) {
+		return nil, nil
+	}
+	for _, fd := range decls {
+		for _, s := range c.sources(fd) {
+			if s.silent {
+				continue
+			}
+			if s.direct {
+				pass.Reportf(s.pos,
+					"call to %s in %s: the deterministic kernel's results are pinned "+
+						"byte-identical across runs and Parallelism settings — inject the value "+
+						"or use explicitly seeded state (rand.New(rand.NewSource(seed)))",
+					s.label, typeutil.FuncFor(fd))
+			} else {
+				pass.Reportf(s.pos,
+					"call to %s in %s: %s is nondeterministic (%s) and the deterministic "+
+						"kernel must not depend on it — make the callee deterministic or hoist "+
+						"the call out of the kernel",
+					s.label, typeutil.FuncFor(fd), s.label, s.reason)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// pkgFuncCall matches call as a selector on an imported package name and
+// returns the package path and function name.
+func (c *checker) pkgFuncCall(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := ast.Unparen(sel.X).(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := c.pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// callee resolves the called function object, for fact lookup.
+func (c *checker) callee(call *ast.CallExpr) (*types.Func, string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := c.pass.TypesInfo.ObjectOf(fun).(*types.Func)
+		return fn, fun.Name
+	case *ast.SelectorExpr:
+		fn, _ := c.pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func)
+		return fn, types.ExprString(fun)
+	}
+	return nil, ""
+}
+
+// sources collects fd's nondeterminism sources in lexical order. Func
+// literals run in the enclosing function's observable behavior, so they
+// are included (unlike the state-scoped analyzers, determinism is a
+// whole-body property).
+func (c *checker) sources(fd *ast.FuncDecl) []source {
+	var out []source
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := c.pkgFuncCall(call); ok {
+			label := pkg + "." + name
+			switch {
+			case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+				out = append(out, source{pos: call.Pos(), label: label,
+					reason: "calls " + label + " (process-seeded global generator)", direct: true})
+				return true
+			case pkg == "crypto/rand":
+				out = append(out, source{pos: call.Pos(), label: label,
+					reason: "calls " + label, direct: true})
+				return true
+			case pkg == "time" && nondetTimeFuncs[name]:
+				out = append(out, source{pos: call.Pos(), label: label,
+					reason: "calls " + label + " (wall clock)", direct: true})
+				return true
+			}
+		}
+		if fn, label := c.callee(call); fn != nil {
+			var d Determinism
+			if c.pass.ImportObjectFact(fn, &d) && !d.Det {
+				out = append(out, source{pos: call.Pos(), label: label, reason: d.Reason})
+			}
+		}
+		return true
+	})
+	for _, s := range detorder.UnsortedMapAppends(c.pass.TypesInfo, fd.Body) {
+		out = append(out, source{pos: s.Pos, label: "map-range append",
+			reason: fmt.Sprintf("appends to %q in randomized map order", s.Obj.Name()),
+			direct: true, silent: true})
+	}
+	return out
+}
+
+// exportDeterminism computes and exports fd's Determinism fact, reporting
+// whether it changed.
+func (c *checker) exportDeterminism(fd *ast.FuncDecl) bool {
+	obj, ok := c.pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+	if !ok {
+		return false
+	}
+	d := Determinism{Det: true}
+	if srcs := c.sources(fd); len(srcs) > 0 {
+		s := srcs[0]
+		reason := s.reason
+		if !s.direct {
+			reason = "calls " + s.label + ", which is nondeterministic (" + s.reason + ")"
+		}
+		d = Determinism{Det: false, Reason: reason}
+	}
+	var old Determinism
+	if c.pass.ImportObjectFact(obj, &old) && old == d {
+		return false
+	}
+	c.pass.ExportObjectFact(obj, &d)
+	return true
+}

@@ -1,0 +1,12 @@
+package detflow_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/detflow"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), detflow.Analyzer, "a")
+}

@@ -1,0 +1,92 @@
+// Package a stands in for a deterministic-kernel package: every
+// nondeterminism source — direct, through an in-package helper, or through an
+// imported package's fact — must be flagged, while seeded randomness and
+// collect-then-sort stay clean.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"sort"
+	"time"
+
+	"g"
+)
+
+// --- direct stdlib sources ---
+
+func now() int64 {
+	return time.Now().UnixNano() // want `call to time\.Now in now: the deterministic kernel's results are pinned byte-identical`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `call to math/rand\.Intn in roll`
+}
+
+func token(buf []byte) {
+	crand.Read(buf) // want `call to crypto/rand\.Read in token`
+}
+
+// seeded uses an explicitly seeded generator: reproducible by construction,
+// must not be flagged (the constructor allowlist).
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// sampler defers the nondeterminism into a closure; the closure still runs as
+// part of this function's observable behavior.
+func sampler() func() int {
+	return func() int { return rand.Intn(10) } // want `call to math/rand\.Intn in sampler`
+}
+
+// --- cross-package facts (the detorder-shaped gap detflow closes) ---
+
+func useDet(x int) int { return g.Double(x) }
+
+func useNondet() int64 {
+	return g.Stamp() // want `call to g\.Stamp in useNondet: g\.Stamp is nondeterministic \(calls time\.Now \(wall clock\)\)`
+}
+
+// useChained reaches the clock two hops away: g.Age -> g.Stamp -> time.Now.
+func useChained(since int64) int64 {
+	return g.Age(since) // want `call to g\.Age in useChained: g\.Age is nondeterministic`
+}
+
+// --- in-package facts, declaration-order independent ---
+
+// useCollect is declared before collect: the fact fixpoint must converge
+// regardless of source order.
+func useCollect(m map[int]int) []int {
+	return collect(m) // want `call to collect in useCollect: collect is nondeterministic \(appends to "out" in randomized map order\)`
+}
+
+// collect builds its result in map iteration order. The append itself is
+// detorder's finding, not detflow's — here it only taints the fact.
+func collect(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectSorted is the collect-then-sort idiom: deterministic, and callers
+// must stay clean.
+func collectSorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func useCollectSorted(m map[int]int) []int { return collectSorted(m) }
+
+// suppressed records a reviewed exception (e.g. jitter that never reaches a
+// result): the suppression must absorb the finding.
+func suppressed() int {
+	//lint:allow detflow jitter feeds a backoff sleep, never a result
+	return rand.Intn(3)
+}

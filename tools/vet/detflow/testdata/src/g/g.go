@@ -1,0 +1,17 @@
+// Package g stands in for internal/graph: helpers the kernel calls across a
+// package boundary. detflow analyzes it first and exports Determinism facts;
+// no diagnostics are expected here because the nondeterminism only matters at
+// the kernel call sites.
+package g
+
+import "time"
+
+// Stamp reads the wall clock — its Determinism fact is nondeterministic.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Double is pure — its Determinism fact is deterministic.
+func Double(x int) int { return 2 * x }
+
+// Age chains through Stamp: nondeterminism must propagate through the
+// in-package call before the fact crosses to the importing package.
+func Age(since int64) int64 { return Stamp() - since }

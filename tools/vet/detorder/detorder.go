@@ -14,6 +14,10 @@
 // Allowed shapes: ranging over a slice/array, and the collect-then-sort
 // idiom — appending inside the map range is fine when the same function
 // later passes the slice to a sort/slices call.
+//
+// The detection helpers (MapRangeAppends, SortedObjs, UnsortedMapAppends)
+// are exported for the detflow analyzer, which uses map-order dependence as
+// one of its nondeterminism sources when computing Determinism facts.
 package detorder
 
 import (
@@ -65,23 +69,32 @@ func run(pass *analysis.Pass) (any, error) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkFunc(pass, fd)
+			for _, s := range UnsortedMapAppends(pass.TypesInfo, fd.Body) {
+				pass.Reportf(s.Pos,
+					"%s appends to %q in map iteration order without sorting it afterwards: map "+
+						"ranges are randomized, which breaks the byte-identical determinism the "+
+						"kernel guarantees across Parallelism settings — sort the slice or iterate "+
+						"a deterministic index",
+					typeutil.FuncFor(fd), s.Obj.Name())
+			}
 		}
 	}
 	return nil, nil
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
-	type appendSite struct {
-		obj types.Object
-		pos token.Pos
-	}
-	var sites []appendSite
+// Site is one `s = append(s, ...)` occurrence inside a map-range body.
+type Site struct {
+	Obj types.Object
+	Pos token.Pos
+}
 
-	// Find `s = append(s, ...)` inside the body of a range over a map.
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+// MapRangeAppends returns every accumulate-append site inside the body of a
+// range over a map in body.
+func MapRangeAppends(info *types.Info, body *ast.BlockStmt) []Site {
+	var sites []Site
+	ast.Inspect(body, func(n ast.Node) bool {
 		rs, ok := n.(*ast.RangeStmt)
-		if !ok || !isMap(pass.TypesInfo, rs.X) {
+		if !ok || !isMap(info, rs.X) {
 			return true
 		}
 		ast.Inspect(rs.Body, func(m ast.Node) bool {
@@ -98,38 +111,38 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				if !ok || id.Name != "append" {
 					continue
 				}
-				if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+				if _, ok := info.Uses[id].(*types.Builtin); !ok {
 					continue
 				}
 				dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
 				if !ok {
 					continue
 				}
-				obj := pass.TypesInfo.ObjectOf(dst)
+				obj := info.ObjectOf(dst)
 				if obj == nil {
 					continue
 				}
 				// Only the canonical accumulate shape s = append(s, ...).
 				if i < len(as.Lhs) {
 					if lid, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); !ok ||
-						pass.TypesInfo.ObjectOf(lid) != obj {
+						info.ObjectOf(lid) != obj {
 						continue
 					}
 				}
-				sites = append(sites, appendSite{obj: obj, pos: call.Pos()})
+				sites = append(sites, Site{Obj: obj, Pos: call.Pos()})
 			}
 			return true
 		})
 		return true
 	})
-	if len(sites) == 0 {
-		return
-	}
+	return sites
+}
 
-	// A slice that is later sorted in this function is the collect-then-sort
-	// idiom; anything else keeps the randomized order.
+// SortedObjs returns the objects that appear in arguments of sort/slices
+// package calls in body — the collect-then-sort idiom's sort half.
+func SortedObjs(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
 	sorted := make(map[types.Object]bool)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
@@ -142,7 +155,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		pn, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		pn, ok := info.Uses[pkgID].(*types.PkgName)
 		if !ok {
 			return true
 		}
@@ -152,7 +165,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		for _, arg := range call.Args {
 			ast.Inspect(arg, func(a ast.Node) bool {
 				if id, ok := a.(*ast.Ident); ok {
-					if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					if obj := info.ObjectOf(id); obj != nil {
 						sorted[obj] = true
 					}
 				}
@@ -161,18 +174,25 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+	return sorted
+}
 
-	for _, s := range sites {
-		if sorted[s.obj] {
-			continue
-		}
-		pass.Reportf(s.pos,
-			"%s appends to %q in map iteration order without sorting it afterwards: map "+
-				"ranges are randomized, which breaks the byte-identical determinism the "+
-				"kernel guarantees across Parallelism settings — sort the slice or iterate "+
-				"a deterministic index",
-			typeutil.FuncFor(fd), s.obj.Name())
+// UnsortedMapAppends returns the map-range append sites of body whose
+// destination slice is never sorted in the same body: the order-dependent
+// ones.
+func UnsortedMapAppends(info *types.Info, body *ast.BlockStmt) []Site {
+	sites := MapRangeAppends(info, body)
+	if len(sites) == 0 {
+		return nil
 	}
+	sorted := SortedObjs(info, body)
+	var out []Site
+	for _, s := range sites {
+		if !sorted[s.Obj] {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func isMap(info *types.Info, e ast.Expr) bool {

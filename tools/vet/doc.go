@@ -23,12 +23,83 @@
 //   - detorder: no ordered result slice may be built by appending in map
 //     iteration order inside the deterministic kernels — the guarantee
 //     behind the Parallelism-1..8 byte-identical tests.
+//   - detflow: the deterministic kernels must not call nondeterministic
+//     functions — time.Now, unseeded math/rand, crypto/rand — directly or
+//     through any chain of helpers, in this package or an imported one
+//     (tracked by Determinism facts over the call graph).
+//   - errflow: the error of a versioned mutation (ApplyDelta, Advance,
+//     IncCompute, and fact-carrying wrappers) must be checked on every
+//     path before the updated state is trusted — not discarded, not
+//     overwritten by the next mutation.
+//   - swapver: a stored snapshot and the derived state swapped in with it
+//     must originate from the same version source — no mixing pre- and
+//     post-delta values in one publish, no re-storing the pre-delta
+//     pointer after a delta was applied.
 //
 // The module is nested under tools/vet so the main divtopk module stays
 // dependency-free. The build environment is offline, so instead of
 // golang.org/x/tools/go/analysis the analyzers are written against the
 // source-compatible stdlib-only subset in ./analysis (same Analyzer / Pass /
 // Diagnostic shape; swap the import path to port to the real framework).
+//
+// # Dataflow engine
+//
+// The path-sensitive analyzers (lockhold, arenapair, curload, detflow,
+// errflow, swapver) run on a shared dataflow core:
+//
+// analysis/cfg builds an intraprocedural control-flow graph per function
+// body: basic blocks of statement/expression nodes, edges for
+// if/for/range/switch/select branches and loop back edges, plus the edges
+// Go's control quirks demand — defer bodies on the exit path, panic/fatal
+// calls terminating a block, labeled break/continue/goto. Range heads
+// re-emit the key/value idents as top-level definition nodes, which is
+// what lets analyzers reset per-object state on loop rebinding instead of
+// dragging facts around the back edge. On top of the graph, cfg.Fixpoint
+// runs a forward worklist iteration with a caller-supplied join: each
+// analyzer chooses its own lattice — detflow and errflow join by union
+// (a fact on any path counts), curload joins by max (the worst path
+// counts), swapver keeps agreeing version tags and drops conflicting
+// ones. Transfer functions are pure; after the fixpoint converges each
+// analyzer replays every reachable block once more with reporting hooks
+// enabled, so diagnostics land at the first statement where the invariant
+// actually breaks on some path.
+//
+// analysis/facts carries results across package boundaries. A fact is a
+// small JSON-encodable value attached to a *types.Func (or a package),
+// registered per analyzer and keyed by "pkgpath:Func" /
+// "pkgpath:Type.Method". The current catalog:
+//
+//   - detflow.Determinism{Det, Reason} — every analyzed function gets one;
+//     Det:false carries a human-readable chain ("calls time.Now (wall
+//     clock)") so a two-hop violation names its root cause.
+//   - curload.LoadsCur{} — zero-arg accessors that perform a cur.Load()
+//     internally; call sites count them as loads.
+//   - errflow.ErrVersioning{} — helpers whose last result is the error of
+//     a versioned mutation; call sites must check it like the mutation
+//     itself.
+//   - swapver.DerivesVersion{Kind} — zero-arg accessors whose result
+//     carries a version tag ("load" or "delta") to their callers.
+//   - lockhold.Heavy{}, arenapair.{Gets,Puts} — helper summaries for the
+//     lock-discipline and arena-pairing checks.
+//
+// Facts flow through two channels. Standalone (./bin/divtopk-vet ./...),
+// one facts.Set is shared across packages analyzed in dependency order.
+// Under go vet -vettool, cmd/go hands each package its direct imports'
+// .vetx files; the driver decodes them into the set, runs the suite, and
+// encodes the full set (own + imported, so facts flow transitively) back
+// out. Both channels are covered by a two-package round-trip test.
+//
+// To write a fact-driven analyzer: declare the fact type and list a
+// prototype in the Analyzer's FactTypes (drivers register the types via
+// analysis.RegisterFactTypes); in Run, phase 1 walks
+// FuncDecls exporting facts with pass.ExportObjectFact, iterated to a
+// fixpoint so same-package helpers resolve in any declaration order;
+// phase 2 builds a cfg per body (and per FuncLit), runs Fixpoint with the
+// analyzer's join, and replays reachable blocks with report hooks,
+// consuming callee facts via pass.ImportObjectFact where a call's effect
+// depends on them. analysistest places each testdata/src directory on a
+// GOPATH-style loader, analyzes dependencies facts-only, and checks
+// diagnostics against // want comments.
 //
 // Run the whole suite from the repository root with:
 //

@@ -1,0 +1,347 @@
+// Package errflow flags versioned-mutation calls whose error result is not
+// checked on every execution path.
+//
+// Invariant (PR 4/PR 5, versioned mutation): ApplyDelta,
+// ApplyDeltaWithSummary, BoundsCache.Advance, and IncCompute mutate or
+// advance versioned state and report failure through their final error
+// result. A caller that ignores that error — discards it, overwrites it with
+// the next mutation's error, or checks it only on some branches — continues
+// as if the mutation succeeded, and the snapshot, its derived indexes, and
+// the observed version silently disagree from then on. The error must reach
+// a check (any use: a condition, an argument, a return) on every path.
+//
+// The analysis runs over the cfg package's control-flow graph with an
+// outstanding-error lattice (error variable -> the call that produced it)
+// and a union join: an error is outstanding if it is unchecked on some path
+// into a point. Three shapes are reported:
+//
+//   - discarded: the call's result is assigned to _ or the call runs as a
+//     bare statement — no path can ever check it;
+//   - overwritten: a new class call assigns over a variable whose previous
+//     error is still outstanding (including the same textual call reached
+//     again through a loop back edge); and
+//   - unchecked on some path: the error is still outstanding when the
+//     function exits, reported at the call that produced it.
+//
+// Returning the class call's result directly (return m.ApplyDelta(d)) is
+// propagation, not discarding. Functions whose final result is an error and
+// whose body performs a class call export the ErrVersioning object fact, so
+// in-package and cross-package wrappers join the class: their callers are
+// held to the same discipline.
+package errflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"sort"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/analysis/cfg"
+	"divtopk/tools/vet/analysis/facts"
+	"divtopk/tools/vet/internal/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errflow",
+	Doc: "flag versioned-mutation calls (ApplyDelta, Advance, IncCompute, " +
+		"and their wrappers) whose error result goes unchecked on some path",
+	Run:       run,
+	FactTypes: []facts.Fact{new(ErrVersioning)},
+}
+
+// ErrVersioning is the object fact marking a function as a versioned
+// mutator: its final error result carries a class call's failure and must be
+// checked like the class calls themselves.
+type ErrVersioning struct{}
+
+// AFact marks ErrVersioning as a serializable analyzer fact.
+func (*ErrVersioning) AFact() {}
+
+// classNames are the versioned-mutation entry points; a call joins the class
+// when its callee has one of these names (or carries the ErrVersioning fact)
+// and its final result is an error.
+var classNames = map[string]bool{
+	"ApplyDelta":            true,
+	"ApplyDeltaWithSummary": true,
+	"Advance":               true,
+	"IncCompute":            true,
+}
+
+// genInfo records one outstanding unchecked error: where it was produced and
+// the call text for diagnostics.
+type genInfo struct {
+	pos   token.Pos
+	label string
+}
+
+// eState maps each error variable to its outstanding producer.
+type eState = map[types.Object]genInfo
+
+func joinState(a, b eState) eState {
+	out := maps.Clone(a)
+	for k, bg := range b {
+		if ag, ok := out[k]; !ok || bg.pos < ag.pos {
+			out[k] = bg
+		}
+	}
+	return out
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Phase 1: ErrVersioning facts for wrappers, iterated so wrapper chains
+	// converge regardless of declaration order.
+	for round := 0; round <= len(decls); round++ {
+		changed := false
+		for _, fd := range decls {
+			if c.exportVersioning(fd) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Phase 2: check each function and each func literal over its own graph.
+	for _, fd := range decls {
+		c.check(fd, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.check(fd, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// hooks observe one replay of a block's nodes; any callback may be nil.
+type hooks struct {
+	// discard fires on a class call whose error can never be checked.
+	discard func(call *ast.CallExpr, label string)
+	// overwrite fires on a class call assigning over an outstanding error.
+	overwrite func(call *ast.CallExpr, label string, old genInfo)
+}
+
+// classCall matches call as a versioned-mutation invocation — class name or
+// ErrVersioning fact carrier — whose final result is an error.
+func (c *checker) classCall(call *ast.CallExpr) (string, bool) {
+	if !c.lastResultIsError(call) {
+		return "", false
+	}
+	name := typeutil.CalleeName(call)
+	if name == "" {
+		return "", false
+	}
+	if classNames[name] {
+		return types.ExprString(call), true
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = c.pass.TypesInfo.ObjectOf(fun).(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = c.pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func)
+	}
+	var fact ErrVersioning
+	if fn != nil && c.pass.ImportObjectFact(fn, &fact) {
+		return types.ExprString(call), true
+	}
+	return "", false
+}
+
+func (c *checker) lastResultIsError(call *ast.CallExpr) bool {
+	tv, ok := c.pass.TypesInfo.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// step applies one block node to st in place, firing h's callbacks. Any
+// identifier use of an outstanding error variable — a condition, an
+// argument, a return value, a closure capture — counts as the check.
+func (c *checker) step(n ast.Node, st eState, h hooks) {
+	genLHS := map[*ast.Ident]bool{}
+	type gen struct {
+		obj types.Object
+		gi  genInfo
+	}
+	var gens []gen
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		if len(v.Rhs) == 1 {
+			if call, ok := ast.Unparen(v.Rhs[0]).(*ast.CallExpr); ok {
+				if label, ok := c.classCall(call); ok {
+					if id, ok := ast.Unparen(v.Lhs[len(v.Lhs)-1]).(*ast.Ident); ok {
+						genLHS[id] = true
+						if id.Name == "_" {
+							if h.discard != nil {
+								h.discard(call, label)
+							}
+						} else if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+							if old, ok := st[obj]; ok && h.overwrite != nil {
+								h.overwrite(call, label, old)
+							}
+							gens = append(gens, gen{obj, genInfo{call.Pos(), label}})
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(v.X).(*ast.CallExpr); ok {
+			if label, ok := c.classCall(call); ok && h.discard != nil {
+				h.discard(call, label)
+			}
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && !genLHS[id] {
+			if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+				delete(st, obj)
+			}
+		}
+		return true
+	})
+	for _, g := range gens {
+		st[g.obj] = g.gi
+	}
+}
+
+func (c *checker) flow() cfg.Flow {
+	return cfg.Flow{
+		Entry: eState{},
+		Transfer: func(b *cfg.Block, in cfg.State) cfg.State {
+			st := maps.Clone(in.(eState))
+			if st == nil {
+				st = eState{}
+			}
+			for _, n := range b.Nodes {
+				c.step(n, st, hooks{})
+			}
+			return st
+		},
+		Join:  func(a, b cfg.State) cfg.State { return joinState(a.(eState), b.(eState)) },
+		Equal: func(a, b cfg.State) bool { return maps.Equal(a.(eState), b.(eState)) },
+	}
+}
+
+// check reports unchecked-error shapes in body; fd names the enclosing
+// declaration.
+func (c *checker) check(fd *ast.FuncDecl, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	in := g.Fixpoint(c.flow())
+	fn := typeutil.FuncFor(fd)
+	for _, b := range g.Blocks {
+		stIn, ok := in[b]
+		if !ok {
+			continue
+		}
+		st := maps.Clone(stIn.(eState))
+		c.sweepBlock(b, st, fn)
+	}
+	// Still outstanding at exit: unchecked on the path that reached it.
+	stIn, ok := in[g.Exit]
+	if !ok {
+		return
+	}
+	st := maps.Clone(stIn.(eState))
+	for _, n := range g.Exit.Nodes {
+		c.step(n, st, hooks{})
+	}
+	var left []genInfo
+	for _, gi := range st {
+		left = append(left, gi)
+	}
+	sort.Slice(left, func(i, j int) bool { return left[i].pos < left[j].pos })
+	for _, gi := range left {
+		c.pass.Reportf(gi.pos,
+			"error from %s in %s is not checked on every path: a branch continues as if the "+
+				"versioned mutation succeeded, leaving the snapshot and its derived state out of "+
+				"sync — check the error before using the updated state",
+			gi.label, fn)
+	}
+}
+
+func (c *checker) sweepBlock(b *cfg.Block, st eState, fn string) {
+	for _, n := range b.Nodes {
+		c.step(n, st, hooks{
+			discard: func(call *ast.CallExpr, label string) {
+				c.pass.Reportf(call.Pos(),
+					"error from %s in %s is discarded: a failed versioned mutation must not be "+
+						"treated as applied — check the error (or propagate it) before trusting the "+
+						"new version",
+					label, fn)
+			},
+			overwrite: func(call *ast.CallExpr, label string, old genInfo) {
+				c.pass.Reportf(call.Pos(),
+					"%s in %s overwrites the unchecked error from line %d: each versioned "+
+						"mutation's error must be checked before the next mutation runs",
+					label, fn, c.pass.Fset.Position(old.pos).Line)
+			},
+		})
+	}
+}
+
+// exportVersioning exports fd's ErrVersioning fact when its final result is
+// an error and its body performs a class call, reporting whether the fact is
+// new.
+func (c *checker) exportVersioning(fd *ast.FuncDecl) bool {
+	res := fd.Type.Results
+	if res == nil || res.NumFields() == 0 {
+		return false
+	}
+	fields := res.List
+	lastType := c.pass.TypesInfo.TypeOf(fields[len(fields)-1].Type)
+	if lastType == nil || !types.Identical(lastType, types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	hasClass := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if hasClass {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, ok := c.classCall(call); ok {
+				hasClass = true
+				return false
+			}
+		}
+		return true
+	})
+	if !hasClass {
+		return false
+	}
+	obj, ok := c.pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+	if !ok {
+		return false
+	}
+	var old ErrVersioning
+	if c.pass.ImportObjectFact(obj, &old) {
+		return false
+	}
+	c.pass.ExportObjectFact(obj, &ErrVersioning{})
+	return true
+}

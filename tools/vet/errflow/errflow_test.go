@@ -1,0 +1,12 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/errflow"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), errflow.Analyzer, "a")
+}

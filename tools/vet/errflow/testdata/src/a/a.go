@@ -1,0 +1,145 @@
+// Package a minimizes the versioned-mutation surface: ApplyDelta,
+// ApplyDeltaWithSummary, Advance, and IncCompute all report failure through
+// their final error result.
+package a
+
+import "errors"
+
+type Delta struct{ bad bool }
+
+type Summary struct{ N int }
+
+type Matcher struct{ v uint64 }
+
+func (m *Matcher) ApplyDelta(d Delta) error {
+	if d.bad {
+		return errors.New("bad delta")
+	}
+	m.v++
+	return nil
+}
+
+func (m *Matcher) ApplyDeltaWithSummary(d Delta) (Summary, error) {
+	if d.bad {
+		return Summary{}, errors.New("bad delta")
+	}
+	m.v++
+	return Summary{N: 1}, nil
+}
+
+type BoundsCache struct{ v uint64 }
+
+func (b *BoundsCache) Advance(d Delta) error {
+	if d.bad {
+		return errors.New("bad delta")
+	}
+	b.v++
+	return nil
+}
+
+func IncCompute(m *Matcher, d Delta) error { return m.ApplyDelta(d) }
+
+func use(err error) {}
+
+// goodChecked checks on the spot.
+func goodChecked(m *Matcher, d Delta) {
+	if err := m.ApplyDelta(d); err != nil {
+		panic(err)
+	}
+}
+
+// goodPropagated hands the error to its caller — propagation, not discard.
+func goodPropagated(m *Matcher, d Delta) error {
+	return m.ApplyDelta(d)
+}
+
+// goodSummary binds and checks the tuple's error.
+func goodSummary(m *Matcher, d Delta) int {
+	s, err := m.ApplyDeltaWithSummary(d)
+	if err != nil {
+		return 0
+	}
+	return s.N
+}
+
+// badDiscardedBlank can never check the error.
+func badDiscardedBlank(m *Matcher, d Delta) {
+	_ = m.ApplyDelta(d) // want `error from m\.ApplyDelta\(d\) in badDiscardedBlank is discarded`
+}
+
+// badDiscardedBare drops the error on the floor as a bare statement.
+func badDiscardedBare(m *Matcher, d Delta) {
+	m.ApplyDelta(d) // want `error from m\.ApplyDelta\(d\) in badDiscardedBare is discarded`
+}
+
+// badSummary keeps the summary but blanks the error.
+func badSummary(m *Matcher, d Delta) int {
+	s, _ := m.ApplyDeltaWithSummary(d) // want `error from m\.ApplyDeltaWithSummary\(d\) in badSummary is discarded`
+	return s.N
+}
+
+// badAdvance ignores the bound-index advance failure.
+func badAdvance(b *BoundsCache, d Delta) {
+	b.Advance(d) // want `error from b\.Advance\(d\) in badAdvance is discarded`
+}
+
+// badBranchChecked checks only when verbose: the quiet path continues as if
+// the mutation succeeded. The error is used somewhere (it compiles) but not
+// on every path.
+func badBranchChecked(m *Matcher, d Delta, verbose bool) {
+	err := m.ApplyDelta(d) // want `error from m\.ApplyDelta\(d\) in badBranchChecked is not checked on every path`
+	if verbose {
+		use(err)
+	}
+}
+
+// badOverwritten issues the second mutation while the first error is still
+// unchecked.
+func badOverwritten(m *Matcher, d1, d2 Delta) {
+	err := m.ApplyDelta(d1)
+	err = m.ApplyDelta(d2) // want `m\.ApplyDelta\(d2\) in badOverwritten overwrites the unchecked error from line \d+`
+	use(err)
+}
+
+// badLoopOverwrite keeps only the last iteration's error: every back edge
+// loses one.
+func badLoopOverwrite(m *Matcher, ds []Delta) error {
+	var err error
+	for _, d := range ds {
+		err = m.ApplyDelta(d) // want `m\.ApplyDelta\(d\) in badLoopOverwrite overwrites the unchecked error from line \d+`
+	}
+	return err
+}
+
+// goodLoopChecked checks inside every iteration before the back edge.
+func goodLoopChecked(m *Matcher, ds []Delta) error {
+	for _, d := range ds {
+		if err := m.ApplyDelta(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// badWrapper is declared before the wrapper it calls: the ErrVersioning fact
+// fixpoint must converge regardless of declaration order.
+func badWrapper(m *Matcher, d Delta) {
+	apply(m, d) // want `error from apply\(m, d\) in badWrapper is discarded`
+}
+
+// apply wraps ApplyDelta and carries the ErrVersioning fact: its callers are
+// held to the same discipline as ApplyDelta's.
+func apply(m *Matcher, d Delta) error { return m.ApplyDelta(d) }
+
+// goodWrapper checks the wrapped error.
+func goodWrapper(m *Matcher, d Delta) {
+	if err := apply(m, d); err != nil {
+		panic(err)
+	}
+}
+
+// suppressed records a reviewed best-effort call.
+func suppressed(m *Matcher, d Delta) {
+	//lint:allow errflow best-effort warmup; a failed delta falls back to full recompute
+	m.ApplyDelta(d)
+}

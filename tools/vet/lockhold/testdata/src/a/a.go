@@ -93,3 +93,76 @@ func (s *store) suppressed() {
 	//lint:allow lockhold cold startup path, runs once before serving begins
 	Warm()
 }
+
+// --- cases the structured (pre-CFG) walker could not decide ---
+
+// badBranchUnlock releases only on the hit branch; the miss path computes
+// with the lock still held.
+func (s *store) badBranchUnlock(k string) int {
+	s.mu.Lock()
+	if v, ok := s.items[k]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	n := len(ComputeCounts(2)) // want `call to ComputeCounts in badBranchUnlock while s\.mu is locked`
+	s.mu.Unlock()
+	return n
+}
+
+// badSwitchLock acquires the lock on every arm of the switch, so it is
+// must-held afterwards. The structured walker discarded per-case state and
+// missed this.
+func (s *store) badSwitchLock(mode int) {
+	switch mode {
+	case 0:
+		s.mu.Lock()
+	default:
+		s.mu.Lock()
+	}
+	Warm() // want `call to Warm in badSwitchLock while s\.mu is locked`
+	s.mu.Unlock()
+}
+
+// goodSwitchUnlock releases on every arm before computing. The structured
+// walker kept the pre-switch state and false-positived here.
+func (s *store) goodSwitchUnlock(mode int) int {
+	s.mu.Lock()
+	switch mode {
+	case 0:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+	}
+	return len(ComputeCounts(1))
+}
+
+// --- lock manipulation behind helpers (LockEffects facts) ---
+
+// chainLock acquires through another helper; it is declared before lockIt
+// so only the fact fixpoint, not declaration order, can resolve it.
+func (s *store) chainLock() { s.lockIt() }
+
+func (s *store) lockIt()   { s.mu.Lock() }
+func (s *store) unlockIt() { s.mu.Unlock() }
+
+// badHelper computes between helper-acquire and helper-release.
+func (s *store) badHelper() {
+	s.lockIt()
+	Warm() // want `call to Warm in badHelper while s\.mu is locked`
+	s.unlockIt()
+}
+
+// goodHelper claims under the helper-managed lock and computes outside.
+func (s *store) goodHelper() []int {
+	s.lockIt()
+	n := len(s.items)
+	s.unlockIt()
+	return ComputeCounts(n)
+}
+
+// badChain: the lock travels through two helper hops.
+func (s *store) badChain() {
+	s.chainLock()
+	Warm() // want `call to Warm in badChain while s\.mu is locked`
+	s.mu.Unlock()
+}

@@ -1,0 +1,533 @@
+// Package swapver flags code that combines or publishes state originating
+// from two different snapshot versions.
+//
+// Invariant (PR 4/PR 5, versioned swap): an update builds the next version
+// off to the side — apply the delta, advance the bound index against the new
+// graph, adopt the advanced bounds into the new snapshot — and publishes
+// everything with one cur.Store. Every piece of the published state must
+// originate from the same version source; a new snapshot carrying the old
+// version's bounds, or a Store of the pre-delta pointer after a delta was
+// applied, silently de-synchronizes queries from the data they run on.
+//
+// The analysis runs over the cfg package's control-flow graph tagging values
+// by their version source: a cur.Load() call yields a load tag, the results
+// of the delta appliers (ApplyDelta, ApplyDeltaWithSummary, IncCompute)
+// yield a delta tag, and tags follow assignments, composite literals, and
+// call results (a call's result adopts the tag its tagged arguments agree
+// on, else its receiver's). At a join, agreeing tags survive and conflicting
+// tags drop to unknown — the analysis only reports what holds on the path.
+//
+// Two shapes are reported:
+//
+//   - mixing: a call (receiver + arguments) or a composite literal combines
+//     values carrying two distinct tags — state from two versions flowing
+//     into one operation;
+//   - stale store: cur.Store of a load-tagged value on a path where a delta
+//     was applied — republishing the pre-delta snapshot discards the update.
+//
+// The bridge calls are exempt from the mixing check: the delta appliers and
+// Advance exist precisely to carry state across versions (Advance takes the
+// old bounds plus the new graph and returns bounds aligned with the new
+// version, so its result adopts its arguments' delta tag).
+//
+// Zero-parameter accessor methods whose every return carries one tag kind
+// export the DerivesVersion object fact; their call sites yield that kind,
+// so a helper-indirected load participates in both checks.
+package swapver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"maps"
+	"sort"
+
+	"divtopk/tools/vet/analysis"
+	"divtopk/tools/vet/analysis/cfg"
+	"divtopk/tools/vet/analysis/facts"
+	"divtopk/tools/vet/internal/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "swapver",
+	Doc: "flag snapshot state mixed or published across version sources " +
+		"(old-version bounds adopted into a new snapshot, pre-delta pointer " +
+		"re-stored after a delta)",
+	Run:       run,
+	FactTypes: []facts.Fact{new(DerivesVersion)},
+}
+
+// DerivesVersion is the object fact for zero-parameter accessors whose
+// result always carries one version-source kind ("load" or "delta").
+type DerivesVersion struct {
+	Kind string `json:"kind"`
+}
+
+// AFact marks DerivesVersion as a serializable analyzer fact.
+func (*DerivesVersion) AFact() {}
+
+// deltaNames are the delta appliers: their results carry a fresh delta tag.
+var deltaNames = map[string]bool{
+	"ApplyDelta":            true,
+	"ApplyDeltaWithSummary": true,
+	"IncCompute":            true,
+}
+
+// bridgeNames are exempt from the mixing check: they intentionally combine
+// the previous version's state with the next version's.
+var bridgeNames = map[string]bool{
+	"ApplyDelta":            true,
+	"ApplyDeltaWithSummary": true,
+	"IncCompute":            true,
+	"Advance":               true,
+}
+
+// tag identifies a version source: the call that produced it and whether it
+// was a snapshot load or a delta application.
+type tag struct {
+	pos  token.Pos
+	kind string // "load" or "delta"
+}
+
+// vState carries the per-path tag bindings and the delta applications seen.
+type vState struct {
+	tags   map[types.Object]tag
+	deltas map[token.Pos]bool
+}
+
+func (s vState) clone() vState {
+	return vState{tags: maps.Clone(s.tags), deltas: maps.Clone(s.deltas)}
+}
+
+func joinState(a, b vState) vState {
+	out := vState{tags: make(map[types.Object]tag), deltas: maps.Clone(a.deltas)}
+	for k, at := range a.tags {
+		if bt, ok := b.tags[k]; ok && at == bt {
+			out.tags[k] = at
+		}
+	}
+	for p := range b.deltas {
+		out.deltas[p] = true
+	}
+	return out
+}
+
+func equalState(a, b vState) bool {
+	return maps.Equal(a.tags, b.tags) && maps.Equal(a.deltas, b.deltas)
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass}
+	var decls []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	// Phase 1: DerivesVersion facts for zero-parameter accessors, iterated
+	// so accessor chains converge regardless of declaration order.
+	for round := 0; round <= len(decls); round++ {
+		changed := false
+		for _, fd := range decls {
+			if c.exportDerives(fd) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Phase 2: check each function and each func literal over its own graph.
+	for _, fd := range decls {
+		c.check(fd, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				c.check(fd, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+}
+
+// hooks observe one replay of a block's nodes; any callback may be nil.
+type hooks struct {
+	// mix fires when a call or composite literal combines two tags.
+	mix func(pos token.Pos, label string, a, b tag)
+	// stale fires on cur.Store of a load-tagged value after a delta.
+	stale func(call *ast.CallExpr, label string, deltaPos token.Pos)
+	// ret observes the tag of each single-expression return, for facts.
+	ret func(t tag, ok bool)
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+// loadCall matches call as <base>.cur.Load() on an atomic.Pointer field.
+func (c *checker) loadCall(call *ast.CallExpr) bool {
+	return c.curPointerCall(call, "Load") && len(call.Args) == 0
+}
+
+// storeCall matches call as <base>.cur.Store(x).
+func (c *checker) storeCall(call *ast.CallExpr) (ast.Expr, bool) {
+	if c.curPointerCall(call, "Store") && len(call.Args) == 1 {
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+func (c *checker) curPointerCall(call *ast.CallExpr, method string) bool {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != method {
+		return false
+	}
+	field, ok := ast.Unparen(fun.X).(*ast.SelectorExpr)
+	if !ok || field.Sel.Name != "cur" {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[field]
+	return ok && typeutil.IsNamed(tv.Type, "atomic", "Pointer")
+}
+
+// deltaCall matches call as a delta applier.
+func (c *checker) deltaCall(call *ast.CallExpr) bool {
+	return deltaNames[typeutil.CalleeName(call)]
+}
+
+// accessorDerives matches call as a zero-argument call carrying the
+// DerivesVersion fact.
+func (c *checker) accessorDerives(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) != 0 {
+		return "", false
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = c.pass.TypesInfo.ObjectOf(fun).(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = c.pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func)
+	}
+	var f DerivesVersion
+	if fn != nil && c.pass.ImportObjectFact(fn, &f) {
+		return f.Kind, true
+	}
+	return "", false
+}
+
+// exprTag resolves e's version tag on st's path, if it has one.
+func (c *checker) exprTag(st vState, e ast.Expr) (tag, bool) {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if c.loadCall(x) {
+			return tag{x.Pos(), "load"}, true
+		}
+		if c.deltaCall(x) {
+			return tag{x.Pos(), "delta"}, true
+		}
+		if kind, ok := c.accessorDerives(x); ok {
+			return tag{x.Pos(), kind}, true
+		}
+		return c.callResultTag(st, x)
+	case *ast.CompositeLit:
+		return c.commonTag(st, litElems(x))
+	}
+	if obj := typeutil.ObjOf(c.pass.TypesInfo, e); obj != nil {
+		t, ok := st.tags[obj]
+		return t, ok
+	}
+	return tag{}, false
+}
+
+// callResultTag derives a general call's result tag: the tag its tagged
+// arguments agree on, else its receiver's tag.
+func (c *checker) callResultTag(st vState, call *ast.CallExpr) (tag, bool) {
+	if t, ok := c.commonTag(st, call.Args); ok {
+		return t, ok
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return c.exprTag(st, sel.X)
+	}
+	return tag{}, false
+}
+
+// commonTag returns the single tag all tagged expressions in exprs share;
+// ok is false when none are tagged or two disagree.
+func (c *checker) commonTag(st vState, exprs []ast.Expr) (tag, bool) {
+	var t tag
+	found := false
+	for _, e := range exprs {
+		et, ok := c.exprTag(st, e)
+		if !ok {
+			continue
+		}
+		if found && et != t {
+			return tag{}, false
+		}
+		t, found = et, true
+	}
+	return t, found
+}
+
+// litElems flattens a composite literal's element expressions (unwrapping
+// key: value pairs).
+func litElems(lit *ast.CompositeLit) []ast.Expr {
+	var out []ast.Expr
+	for _, e := range lit.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// distinctTags finds the first pair of disagreeing tags among exprs.
+func (c *checker) distinctTags(st vState, exprs []ast.Expr) (a, b tag, ok bool) {
+	var t tag
+	found := false
+	for _, e := range exprs {
+		et, eok := c.exprTag(st, e)
+		if !eok {
+			continue
+		}
+		if found && et != t {
+			return t, et, true
+		}
+		t, found = et, true
+	}
+	return tag{}, tag{}, false
+}
+
+// assignTo binds t to the lhs identifier (or clears its binding when the
+// right side is untagged); non-identifier destinations are left alone.
+func (c *checker) assignTo(st vState, lhs ast.Expr, t tag, ok bool) {
+	id, isID := ast.Unparen(lhs).(*ast.Ident)
+	if !isID || id.Name == "_" {
+		return
+	}
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if ok && !types.Identical(obj.Type(), errorType) {
+		st.tags[obj] = t
+	} else {
+		delete(st.tags, obj)
+	}
+}
+
+// step applies one block node to st in place, firing h's callbacks.
+func (c *checker) step(n ast.Node, st vState, h hooks) {
+	// A bare identifier node is a range-header binding (cfg emits Key and
+	// Value as their own nodes): the variable is rebound every iteration,
+	// so its tag must not survive the back edge.
+	if id, ok := n.(*ast.Ident); ok {
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			delete(st.tags, obj)
+			return
+		}
+	}
+	// Tag propagation through assignments and declarations.
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		c.propagate(st, v.Lhs, v.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					lhs := make([]ast.Expr, len(vs.Names))
+					for i, name := range vs.Names {
+						lhs[i] = name
+					}
+					c.propagate(st, lhs, vs.Values)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		if h.ret != nil && len(v.Results) == 1 {
+			t, ok := c.exprTag(st, v.Results[0])
+			h.ret(t, ok)
+		}
+	}
+	// Checks and delta bookkeeping, over every call and literal in the node.
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+			return false
+		case *ast.CompositeLit:
+			if a, b, ok := c.distinctTags(st, litElems(v)); ok && h.mix != nil {
+				h.mix(v.Pos(), types.ExprString(v.Type)+" literal", a, b)
+			}
+		case *ast.CallExpr:
+			if arg, ok := c.storeCall(v); ok {
+				if t, tok := c.exprTag(st, arg); tok && t.kind == "load" && len(st.deltas) > 0 {
+					if h.stale != nil {
+						h.stale(v, types.ExprString(arg), minPos(st.deltas))
+					}
+				}
+				return true
+			}
+			if c.deltaCall(v) {
+				st.deltas[v.Pos()] = true
+			}
+			if bridgeNames[typeutil.CalleeName(v)] || c.loadCall(v) {
+				return true
+			}
+			operands := v.Args
+			if sel, ok := ast.Unparen(v.Fun).(*ast.SelectorExpr); ok {
+				operands = append([]ast.Expr{sel.X}, v.Args...)
+			}
+			if a, b, ok := c.distinctTags(st, operands); ok && h.mix != nil {
+				h.mix(v.Pos(), types.ExprString(v), a, b)
+			}
+		}
+		return true
+	})
+}
+
+// propagate moves tags across one assignment.
+func (c *checker) propagate(st vState, lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Multi-value call: every result shares the call's source.
+		t, ok := c.exprTag(st, rhs[0])
+		for _, l := range lhs {
+			c.assignTo(st, l, t, ok)
+		}
+		return
+	}
+	for i, l := range lhs {
+		if i >= len(rhs) {
+			break
+		}
+		t, ok := c.exprTag(st, rhs[i])
+		c.assignTo(st, l, t, ok)
+	}
+}
+
+func minPos(set map[token.Pos]bool) token.Pos {
+	first := true
+	var m token.Pos
+	for p := range set {
+		if first || p < m {
+			m, first = p, false
+		}
+	}
+	return m
+}
+
+func (c *checker) flow() cfg.Flow {
+	return cfg.Flow{
+		Entry: vState{tags: map[types.Object]tag{}, deltas: map[token.Pos]bool{}},
+		Transfer: func(b *cfg.Block, in cfg.State) cfg.State {
+			st := in.(vState).clone()
+			for _, n := range b.Nodes {
+				c.step(n, st, hooks{})
+			}
+			return st
+		},
+		Join:  func(a, b cfg.State) cfg.State { return joinState(a.(vState), b.(vState)) },
+		Equal: func(a, b cfg.State) bool { return equalState(a.(vState), b.(vState)) },
+	}
+}
+
+// check reports version-mixing shapes in body; fd names the enclosing
+// declaration.
+func (c *checker) check(fd *ast.FuncDecl, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	in := g.Fixpoint(c.flow())
+	fn := typeutil.FuncFor(fd)
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var finds []finding
+	h := hooks{
+		mix: func(pos token.Pos, label string, a, b tag) {
+			la, lb := c.pass.Fset.Position(a.pos).Line, c.pass.Fset.Position(b.pos).Line
+			finds = append(finds, finding{pos, fmt.Sprintf(
+				"%s in %s mixes state from two version sources (lines %d and %d): the snapshot "+
+					"and its derived state must originate from the same version — recompute the "+
+					"derived side against the snapshot being used",
+				label, fn, la, lb)})
+		},
+		stale: func(call *ast.CallExpr, label string, deltaPos token.Pos) {
+			finds = append(finds, finding{call.Pos(), fmt.Sprintf(
+				"cur.Store(%s) in %s publishes the pre-delta snapshot: a delta was applied on "+
+					"this path (line %d) and re-storing the old pointer silently discards it — "+
+					"store the post-delta snapshot",
+				label, fn, c.pass.Fset.Position(deltaPos).Line)})
+		},
+	}
+	for _, b := range g.Blocks {
+		stIn, ok := in[b]
+		if !ok {
+			continue
+		}
+		st := stIn.(vState).clone()
+		for _, n := range b.Nodes {
+			c.step(n, st, h)
+		}
+	}
+	sort.Slice(finds, func(i, j int) bool { return finds[i].pos < finds[j].pos })
+	for _, f := range finds {
+		c.pass.Report(analysis.Diagnostic{Pos: f.pos, Message: f.msg})
+	}
+}
+
+// exportDerives exports fd's DerivesVersion fact when it is a zero-parameter
+// method or function whose every single-expression return carries the same
+// tag kind, reporting whether the fact changed.
+func (c *checker) exportDerives(fd *ast.FuncDecl) bool {
+	if fd.Type.Params != nil && fd.Type.Params.NumFields() > 0 {
+		return false
+	}
+	obj, ok := c.pass.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+	if !ok {
+		return false
+	}
+	g := cfg.New(fd.Body)
+	kind := ""
+	consistent := true
+	h := hooks{ret: func(t tag, ok bool) {
+		if !ok {
+			consistent = false
+			return
+		}
+		if kind == "" {
+			kind = t.kind
+		} else if kind != t.kind {
+			consistent = false
+		}
+	}}
+	in := g.Fixpoint(c.flow())
+	for _, b := range g.Blocks {
+		stIn, ok := in[b]
+		if !ok {
+			continue
+		}
+		st := stIn.(vState).clone()
+		for _, n := range b.Nodes {
+			c.step(n, st, h)
+		}
+	}
+	if !consistent || kind == "" {
+		return false
+	}
+	eff := DerivesVersion{Kind: kind}
+	var old DerivesVersion
+	if c.pass.ImportObjectFact(obj, &old) && old == eff {
+		return false
+	}
+	c.pass.ExportObjectFact(obj, &eff)
+	return true
+}

@@ -1,0 +1,12 @@
+package swapver_test
+
+import (
+	"testing"
+
+	"divtopk/tools/vet/analysis/analysistest"
+	"divtopk/tools/vet/swapver"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), swapver.Analyzer, "a")
+}

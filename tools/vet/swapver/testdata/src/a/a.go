@@ -1,0 +1,189 @@
+// Package a minimizes the versioned-swap pipeline: load the current
+// snapshot, apply the delta off to the side, advance the bounds against the
+// new graph, adopt them into the new snapshot, publish with one Store.
+package a
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+type Delta struct{ bad bool }
+
+type Summary struct{ N int }
+
+type Bounds struct{ rows int }
+
+// Advance carries the old bounds to the delta's version: a bridge call, so
+// mixing the old receiver with new-version arguments here is the design,
+// and its result belongs to the new version.
+func (b *Bounds) Advance(g *Graph, s Summary) (*Bounds, error) {
+	if g == nil {
+		return nil, errors.New("nil graph")
+	}
+	return &Bounds{rows: b.rows + s.N}, nil
+}
+
+type Graph struct {
+	version uint64
+	b       *Bounds
+}
+
+func (g *Graph) ApplyDelta(d Delta) (*Graph, error) {
+	if d.bad {
+		return nil, errors.New("bad delta")
+	}
+	return &Graph{version: g.version + 1}, nil
+}
+
+func ApplyDeltaWithSummary(g *Graph, d Delta) (*Graph, Summary, error) {
+	if d.bad {
+		return nil, Summary{}, errors.New("bad delta")
+	}
+	return &Graph{version: g.version + 1}, Summary{N: 1}, nil
+}
+
+func (g *Graph) adoptBounds(b *Bounds) { g.b = b }
+
+type Matcher struct {
+	cur atomic.Pointer[Graph]
+}
+
+func count(g *Graph, b *Bounds) int { return b.rows + int(g.version) }
+
+// goodUpdate is the canonical pipeline: every adopted and published piece
+// originates from the delta's version (Advance's result adopts its
+// arguments' delta tag).
+func goodUpdate(m *Matcher, d Delta) error {
+	g := m.cur.Load()
+	g2, sum, err := ApplyDeltaWithSummary(g, d)
+	if err != nil {
+		return err
+	}
+	b2, err := g.b.Advance(g2, sum)
+	if err != nil {
+		return err
+	}
+	g2.adoptBounds(b2)
+	m.cur.Store(g2)
+	return nil
+}
+
+// goodRepublish re-stores the loaded snapshot with no delta on the path — a
+// benign no-op publish.
+func goodRepublish(m *Matcher) {
+	g := m.cur.Load()
+	m.cur.Store(g)
+}
+
+// badAdoptOld adopts the pre-delta bounds into the post-delta snapshot:
+// queries on g2 would consult bounds computed against the old graph.
+func badAdoptOld(m *Matcher, d Delta) error {
+	g := m.cur.Load()
+	g2, _, err := ApplyDeltaWithSummary(g, d)
+	if err != nil {
+		return err
+	}
+	g2.adoptBounds(g.b) // want `g2\.adoptBounds\(g\.b\) in badAdoptOld mixes state from two version sources \(lines \d+ and \d+\)`
+	m.cur.Store(g2)
+	return nil
+}
+
+// badStaleStore publishes the pre-delta pointer after applying the delta:
+// the update is silently lost.
+func badStaleStore(m *Matcher, d Delta) error {
+	g := m.cur.Load()
+	g2, err := g.ApplyDelta(d)
+	if err != nil {
+		return err
+	}
+	_ = g2
+	m.cur.Store(g) // want `cur\.Store\(g\) in badStaleStore publishes the pre-delta snapshot`
+	return nil
+}
+
+// badMixedUse feeds one operation state from both versions.
+func badMixedUse(m *Matcher, d Delta) (int, error) {
+	g := m.cur.Load()
+	g2, err := g.ApplyDelta(d)
+	if err != nil {
+		return 0, err
+	}
+	return count(g2, g.b), nil // want `count\(g2, g\.b\) in badMixedUse mixes state from two version sources`
+}
+
+// Published pairs a snapshot with bounds; both fields must come from the
+// same version.
+type Published struct {
+	G *Graph
+	B *Bounds
+}
+
+// goodSnap publishes a version-consistent pair.
+func goodSnap(m *Matcher, d Delta) (Published, error) {
+	g := m.cur.Load()
+	g2, sum, err := ApplyDeltaWithSummary(g, d)
+	if err != nil {
+		return Published{}, err
+	}
+	b2, err := g.b.Advance(g2, sum)
+	if err != nil {
+		return Published{}, err
+	}
+	return Published{G: g2, B: b2}, nil
+}
+
+// badMixedSnap pairs the new snapshot with the old version's bounds.
+func badMixedSnap(m *Matcher, d Delta) (Published, error) {
+	g := m.cur.Load()
+	g2, err := g.ApplyDelta(d)
+	if err != nil {
+		return Published{}, err
+	}
+	return Published{G: g2, B: g.b}, nil // want `Published literal in badMixedSnap mixes state from two version sources`
+}
+
+// goodSessionsLoop updates each session in turn: the range variable rebinds
+// every iteration, so one session's tags must not leak into the next
+// iteration's checks through the back edge.
+func goodSessionsLoop(ms []*Matcher, d Delta) error {
+	for _, m := range ms {
+		g := m.cur.Load()
+		g2, err := g.ApplyDelta(d)
+		if err != nil {
+			return err
+		}
+		m.cur.Store(g2)
+	}
+	return nil
+}
+
+// snapshot is a load-deriving accessor: its DerivesVersion fact makes its
+// call sites load-tagged.
+func (m *Matcher) snapshot() *Graph { return m.cur.Load() }
+
+// badHelperStale reaches the stale store through the accessor fact.
+func badHelperStale(m *Matcher, d Delta) error {
+	g := m.snapshot()
+	g2, err := g.ApplyDelta(d)
+	if err != nil {
+		return err
+	}
+	_ = g2
+	m.cur.Store(g) // want `cur\.Store\(g\) in badHelperStale publishes the pre-delta snapshot`
+	return nil
+}
+
+// suppressed records a reviewed rollback: the delta is intentionally
+// abandoned on this path.
+func suppressed(m *Matcher, d Delta) error {
+	g := m.cur.Load()
+	g2, err := g.ApplyDelta(d)
+	if err != nil {
+		return err
+	}
+	_ = g2
+	//lint:allow swapver rollback path: the delta is validated but deliberately not published
+	m.cur.Store(g)
+	return nil
+}
