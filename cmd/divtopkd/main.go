@@ -21,6 +21,13 @@
 //
 //	curl -s localhost:8372/v1/graphs/social/updates -d '{"add_nodes":[{"label":"DB"}],"add_edges":[[0,6000]]}'
 //
+// Make it durable — every applied delta goes through a write-ahead log
+// before it is served, the WAL rotates into CSR checkpoints, and the next
+// boot recovers every graph from the data directory (at which point the
+// -graph seed files are ignored for recovered names):
+//
+//	divtopkd -listen :8372 -graph social=social.txt -data-dir /var/lib/divtopkd -fsync always
+//
 // Measure it (self-contained: generates a graph and a query workload,
 // serves on a loopback port, fires the load generator, prints throughput,
 // latency percentiles and cache hit rate):
@@ -46,6 +53,7 @@ import (
 	"divtopk"
 	"divtopk/internal/bench"
 	"divtopk/internal/server"
+	"divtopk/internal/wal"
 )
 
 func main() {
@@ -66,6 +74,10 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "evaluation worker pool size (0 = 2x cores)")
 	timeout := flag.Duration("timeout", 10*time.Second, "default per-request timeout")
 	maxTimeout := flag.Duration("max-timeout", time.Minute, "cap on the per-request timeout")
+	dataDir := flag.String("data-dir", "", "durability directory: WAL + checkpoints per graph, recovered on boot (empty = in-memory only)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always, interval or never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "flush interval for -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "updates between WAL-to-checkpoint rotations (0 = default, negative = shutdown only)")
 
 	loadgen := flag.Bool("loadgen", false, "run the self-contained load generator instead of serving")
 	lgRequests := flag.Int("loadgen-requests", 5000, "loadgen: total requests")
@@ -96,13 +108,40 @@ func main() {
 		return
 	}
 
-	if len(graphs) == 0 {
-		fmt.Fprintln(os.Stderr, "divtopkd: at least one -graph name=path is required (or -loadgen)")
+	var reg *server.Registry
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("divtopkd: -fsync: %v", err)
+		}
+		start := time.Now()
+		reg, err = server.NewPersistentRegistry(server.PersistOptions{
+			Dir:             *dataDir,
+			Policy:          policy,
+			Interval:        *fsyncInterval,
+			CheckpointEvery: *checkpointEvery,
+		}, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n := reg.Len(); n > 0 {
+			log.Printf("recovered %d graph(s) from %s in %s", n, *dataDir, time.Since(start).Round(time.Millisecond))
+		}
+	} else {
+		reg = server.NewRegistry(opts...)
+	}
+	if len(graphs) == 0 && reg.Len() == 0 {
+		fmt.Fprintln(os.Stderr, "divtopkd: at least one -graph name=path is required (or -loadgen, or a -data-dir with recovered graphs)")
 		flag.Usage()
 		os.Exit(2)
 	}
-	reg := server.NewRegistry(opts...)
 	for _, g := range graphs {
+		if _, ok := reg.Get(g.name); ok {
+			// Recovered from the data dir: the durable state is newer than
+			// the seed file, which only matters on the very first boot.
+			log.Printf("graph %q: already recovered from %s; ignoring %s", g.name, *dataDir, g.path)
+			continue
+		}
 		start := time.Now()
 		if err := reg.LoadFile(g.name, g.path); err != nil {
 			log.Fatal(err)
@@ -134,8 +173,14 @@ func main() {
 		log.Print("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		// Drain in-flight requests first, then flush durability: once no
+		// update can be running, every graph gets a clean-shutdown checkpoint
+		// and its WAL closed, so the next boot replays nothing.
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if err := reg.Close(); err != nil {
+			log.Printf("shutdown: closing durability: %v", err)
 		}
 	}()
 	log.Printf("serving %d graph(s) on %s", reg.Len(), *listen)

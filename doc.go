@@ -100,6 +100,25 @@
 // against from-scratch recomputation. See the README's "Dynamic graphs"
 // section.
 //
+// # Durability
+//
+// A Matcher session can be made durable by attaching a DurabilitySink
+// (SetDurability): inside Update, the delta is handed to the sink after the
+// new snapshot and its advanced index are built but before they are
+// published, so the served state never runs ahead of what is persisted; a
+// sink failure returns ErrDurabilityUnavailable and leaves the session on
+// its previous snapshot. The serving layer supplies the production sink —
+// internal/durable composes a delta write-ahead log (internal/wal,
+// CRC-framed binary records, fsync policies, torn-tail recovery) with flat
+// binary CSR checkpoints (internal/snapshot, atomic publish) and rotates
+// the log into a checkpoint periodically — and server.NewPersistentRegistry
+// recovers every graph on boot by loading the newest valid checkpoint and
+// replaying the WAL tail through this same Update path. cmd/divtopkd
+// enables it with -data-dir/-fsync/-checkpoint-every; a kill-and-recover
+// fuzz over injected filesystem faults (internal/fsx) proves recovered
+// query results byte-identical to a never-crashed run. See the README's
+// "Durability" section.
+//
 // # Performance
 //
 // Every per-query hot path runs over a materialized product-graph CSR
@@ -135,7 +154,10 @@
 // proves the deterministic kernels free of wall-clock and unseeded-random
 // calls through any helper chain, errflow proves the error of every
 // versioned mutation (ApplyDelta, Advance, IncCompute) is checked on every
-// path before the updated state is trusted, and swapver proves a published
+// path before the updated state is trusted — and, since PR 8, the same for
+// every durability call (wal.Log.Append/Sync, durable.Store's
+// Seed/Append/Checkpoint, snapshot.Write, the AppendDelta sink hook,
+// matched by qualified name) — and swapver proves a published
 // snapshot and its swapped-in derived state always originate from the same
 // version source. Run `make lint`, or see tools/vet's package
 // documentation for the suppression syntax, the fact catalog and the

@@ -1,0 +1,236 @@
+package fsx
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every Fault operation after the injected crash
+// point: the simulated process is dead, and only the bytes persisted before
+// the crash survive on disk.
+var ErrCrashed = errors.New("fsx: injected crash")
+
+// ErrInjected is the error carried by injected short writes and sync
+// failures.
+var ErrInjected = errors.New("fsx: injected fault")
+
+// Fault wraps an FS with failpoint injection. All writes pass through to the
+// underlying filesystem, except:
+//
+//   - CrashAfter(n): the n-th byte written (across all files) is the last
+//     one persisted. The write that crosses the boundary persists only its
+//     prefix and returns ErrCrashed, and every later operation — writes,
+//     syncs, renames, truncates, opens — fails with ErrCrashed. What remains
+//     on disk is exactly what a process killed at that byte offset would
+//     leave behind (including a rename that never happened), which is what
+//     the recovery fuzz feeds back through the real recovery path.
+//   - FailSyncs(err): every File.Sync returns err (the data itself is
+//     written). Models an fsync failure where the page-cache state is
+//     unknowable; the durability layer must go sticky-degraded.
+//   - ShortWriteAt(n): the single write crossing global offset n persists
+//     only up to it and returns ErrInjected (a short write); later
+//     operations proceed normally. Models a transient partial write.
+//
+// A Fault is safe for concurrent use.
+type Fault struct {
+	under FS
+
+	mu         sync.Mutex
+	written    int64
+	crashAfter int64 // -1 = disabled
+	crashed    bool
+	syncErr    error
+	shortAt    int64 // -1 = disabled
+	shortDone  bool
+}
+
+// NewFault returns a Fault over under with no failpoints armed.
+func NewFault(under FS) *Fault {
+	return &Fault{under: under, crashAfter: -1, shortAt: -1}
+}
+
+// CrashAfter arms the crash failpoint at global byte offset n.
+func (f *Fault) CrashAfter(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAfter = n
+}
+
+// FailSyncs makes every subsequent File.Sync fail with err (nil disarms).
+func (f *Fault) FailSyncs(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// ShortWriteAt arms a one-shot short write at global byte offset n.
+func (f *Fault) ShortWriteAt(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortAt = n
+	f.shortDone = false
+}
+
+// Crashed reports whether the crash failpoint has fired.
+func (f *Fault) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// BytesWritten returns the total bytes persisted through the Fault so far —
+// what a test measures on a clean run to pick crash offsets from.
+func (f *Fault) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+// gate returns ErrCrashed once the crash point has fired.
+func (f *Fault) gate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (f *Fault) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	file, err := f.under.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{f: f, under: file}, nil
+}
+
+func (f *Fault) ReadFile(name string) ([]byte, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.under.ReadFile(name)
+}
+
+func (f *Fault) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.under.ReadDir(name)
+}
+
+func (f *Fault) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.under.MkdirAll(path, perm)
+}
+
+func (f *Fault) Rename(oldpath, newpath string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.under.Rename(oldpath, newpath)
+}
+
+func (f *Fault) Remove(name string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.under.Remove(name)
+}
+
+func (f *Fault) Truncate(name string, size int64) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.under.Truncate(name, size)
+}
+
+func (f *Fault) SyncDir(name string) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.under.SyncDir(name)
+}
+
+func (f *Fault) Stat(name string) (os.FileInfo, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.under.Stat(name)
+}
+
+// faultFile applies the write-path failpoints of its Fault.
+type faultFile struct {
+	f     *Fault
+	under File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.f.mu.Lock()
+	if ff.f.crashed {
+		ff.f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	allow := len(p)
+	var fail error
+	if ff.f.crashAfter >= 0 && ff.f.written+int64(len(p)) > ff.f.crashAfter {
+		allow = int(ff.f.crashAfter - ff.f.written)
+		ff.f.crashed = true
+		fail = ErrCrashed
+	} else if ff.f.shortAt >= 0 && !ff.f.shortDone && ff.f.written+int64(len(p)) > ff.f.shortAt {
+		allow = int(ff.f.shortAt - ff.f.written)
+		ff.f.shortDone = true
+		fail = ErrInjected
+	}
+	if allow < 0 {
+		allow = 0
+	}
+	ff.f.mu.Unlock()
+
+	n := 0
+	var err error
+	if allow > 0 {
+		n, err = ff.under.Write(p[:allow])
+	}
+	ff.f.mu.Lock()
+	ff.f.written += int64(n)
+	ff.f.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if fail != nil {
+		return n, fail
+	}
+	return n, nil
+}
+
+func (ff *faultFile) Sync() error {
+	if err := ff.f.gate(); err != nil {
+		return err
+	}
+	ff.f.mu.Lock()
+	syncErr := ff.f.syncErr
+	ff.f.mu.Unlock()
+	if syncErr != nil {
+		return syncErr
+	}
+	return ff.under.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if err := ff.f.gate(); err != nil {
+		return err
+	}
+	return ff.under.Truncate(size)
+}
+
+func (ff *faultFile) Close() error {
+	// Closing is allowed after a crash: the underlying descriptor is real
+	// and tests must not leak it.
+	return ff.under.Close()
+}

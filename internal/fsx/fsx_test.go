@@ -1,0 +1,155 @@
+package fsx
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOSAppendTruncateRename(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fs := OS()
+	path := filepath.Join(dir, "a.log")
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world" {
+		t.Fatalf("appended content = %q", got)
+	}
+	if err := fs.Truncate(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(path); string(got) != "hello" {
+		t.Fatalf("truncated content = %q", got)
+	}
+	dst := filepath.Join(dir, "b.log")
+	if err := fs.Rename(path, dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(dst); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("old path still exists: %v", err)
+	}
+}
+
+func TestFaultCrashPersistsExactPrefix(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fault := NewFault(OS())
+	fault.CrashAfter(7)
+	path := filepath.Join(dir, "a.log")
+	f, err := fault.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	// This write crosses byte 7: persists "efg", then the process is dead.
+	if _, err := f.Write([]byte("efgh")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crossing write error = %v, want ErrCrashed", err)
+	}
+	if !fault.Crashed() {
+		t.Fatal("fault not marked crashed")
+	}
+	// Everything after the crash fails: writes, syncs, renames, opens.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write error = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync error = %v", err)
+	}
+	if err := fault.Rename(path, path+".new"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename error = %v", err)
+	}
+	if _, err := fault.OpenFile(filepath.Join(dir, "b"), os.O_WRONLY|os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open error = %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The real filesystem holds exactly the pre-crash prefix.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abcdefg" {
+		t.Fatalf("surviving bytes = %q, want %q", got, "abcdefg")
+	}
+	if fault.BytesWritten() != 7 {
+		t.Fatalf("BytesWritten = %d, want 7", fault.BytesWritten())
+	}
+}
+
+func TestFaultShortWriteIsOneShot(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fault := NewFault(OS())
+	fault.ShortWriteAt(2)
+	path := filepath.Join(dir, "a.log")
+	f, err := fault.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcd"))
+	if n != 2 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write = (%d, %v), want (2, ErrInjected)", n, err)
+	}
+	// One-shot: the next write goes through whole.
+	if n, err := f.Write([]byte("xy")); n != 2 || err != nil {
+		t.Fatalf("follow-up write = (%d, %v)", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "abxy" {
+		t.Fatalf("content = %q, want %q", got, "abxy")
+	}
+}
+
+func TestFaultFailSyncs(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fault := NewFault(OS())
+	inj := errors.New("disk on fire")
+	fault.FailSyncs(inj)
+	f, err := fault.OpenFile(filepath.Join(dir, "a.log"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, inj) {
+		t.Fatalf("sync error = %v, want injected", err)
+	}
+	fault.FailSyncs(nil)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after disarm = %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"divtopk"
+	"divtopk/internal/durable"
 )
 
 // GraphInfo describes one registered graph for /v1/graphs.
@@ -35,10 +36,15 @@ type GraphInfo struct {
 // produced it.
 type Registry struct {
 	opts []divtopk.Option
+	// persist, when non-nil, makes every graph durable: Add seeds a WAL +
+	// checkpoint store under persist.Dir/<name> and attaches it to the
+	// session (see NewPersistentRegistry).
+	persist *PersistOptions
 
 	mu       sync.RWMutex
 	sessions map[string]*divtopk.Matcher
-	pending  map[string]struct{} // names reserved while their session warms
+	stores   map[string]*durable.Store // per-graph durability, persistent mode only
+	pending  map[string]struct{}       // names reserved while their session warms
 }
 
 // NewRegistry returns an empty registry. opts become the session defaults
@@ -79,8 +85,18 @@ func (r *Registry) Add(name string, g *divtopk.Graph) error {
 	// Warm outside the lock: index construction is the expensive part and
 	// must not block serving traffic on other graphs.
 	m := divtopk.NewMatcher(g, r.opts...)
+	// In persistent mode the graph is durable before it is queryable: the
+	// store seeds an initial checkpoint (version 0 survives a crash from
+	// here on) and every future update goes through the WAL.
+	store, err := r.makeDurable(name, m, g)
+	if err != nil {
+		return err
+	}
 	r.mu.Lock()
 	r.sessions[name] = m
+	if store != nil {
+		r.stores[name] = store
+	}
 	r.mu.Unlock()
 	return nil
 }

@@ -77,7 +77,7 @@ func New(reg *Registry, cfg Config) *Server {
 
 // Handler returns the API routes:
 //
-//	GET  /healthz                   — liveness and graph count
+//	GET  /healthz                   — readiness: per-graph served vs durable version
 //	GET  /v1/graphs                 — registered graphs with cache statistics
 //	POST /v1/graphs                 — register a graph at runtime
 //	POST /v1/graphs/{name}/updates  — apply a delta to a registered graph
@@ -222,7 +222,8 @@ type ErrorResponse struct {
 // ErrorDetail carries a stable machine-readable code plus a human message.
 type ErrorDetail struct {
 	// Code is one of: bad_request, bad_pattern, bad_delta, unknown_graph,
-	// conflict, body_too_large, timeout, canceled, internal.
+	// conflict, body_too_large, timeout, canceled, internal,
+	// durability_unavailable.
 	Code    string `json:"code"`
 	Message string `json:"message"`
 }
@@ -238,6 +239,7 @@ const (
 	codeTimeout      = "timeout"
 	codeCanceled     = "canceled"
 	codeInternal     = "internal"
+	codeDurability   = "durability_unavailable"
 )
 
 // statusClientClosedRequest is nginx's 499: the client dropped the
@@ -281,8 +283,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// handleHealthz serves the readiness report: overall status, and per graph
+// the served versus durable version plus the degraded flag. A degraded
+// durability store flips the status but keeps the 200 — the daemon still
+// serves reads, and load balancers that only parse the status code must not
+// drain a replica that is read-healthy.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "graphs": s.reg.Len()})
+	writeJSON(w, http.StatusOK, s.reg.Health())
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
@@ -429,6 +436,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		// not the client's delta: a 400 here would send clients debugging
 		// a well-formed request.
 		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
+		return
+	}
+	if errors.Is(err, divtopk.ErrDurabilityUnavailable) {
+		// The delta was well-formed but could not be made durable, so it was
+		// not applied: reads keep serving the last durable version, and
+		// retrying cannot help until the store recovers (a restart). 503
+		// with a stable code, distinct from both client errors and bugs.
+		writeError(w, http.StatusServiceUnavailable, codeDurability, "%v", err)
 		return
 	}
 	if err != nil {

@@ -1,0 +1,167 @@
+// Package snapshot persists graph snapshots as binary CSR checkpoint files
+// and recovers the newest valid one. The byte format itself (and its CRC
+// validation) lives in internal/graph (WriteBinary/ReadBinary); this package
+// owns only the file discipline around it:
+//
+//   - Checkpoints are published atomically: written to a *.tmp sibling,
+//     fsynced, renamed into place, and the directory fsynced — a crash at any
+//     point leaves either the previous complete file set or the new one,
+//     never a half-written checkpoint under the final name.
+//   - Files are named checkpoint-<version>.ckpt with the version zero-padded
+//     hex, so lexical order is version order.
+//   - Recovery walks checkpoints newest-first and falls back past corrupt or
+//     torn files (a crash mid-rename can leave a stale tmp, and a crash
+//     mid-write a truncated tmp; both are ignored and reaped by GC).
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"divtopk/internal/fsx"
+	"divtopk/internal/graph"
+)
+
+const (
+	prefix    = "checkpoint-"
+	suffix    = ".ckpt"
+	tmpSuffix = ".tmp"
+)
+
+// Name returns the checkpoint file name for a snapshot version.
+func Name(version uint64) string {
+	return fmt.Sprintf("%s%016x%s", prefix, version, suffix)
+}
+
+// parseName extracts the version from a checkpoint file name.
+func parseName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Write atomically publishes a checkpoint of g into dir and returns its
+// final path. On any error the final name is never created; a leftover tmp
+// file may remain and is ignored by Load and removed by GC.
+func Write(fs fsx.FS, dir string, g *graph.Graph) (string, error) {
+	data := graph.WriteBinary(g)
+	final := filepath.Join(dir, Name(g.Version()))
+	tmp := final + tmpSuffix
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("snapshot: write %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return "", fmt.Errorf("snapshot: sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("snapshot: close %s: %w", tmp, err)
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return "", fmt.Errorf("snapshot: publish %s: %w", final, err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return "", fmt.Errorf("snapshot: sync dir %s: %w", dir, err)
+	}
+	return final, nil
+}
+
+// versions lists the checkpoint versions present in dir, ascending.
+func versions(fs fsx.FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var vs []uint64
+	for _, e := range entries {
+		if v, ok := parseName(e.Name()); ok {
+			vs = append(vs, v)
+		}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs, nil
+}
+
+// Load recovers the newest valid checkpoint in dir. Corrupt or unreadable
+// checkpoints are skipped in favor of older ones; a checkpoint whose
+// serialized version disagrees with its file name counts as corrupt. Returns
+// (nil, nil) when dir holds no valid checkpoint at all.
+func Load(fs fsx.FS, dir string) (*graph.Graph, error) {
+	vs, err := versions(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i := len(vs) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, Name(vs[i]))
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			lastErr = fmt.Errorf("snapshot: %w", err)
+			continue
+		}
+		g, err := graph.ReadBinary(data)
+		if err != nil {
+			lastErr = fmt.Errorf("snapshot: %s: %w", path, err)
+			continue
+		}
+		if g.Version() != vs[i] {
+			lastErr = fmt.Errorf("snapshot: %s holds version %d", path, g.Version())
+			continue
+		}
+		return g, nil
+	}
+	if len(vs) > 0 {
+		// Every present checkpoint failed to load: surface why, rather than
+		// silently booting empty over data the operator meant to keep.
+		return nil, lastErr
+	}
+	return nil, nil
+}
+
+// GC removes checkpoints older than keep and any leftover tmp files. Errors
+// are aggregated but non-fatal to the caller's progress: the next GC retries.
+func GC(fs fsx.FS, dir string, keep uint64) error {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	var errs []error
+	for _, e := range entries {
+		name := e.Name()
+		stale := strings.HasPrefix(name, prefix) && strings.HasSuffix(name, tmpSuffix)
+		if v, ok := parseName(name); ok && v < keep {
+			stale = true
+		}
+		if stale {
+			if err := fs.Remove(filepath.Join(dir, name)); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,193 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"divtopk/internal/fsx"
+	"divtopk/internal/graph"
+)
+
+// chain returns versions 0..n of a small update lineage.
+func chain(t *testing.T, n int) []*graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder()
+	b.AddNode("A", map[string]graph.Value{"R": graph.IntValue(1)})
+	b.AddNode("B", nil)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	gs := []*graph.Graph{b.Build()}
+	for i := 0; i < n; i++ {
+		d := &graph.Delta{}
+		d.AddNode("C", nil)
+		d.InsertEdge(graph.NodeID(gs[i].NumNodes()), 0)
+		g, err := graph.ApplyDelta(gs[i], d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs = append(gs, g)
+	}
+	return gs
+}
+
+func TestWriteLoadNewest(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fs := fsx.OS()
+	gs := chain(t, 3)
+	for _, g := range gs {
+		if _, err := Write(fs, dir, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := Load(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Version() != 3 {
+		t.Fatalf("loaded version = %v, want 3", got)
+	}
+	if got.NumNodes() != gs[3].NumNodes() || got.NumEdges() != gs[3].NumEdges() {
+		t.Fatalf("loaded shape = (%d,%d), want (%d,%d)",
+			got.NumNodes(), got.NumEdges(), gs[3].NumNodes(), gs[3].NumEdges())
+	}
+}
+
+func TestLoadEmptyAndMissingDir(t *testing.T) {
+	t.Parallel()
+	fs := fsx.OS()
+	g, err := Load(fs, t.TempDir())
+	if g != nil || err != nil {
+		t.Fatalf("empty dir = (%v, %v), want (nil, nil)", g, err)
+	}
+	g, err = Load(fs, filepath.Join(t.TempDir(), "absent"))
+	if g != nil || err != nil {
+		t.Fatalf("missing dir = (%v, %v), want (nil, nil)", g, err)
+	}
+}
+
+// TestLoadFallsBackPastCorrupt damages the newest checkpoint (torn tail and
+// garbage) and expects recovery to land on the next older valid one.
+func TestLoadFallsBackPastCorrupt(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fs := fsx.OS()
+	gs := chain(t, 2)
+	for _, g := range gs {
+		if _, err := Write(fs, dir, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest := filepath.Join(dir, Name(2))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(fs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version() != 1 {
+		t.Fatalf("fell back to version %d, want 1", got.Version())
+	}
+}
+
+// TestLoadAllCorruptIsError: when checkpoints exist but none loads, recovery
+// must fail loudly instead of booting an empty graph over real data.
+func TestLoadAllCorruptIsError(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fs := fsx.OS()
+	if err := os.WriteFile(filepath.Join(dir, Name(5)), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(fs, dir); err == nil {
+		t.Fatal("all-corrupt directory loaded without error")
+	}
+}
+
+// TestVersionNameMismatchIsCorrupt: a checkpoint renamed to the wrong version
+// must not be trusted.
+func TestVersionNameMismatchIsCorrupt(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fs := fsx.OS()
+	gs := chain(t, 1)
+	if _, err := Write(fs, dir, gs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Masquerade version 0 as version 7.
+	if err := os.Rename(filepath.Join(dir, Name(0)), filepath.Join(dir, Name(7))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(fs, dir); err == nil || !strings.Contains(err.Error(), "holds version") {
+		t.Fatalf("mismatched checkpoint error = %v", err)
+	}
+}
+
+// TestWriteCrashLeavesNoFinalFile: a crash mid-write leaves only a tmp file,
+// which Load ignores and GC reaps.
+func TestWriteCrashLeavesNoFinalFile(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fault := fsx.NewFault(fsx.OS())
+	gs := chain(t, 0)
+	fault.CrashAfter(10)
+	if _, err := Write(fault, dir, gs[0]); err == nil {
+		t.Fatal("crashing write succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), tmpSuffix) {
+			t.Fatalf("crash left non-tmp file %q", e.Name())
+		}
+	}
+	fs := fsx.OS()
+	if g, err := Load(fs, dir); g != nil || err != nil {
+		t.Fatalf("load after crashed write = (%v, %v), want (nil, nil)", g, err)
+	}
+	if err := GC(fs, dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("GC left %d files", len(entries))
+	}
+}
+
+func TestGCKeepsNewest(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	fs := fsx.OS()
+	for _, g := range chain(t, 3) {
+		if _, err := Write(fs, dir, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := GC(fs, dir, 3); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != Name(3) {
+		t.Fatalf("GC kept %v, want only %s", entries, Name(3))
+	}
+	g, err := Load(fs, dir)
+	if err != nil || g.Version() != 3 {
+		t.Fatalf("load after GC = (%v, %v)", g, err)
+	}
+}

@@ -1,0 +1,198 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"divtopk/internal/graph"
+)
+
+// Binary delta payload, all integers varint-encoded (uvarint unless noted):
+//
+//	version          uint64
+//	numNodeAppends   then per append: label string, numAttrs, then per
+//	                 attr (sorted by key): key string, kind byte,
+//	                 int64 varint | string
+//	numEdgeInserts   then per edge: src, dst
+//	numEdgeDeletes   then per edge: src, dst
+//
+// Strings are uvarint length + bytes. Attribute keys are emitted sorted so
+// encoding a delta is deterministic: the same delta always produces the same
+// bytes, which is what lets the recovery tests compare WAL files directly.
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = appendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendEdges(buf []byte, edges [][2]graph.NodeID) []byte {
+	buf = appendUvarint(buf, uint64(len(edges)))
+	for _, e := range edges {
+		buf = appendUvarint(buf, uint64(uint32(e[0])))
+		buf = appendUvarint(buf, uint64(uint32(e[1])))
+	}
+	return buf
+}
+
+// encodeRecord serializes one (version, delta) payload into buf.
+func encodeRecord(buf []byte, version uint64, d *graph.Delta) []byte {
+	buf = appendUvarint(buf, version)
+	buf = appendUvarint(buf, uint64(len(d.NodeAppends)))
+	for _, na := range d.NodeAppends {
+		buf = appendString(buf, na.Label)
+		buf = appendUvarint(buf, uint64(len(na.Attrs)))
+		keys := make([]string, 0, len(na.Attrs))
+		for k := range na.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := na.Attrs[k]
+			buf = appendString(buf, k)
+			buf = append(buf, byte(v.Kind))
+			if v.Kind == graph.KindInt {
+				buf = binary.AppendVarint(buf, v.Int)
+			} else {
+				buf = appendString(buf, v.Str)
+			}
+		}
+	}
+	buf = appendEdges(buf, d.EdgeInserts)
+	buf = appendEdges(buf, d.EdgeDeletes)
+	return buf
+}
+
+// decoder walks one payload, remembering the first error.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (dec *decoder) fail(format string, args ...any) {
+	if dec.err == nil {
+		dec.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (dec *decoder) uvarint() uint64 {
+	if dec.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(dec.buf)
+	if n <= 0 {
+		dec.fail("wal: truncated or overlong uvarint")
+		return 0
+	}
+	dec.buf = dec.buf[n:]
+	return v
+}
+
+func (dec *decoder) varint() int64 {
+	if dec.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(dec.buf)
+	if n <= 0 {
+		dec.fail("wal: truncated or overlong varint")
+		return 0
+	}
+	dec.buf = dec.buf[n:]
+	return v
+}
+
+func (dec *decoder) str() string {
+	n := dec.uvarint()
+	if dec.err != nil {
+		return ""
+	}
+	if n > uint64(len(dec.buf)) {
+		dec.fail("wal: string length %d exceeds remaining %d bytes", n, len(dec.buf))
+		return ""
+	}
+	s := string(dec.buf[:n])
+	dec.buf = dec.buf[n:]
+	return s
+}
+
+func (dec *decoder) byte() byte {
+	if dec.err != nil {
+		return 0
+	}
+	if len(dec.buf) == 0 {
+		dec.fail("wal: truncated byte")
+		return 0
+	}
+	b := dec.buf[0]
+	dec.buf = dec.buf[1:]
+	return b
+}
+
+func (dec *decoder) edges() [][2]graph.NodeID {
+	n := dec.uvarint()
+	if dec.err != nil || n == 0 {
+		return nil
+	}
+	// Each edge costs at least 2 bytes; reject counts the payload cannot hold
+	// before allocating for them.
+	if n > uint64(len(dec.buf)) {
+		dec.fail("wal: edge count %d exceeds remaining payload", n)
+		return nil
+	}
+	out := make([][2]graph.NodeID, 0, n)
+	for i := uint64(0); i < n && dec.err == nil; i++ {
+		src := dec.uvarint()
+		dst := dec.uvarint()
+		out = append(out, [2]graph.NodeID{graph.NodeID(uint32(src)), graph.NodeID(uint32(dst))})
+	}
+	return out
+}
+
+// decodeRecord parses one payload back into (version, delta).
+func decodeRecord(payload []byte) (uint64, *graph.Delta, error) {
+	dec := &decoder{buf: payload}
+	version := dec.uvarint()
+	d := &graph.Delta{}
+	nAppends := dec.uvarint()
+	if dec.err == nil && nAppends > uint64(len(dec.buf)) {
+		dec.fail("wal: node-append count %d exceeds remaining payload", nAppends)
+	}
+	for i := uint64(0); i < nAppends && dec.err == nil; i++ {
+		label := dec.str()
+		nAttrs := dec.uvarint()
+		if dec.err == nil && nAttrs > uint64(len(dec.buf)) {
+			dec.fail("wal: attr count %d exceeds remaining payload", nAttrs)
+			break
+		}
+		var attrs map[string]graph.Value
+		if nAttrs > 0 {
+			attrs = make(map[string]graph.Value, nAttrs)
+		}
+		for j := uint64(0); j < nAttrs && dec.err == nil; j++ {
+			k := dec.str()
+			kind := graph.ValueKind(dec.byte())
+			switch kind {
+			case graph.KindInt:
+				attrs[k] = graph.IntValue(dec.varint())
+			case graph.KindString:
+				attrs[k] = graph.StrValue(dec.str())
+			default:
+				dec.fail("wal: unknown attribute kind %d", kind)
+			}
+		}
+		d.NodeAppends = append(d.NodeAppends, graph.NodeAppend{Label: label, Attrs: attrs})
+	}
+	d.EdgeInserts = dec.edges()
+	d.EdgeDeletes = dec.edges()
+	if dec.err == nil && len(dec.buf) != 0 {
+		dec.fail("wal: %d trailing bytes after delta payload", len(dec.buf))
+	}
+	if dec.err != nil {
+		return 0, nil, dec.err
+	}
+	return version, d, nil
+}

@@ -43,6 +43,9 @@ type Matcher struct {
 	workers    int
 	cache      *cache.Cache
 	indexRatio float64 // adaptive fallback of the index advance
+	// durability, when set, must acknowledge every delta before the snapshot
+	// it produced is published; guarded by updateMu like all update state.
+	durability DurabilitySink
 }
 
 // CacheStats is a snapshot of a Matcher's result-cache counters. Misses
@@ -174,6 +177,15 @@ func (m *Matcher) UpdateWithStats(d *Delta) (*Graph, IndexStats, error) {
 	}
 	if adv.TotalRows > 0 {
 		stats.AffectedShare = float64(adv.AffectedRows) / float64(adv.TotalRows)
+	}
+	// Durability is the last fallible step: once the sink acknowledges the
+	// delta the swap below is unconditional, and if it refuses, nothing was
+	// published — queries keep seeing the old snapshot, which is exactly the
+	// newest durable version. The served state never runs ahead of the WAL.
+	if m.durability != nil {
+		if err := m.durability.AppendDelta(g2, d); err != nil {
+			return nil, IndexStats{}, fmt.Errorf("%w: %v", ErrDurabilityUnavailable, err)
+		}
 	}
 	m.cur.Store(g2)
 	return g2, stats, nil

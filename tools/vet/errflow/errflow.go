@@ -23,6 +23,16 @@
 //   - unchecked on some path: the error is still outstanding when the
 //     function exits, reported at the call that produced it.
 //
+// Invariant (PR 8, durability): wal.Log.Append/Sync, durable.Store's
+// Append/Checkpoint/Seed, snapshot.Write, and the DurabilitySink.AppendDelta
+// hook persist acknowledged state. A caller that drops one of these errors
+// acknowledges an update that never reached disk — the exact lie the
+// crash-recovery fuzz exists to rule out — so they are held to the same
+// every-path discipline. Unlike the versioned-mutation class, whose method
+// names are distinctive, the durability class matches qualified names
+// (package + receiver type + method): a bare "Append" or "Sync" would flag
+// every stdlib writer.
+//
 // Returning the class call's result directly (return m.ApplyDelta(d)) is
 // propagation, not discarding. Functions whose final result is an error and
 // whose body performs a class call export the ErrVersioning object fact, so
@@ -45,8 +55,9 @@ import (
 
 var Analyzer = &analysis.Analyzer{
 	Name: "errflow",
-	Doc: "flag versioned-mutation calls (ApplyDelta, Advance, IncCompute, " +
-		"and their wrappers) whose error result goes unchecked on some path",
+	Doc: "flag versioned-mutation and durability calls (ApplyDelta, Advance, " +
+		"IncCompute, wal.Log.Append, snapshot.Write, and their wrappers) whose " +
+		"error result goes unchecked on some path",
 	Run:       run,
 	FactTypes: []facts.Fact{new(ErrVersioning)},
 }
@@ -67,6 +78,27 @@ var classNames = map[string]bool{
 	"ApplyDeltaWithSummary": true,
 	"Advance":               true,
 	"IncCompute":            true,
+	// The durability hook the matcher calls before publishing a snapshot;
+	// distinctive enough to match by bare name, and as an interface method it
+	// has no body to export a fact from.
+	"AppendDelta": true,
+}
+
+// classMethods are the durability entry points, matched by package + receiver
+// type + method: their bare names (Append, Sync, Write) are shared with half
+// the standard library.
+var classMethods = []struct{ pkg, typ, method string }{
+	{"wal", "Log", "Append"},
+	{"wal", "Log", "Sync"},
+	{"durable", "Store", "Append"},
+	{"durable", "Store", "Checkpoint"},
+	{"durable", "Store", "Seed"},
+}
+
+// classFuncs are the package-level durability entry points, matched by
+// package + function name.
+var classFuncs = []struct{ pkg, name string }{
+	{"snapshot", "Write"},
 }
 
 // genInfo records one outstanding unchecked error: where it was produced and
@@ -150,6 +182,11 @@ func (c *checker) classCall(call *ast.CallExpr) (string, bool) {
 	if classNames[name] {
 		return types.ExprString(call), true
 	}
+	for _, m := range classMethods {
+		if _, ok := typeutil.MethodCall(c.pass.TypesInfo, call, m.pkg, m.typ, m.method); ok {
+			return types.ExprString(call), true
+		}
+	}
 	var fn *types.Func
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
@@ -157,8 +194,18 @@ func (c *checker) classCall(call *ast.CallExpr) (string, bool) {
 	case *ast.SelectorExpr:
 		fn, _ = c.pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func)
 	}
+	if fn == nil {
+		return "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil {
+		for _, f := range classFuncs {
+			if fn.Name() == f.name && fn.Pkg() != nil && fn.Pkg().Name() == f.pkg {
+				return types.ExprString(call), true
+			}
+		}
+	}
 	var fact ErrVersioning
-	if fn != nil && c.pass.ImportObjectFact(fn, &fact) {
+	if c.pass.ImportObjectFact(fn, &fact) {
 		return types.ExprString(call), true
 	}
 	return "", false

@@ -8,5 +8,5 @@ import (
 )
 
 func Test(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), errflow.Analyzer, "a")
+	analysistest.Run(t, analysistest.TestData(), errflow.Analyzer, "a", "dura")
 }

@@ -1,0 +1,92 @@
+// Package dura exercises the durability class of errflow: qualified matching
+// (wal.Log.Append/Sync, durable.Store.Seed/Append/Checkpoint, snapshot.Write,
+// the AppendDelta sink hook), and that same-named methods on unrelated types
+// stay out of the class.
+package dura
+
+import (
+	"bytes"
+
+	"durable"
+	"snapshot"
+	"wal"
+)
+
+// Sink is the durability hook: AppendDelta joins the class by bare name, the
+// way the library's DurabilitySink interface method does.
+type Sink interface {
+	AppendDelta(g *snapshot.Graph, d *wal.Delta) error
+}
+
+func use(err error) {}
+
+// goodAppendChecked checks the WAL append on the spot.
+func goodAppendChecked(l *wal.Log, d *wal.Delta) {
+	if err := l.Append(1, d); err != nil {
+		panic(err)
+	}
+}
+
+// goodWritePropagated hands the checkpoint failure to its caller.
+func goodWritePropagated(g *snapshot.Graph) (string, error) {
+	return snapshot.Write("dir", g)
+}
+
+// badAppendDiscarded acknowledges an update that may never have hit disk.
+func badAppendDiscarded(l *wal.Log, d *wal.Delta) {
+	l.Append(1, d) // want `error from l\.Append\(1, d\) in badAppendDiscarded is discarded`
+}
+
+// badSyncBlank drops the fsync verdict: the page-cache state is unknowable.
+func badSyncBlank(l *wal.Log) {
+	_ = l.Sync() // want `error from l\.Sync\(\) in badSyncBlank is discarded`
+}
+
+// badWriteBlank keeps the checkpoint path but blanks the error.
+func badWriteBlank(g *snapshot.Graph) string {
+	path, _ := snapshot.Write("dir", g) // want `error from snapshot\.Write\("dir", g\) in badWriteBlank is discarded`
+	return path
+}
+
+// badStoreBranch checks the store append only when verbose: the quiet path
+// serves state the WAL never saw.
+func badStoreBranch(s *durable.Store, g *snapshot.Graph, d *wal.Delta, verbose bool) {
+	err := s.Append(g, d) // want `error from s\.Append\(g, d\) in badStoreBranch is not checked on every path`
+	if verbose {
+		use(err)
+	}
+}
+
+// badSeedOverwritten issues the checkpoint while the seed error is still
+// unchecked.
+func badSeedOverwritten(s *durable.Store, g *snapshot.Graph) {
+	err := s.Seed(g)
+	err = s.Checkpoint(g) // want `s\.Checkpoint\(g\) in badSeedOverwritten overwrites the unchecked error from line \d+`
+	use(err)
+}
+
+// badSinkDiscarded drops the durability hook's verdict before publishing.
+func badSinkDiscarded(sink Sink, g *snapshot.Graph, d *wal.Delta) {
+	sink.AppendDelta(g, d) // want `error from sink\.AppendDelta\(g, d\) in badSinkDiscarded is discarded`
+}
+
+// goodUnrelatedWriters: Append/Sync/Write on types outside the durability
+// packages are not class calls — a bare-name match would flag every stdlib
+// writer.
+func goodUnrelatedWriters(buf *bytes.Buffer) {
+	buf.Write([]byte("x"))
+	var other notALog
+	other.Append(1, nil)
+	other.Sync()
+}
+
+type notALog struct{}
+
+func (notALog) Append(version uint64, d *wal.Delta) error { return nil }
+func (notALog) Sync() error                               { return nil }
+
+// suppressed records a reviewed best-effort durability call.
+func suppressed(l *wal.Log) {
+	//lint:allow errflow best-effort flush; the next Append surfaces the failure
+	l.Sync()
+}

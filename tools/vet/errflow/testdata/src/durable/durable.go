@@ -1,0 +1,34 @@
+// Package durable minimizes the durability-store surface: Seed, Append, and
+// Checkpoint persist acknowledged state and report failure through their
+// error result.
+package durable
+
+import (
+	"snapshot"
+	"wal"
+)
+
+type Store struct {
+	log *wal.Log
+	v   uint64
+}
+
+func (s *Store) Seed(g *snapshot.Graph) error {
+	if _, err := snapshot.Write("dir", g); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *Store) Append(g *snapshot.Graph, d *wal.Delta) error {
+	if err := s.log.Append(s.v+1, d); err != nil {
+		return err
+	}
+	s.v++
+	return nil
+}
+
+func (s *Store) Checkpoint(g *snapshot.Graph) error {
+	_, err := snapshot.Write("dir", g)
+	return err
+}

@@ -1,0 +1,15 @@
+// Package snapshot minimizes the checkpoint-writing surface of the
+// durability class: Write persists a checkpoint and reports failure through
+// its final error result.
+package snapshot
+
+import "errors"
+
+type Graph struct{ Bad bool }
+
+func Write(dir string, g *Graph) (string, error) {
+	if g.Bad {
+		return "", errors.New("write failed")
+	}
+	return dir + "/checkpoint", nil
+}

@@ -1,0 +1,20 @@
+// Package wal minimizes the write-ahead-log surface of the durability class:
+// Log.Append and Log.Sync report persistence failure through their error
+// result.
+package wal
+
+import "errors"
+
+type Delta struct{ Bad bool }
+
+type Log struct{ v uint64 }
+
+func (l *Log) Append(version uint64, d *Delta) error {
+	if d.Bad {
+		return errors.New("append failed")
+	}
+	l.v = version
+	return nil
+}
+
+func (l *Log) Sync() error { return nil }
