@@ -8,9 +8,9 @@
 // The default configuration is the 150k-node generator graph the repo's
 // acceptance numbers are recorded on; -short shrinks it to CI size. The
 // report is printed as a table and, with -out, written as JSON
-// (BENCH_PR5.json is a committed run of this command):
+// (BENCH_PR9.json is a committed run of this command):
 //
-//	go run ./cmd/divtopk-bench -out BENCH_PR5.json
+//	go run ./cmd/divtopk-bench -out BENCH_PR9.json
 //	go run ./cmd/divtopk-bench -short -serving=false
 package main
 
@@ -124,11 +124,20 @@ func main() {
 	}
 }
 
+// servingReps matches internal/bench's measureReps: the serving rows are
+// measured with the same minimum-of-N discipline as the component entries —
+// the best of five independent runs is recorded, the standard defense
+// against scheduler and GC-pacing noise on shared machines.
+const servingReps = 5
+
 // servingBaseline registers the benchmark graph in an in-process daemon on a
 // loopback port and fires the HTTP load generator at it twice — the
 // read-only workload (trend-comparable across epochs) and, when
 // ServingUpdateEvery > 0, the mixed update/query workload — measuring what
-// an external client sees end to end (JSON decode included).
+// an external client sees end to end (JSON decode included). Each of the
+// servingReps repetitions gets a fresh daemon and freshly warmed session,
+// so every run starts from the same version-0 graph and cold cache; the
+// best run (by throughput) of each workload is reported.
 func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, *bench.ServingSummary, error) {
 	pg := divtopk.NewSynthetic(cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Seed)
 	var texts []string
@@ -147,6 +156,36 @@ func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, *bench.Se
 		return nil, nil, fmt.Errorf("no serving patterns mined")
 	}
 
+	var bestRO, bestMixed *bench.ServingReport
+	for rep := 0; rep < servingReps; rep++ {
+		ro, mixed, err := serveOnce(cfg, pg, texts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if bestRO == nil || ro.Throughput > bestRO.Throughput {
+			bestRO = ro
+		}
+		if mixed != nil && (bestMixed == nil || mixed.Throughput > bestMixed.Throughput) {
+			bestMixed = mixed
+		}
+		if mixed != nil {
+			log.Printf("serving rep %d/%d: read-only %.0f req/s, mixed %.0f req/s (update p50 %s)",
+				rep+1, servingReps, ro.Throughput, mixed.Throughput, mixed.UpdateP50)
+		} else {
+			log.Printf("serving rep %d/%d: read-only %.0f req/s", rep+1, servingReps, ro.Throughput)
+		}
+	}
+	if bestMixed == nil {
+		return bestRO.Summarize(), nil, nil
+	}
+	return bestRO.Summarize(), bestMixed.Summarize(), nil
+}
+
+// serveOnce runs one serving repetition against a fresh in-process daemon:
+// the read-only workload, then (when configured) the mixed update/query
+// workload on the same daemon — updates mutate the graph, which is why the
+// next repetition rebuilds the daemon from the pristine snapshot.
+func serveOnce(cfg bench.BaselineConfig, pg *divtopk.Graph, texts []string) (*bench.ServingReport, *bench.ServingReport, error) {
 	reg := server.NewRegistry(divtopk.WithCache(256), divtopk.Parallelism(cfg.Parallelism))
 	if err := reg.Add("bench", pg); err != nil {
 		return nil, nil, err
@@ -176,12 +215,12 @@ func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, *bench.Se
 		return nil, nil, err
 	}
 	if cfg.ServingUpdateEvery <= 0 {
-		return rep.Summarize(), nil, nil
+		return rep, nil, nil
 	}
 	load.UpdateEvery = cfg.ServingUpdateEvery
 	mixed, err := bench.ServeLoad(load)
 	if err != nil {
 		return nil, nil, err
 	}
-	return rep.Summarize(), mixed.Summarize(), nil
+	return rep, mixed, nil
 }

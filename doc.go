@@ -78,20 +78,34 @@
 // answer; the serving layer exposes updates as
 // POST /v1/graphs/{name}/updates and echoes the version in every response.
 //
+// Concurrent updates group-commit: Delta.Merge combines deltas sharing one
+// base snapshot (deletes before inserts, duplicate inserts collapse,
+// insert-then-delete cancels), Matcher.UpdateBatch and UpdateMerged apply
+// the merged delta in one maintenance pass while stepping the version once
+// per constituent, and the serving layer's per-graph coalescer queues
+// overlapping POSTs into such batches — each caller acknowledged with its
+// own version, durability logging the per-request deltas so WAL contiguity
+// survives. Edge endpoints in the wire protocol may name a request's own
+// appended nodes with negative self-references (-1 is the first), and the
+// response's first_node field reports where the appends landed.
+//
 // The descendant-label bound index is versioned derived state rather than a
 // per-snapshot rebuild: its rows are a pure function of the snapshot's
 // cached SCC condensation and the member labels, so the advance diffs the
-// two condensations at the component level and recomputes only the
-// affected rectangle — the ancestor closure of the structurally changed
-// components, for only the labels the delta can reach — copying every
-// other row and falling back to a full rebuild of the warmed labels past
-// an adaptive ratio (default 0.25, WithIndexRebuildRatio). A mismatched
-// snapshot version is a hard error; the fresh-warm path remains the
-// correctness oracle, enforced by randomized delta-chain fuzz for both
+// two condensations and recomputes, per label, only the frontier rows the
+// delta's touch points reach — a per-node frontier propagated from
+// membership changes, ancestor closures of successor-set changes, and
+// cyclicity flips, masked against each label's reachability — running the
+// per-label partial recomputes in parallel, copying every unaffected row,
+// and falling back to a full rebuild of the warmed labels past an adaptive
+// recomputed-share ratio (default 0.25, WithIndexRebuildRatio). A
+// mismatched snapshot version is a hard error; the fresh-warm path remains
+// the correctness oracle, enforced by randomized delta-chain fuzz for both
 // count modes. Matcher.UpdateWithStats (and the daemon's "index" response
-// object) reports the maintenance mode, affected-row share and wall time
-// of every update. For callers maintaining one standing (graph, pattern)
-// evaluation across deltas, the engine layer offers
+// object) reports the maintenance mode, batch width, affected share,
+// frontier size and wall time of every update. For callers maintaining one
+// standing (graph, pattern) evaluation across deltas, the engine layer
+// offers
 // internal/simulation.IncCompute: it maintains the simulation fixpoint and
 // product CSR incrementally over the delta's affected area — sharing the
 // same closure-traversal helper (graph.Expand) and the same two-level
@@ -131,7 +145,7 @@
 // kernels byte-identical at every Parallelism setting, and
 // cmd/divtopk-bench measures them side by side on a fixed-seed 150k-node
 // generator graph, emitting the tracked baseline committed as
-// BENCH_PR4.json (see the README's "Performance" section for how to run
+// BENCH_PR9.json (see the README's "Performance" section for how to run
 // and read it).
 //
 // # Static analysis
@@ -153,11 +167,13 @@
 // cross-package facts carried through go vet's .vetx channel): detflow
 // proves the deterministic kernels free of wall-clock and unseeded-random
 // calls through any helper chain, errflow proves the error of every
-// versioned mutation (ApplyDelta, Advance, IncCompute) is checked on every
-// path before the updated state is trusted — and, since PR 8, the same for
-// every durability call (wal.Log.Append/Sync, durable.Store's
-// Seed/Append/Checkpoint, snapshot.Write, the AppendDelta sink hook,
-// matched by qualified name) — and swapver proves a published
+// versioned mutation (ApplyDelta, ApplyDeltaVersionStep, Advance,
+// IncCompute) is checked on every path before the updated state is trusted
+// — and the same for every durability call (wal.Log.Append/AppendBatch/
+// Sync, durable.Store's Seed/Append/AppendBatch/Checkpoint, snapshot.Write,
+// the AppendDelta/AppendBatch sink hooks, matched by qualified name), which
+// in the group-commit coalescer means before any caller of a batch is
+// acknowledged — and swapver proves a published
 // snapshot and its swapped-in derived state always originate from the same
 // version source. Run `make lint`, or see tools/vet's package
 // documentation for the suppression syntax, the fact catalog and the

@@ -54,6 +54,18 @@ func (d *Delta) DeleteEdge(u, v int) {
 	d.d.DeleteEdge(graph.NodeID(u), graph.NodeID(v))
 }
 
+// Merge folds other into d, where d is a pending batch of updates against
+// base and other was built against the snapshot applying d to base would
+// produce — the group-commit coalescing step. Appends concatenate (other's
+// appended nodes keep the IDs the sequential chain would have assigned),
+// a delete cancels a pending insert of the same edge, and a delete of an
+// edge neither base nor the pending inserts contain fails the merge and
+// leaves d untouched. Applying the merged delta to base yields exactly the
+// snapshot of applying d then other.
+func (d *Delta) Merge(base *Graph, other *Delta) error {
+	return d.d.Merge(base.g, &other.d)
+}
+
 // Empty reports whether the delta carries no updates.
 func (d *Delta) Empty() bool { return d.d.Empty() }
 

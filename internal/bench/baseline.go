@@ -19,7 +19,7 @@ import (
 )
 
 // This file is the tracked benchmark baseline of the repository
-// (BENCH_PR5.json): a repeatable, fixed-seed measurement of every hot
+// (BENCH_PR9.json): a repeatable, fixed-seed measurement of every hot
 // component — candidate computation, simulation refinement, relevant-set
 // computation, the find-all baseline, the early-termination engine, TopKDiv,
 // the two delta-maintenance layers (simulation state and the bound index)
@@ -150,7 +150,11 @@ type BaselineEntry struct {
 // fields track the mixed update/query workload (zero in a read-only run);
 // the index_* fields aggregate the per-update index-maintenance stats the
 // update responses carry (incremental vs. rebuild split, mean affected-row
-// share, median maintenance wall time).
+// share from the per-node frontier diff, median maintenance wall time);
+// the batch_* fields report how wide the server's group commit ran —
+// updates POST concurrently and whatever overlaps commits as one merged
+// maintenance pass, so width > 1 means the batching actually amortized
+// work under this load.
 type ServingSummary struct {
 	Throughput       float64 `json:"req_per_sec"`
 	P50Micros        int64   `json:"p50_us"`
@@ -165,11 +169,19 @@ type ServingSummary struct {
 	FinalVersion     uint64  `json:"final_version,omitempty"`
 	IndexIncremental int     `json:"index_incremental,omitempty"`
 	IndexRebuilds    int     `json:"index_rebuilds,omitempty"`
-	IndexShareMean   float64 `json:"index_affected_share_mean,omitempty"`
+	// IndexShareMean stays in the JSON even at 0 — a zero share (the
+	// frontier diff proving no warmed row needed recomputation) is the
+	// headline result, not an absent measurement.
+	IndexShareMean   float64 `json:"index_affected_share_mean"`
 	IndexWallP50     int64   `json:"index_wall_p50_us,omitempty"`
+	BatchWidthMean   float64 `json:"update_batch_width_mean,omitempty"`
+	BatchWidthMax    int     `json:"update_batch_width_max,omitempty"`
+	UpdatesBatched   int     `json:"updates_batched,omitempty"`
+	FrontierRowsMean float64 `json:"index_frontier_rows_mean,omitempty"`
+	ShardWallP50     int64   `json:"index_shard_wall_p50_us,omitempty"`
 }
 
-// BaselineReport is the JSON document committed as BENCH_PR5.json.
+// BaselineReport is the JSON document committed as BENCH_PR9.json.
 type BaselineReport struct {
 	GeneratedBy string         `json:"generated_by"`
 	GoVersion   string         `json:"go_version"`
@@ -223,6 +235,10 @@ func (r *BaselineReport) Format() string {
 		fmt.Fprintf(&b, "  index: %d incremental / %d rebuilds, mean affected share %.3f, maintenance p50 %dus\n",
 			r.ServingMixed.IndexIncremental, r.ServingMixed.IndexRebuilds,
 			r.ServingMixed.IndexShareMean, r.ServingMixed.IndexWallP50)
+		fmt.Fprintf(&b, "  group commit: batch width mean %.2f max %d (%d updates batched), frontier mean %.1f rows, shard p50 %dus\n",
+			r.ServingMixed.BatchWidthMean, r.ServingMixed.BatchWidthMax,
+			r.ServingMixed.UpdatesBatched, r.ServingMixed.FrontierRowsMean,
+			r.ServingMixed.ShardWallP50)
 	}
 	return b.String()
 }
@@ -562,5 +578,10 @@ func (r *ServingReport) Summarize() *ServingSummary {
 		IndexRebuilds:    r.IndexRebuilds,
 		IndexShareMean:   r.IndexShareMean,
 		IndexWallP50:     r.IndexWallP50Micro,
+		BatchWidthMean:   r.BatchWidthMean,
+		BatchWidthMax:    r.BatchWidthMax,
+		UpdatesBatched:   r.UpdatesBatched,
+		FrontierRowsMean: r.FrontierRowsMean,
+		ShardWallP50:     r.ShardWallP50Micro,
 	}
 }

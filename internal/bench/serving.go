@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,9 +40,12 @@ type ServingConfig struct {
 	// UpdateEvery makes every Nth request a graph update (POST
 	// /v1/graphs/{name}/updates) instead of a query: the mixed update/query
 	// workload of a dynamic graph. Each update appends one node wired to
-	// node 0 and, every other time, deletes the edge the previous update
-	// added; updates from all workers are serialized through one writer
-	// lock (single-writer, many-reader — the realistic shape). 0 disables
+	// node 0 (addressed with the wire protocol's -1 self-reference, so no
+	// client-side node counting is needed) and, every other time, deletes
+	// an edge an earlier update added. Updates POST concurrently from every
+	// worker — the server's group commit coalesces whatever overlaps into
+	// one merged maintenance pass, and the per-response batch_width stat
+	// reports how much coalescing the load actually earned. 0 disables
 	// updates.
 	UpdateEvery int
 }
@@ -80,6 +84,16 @@ type ServingReport struct {
 	IndexRebuilds     int
 	IndexShareMean    float64
 	IndexWallP50Micro int64
+	// Group-commit and frontier columns (PR 9): how wide the server's
+	// coalesced batches ran (width 1 = the update committed alone), how many
+	// updates shared a batch with at least one other request, the mean
+	// per-node frontier size the diff produced, and the median wall time of
+	// the shard-parallel maintenance pass alone.
+	BatchWidthMean    float64
+	BatchWidthMax     int
+	UpdatesBatched    int
+	FrontierRowsMean  float64
+	ShardWallP50Micro int64
 }
 
 // String renders the report as the one-stop summary cmd/divtopkd prints.
@@ -98,6 +112,8 @@ func (r *ServingReport) String() string {
 			r.UpdateP95.Round(time.Microsecond), r.FinalVersion)
 		fmt.Fprintf(&b, "\nindex: %d incremental, %d rebuilds, mean affected share %.3f, maintenance p50=%dus",
 			r.IndexIncremental, r.IndexRebuilds, r.IndexShareMean, r.IndexWallP50Micro)
+		fmt.Fprintf(&b, "\ngroup commit: batch width mean %.2f max %d (%d updates batched), frontier mean %.1f rows, shard p50=%dus",
+			r.BatchWidthMean, r.BatchWidthMax, r.UpdatesBatched, r.FrontierRowsMean, r.ShardWallP50Micro)
 	}
 	return b.String()
 }
@@ -112,39 +128,55 @@ type servingRequest struct {
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
 }
 
-// updater issues the mixed workload's graph updates. All updates flow
-// through one lock: a single writer appending nodes/edges while many
-// readers query, which both matches the realistic dynamic-graph shape and
-// lets the node count (needed to address appended nodes) be tracked
-// authoritatively from the update responses.
+// updater issues the mixed workload's graph updates. Updates POST
+// concurrently — the lock below guards only the delete pool and the stat
+// accumulators, never an HTTP round trip — so overlapping requests reach
+// the server together and its group commit can coalesce them. Appended
+// nodes are addressed with the wire protocol's negative self-references
+// (-1 names the request's own first appended node), and the authoritative
+// ID each append landed on comes back in first_node, so no client-side
+// node counting is needed even with many writers in flight.
 type updater struct {
-	mu       sync.Mutex
 	endpoint string
-	nodes    int
-	seq      int
-	pending  [][2]int // edges added by earlier updates and not yet deleted
+	seq      atomic.Int64
+
+	mu      sync.Mutex
+	pending [][2]int // committed edges added by earlier updates, not yet deleted
 
 	// Aggregated index-maintenance stats from the update responses.
-	incremental int
-	rebuilds    int
-	shareSum    float64
-	wallMicros  []int64
+	incremental     int
+	rebuilds        int
+	shareSum        float64
+	frontierSum     float64
+	widthSum        int
+	widthMax        int
+	batched         int
+	wallMicros      []int64
+	shardWallMicros []int64
 }
 
-// do issues one update: append a node wired to node 0 and, every other
-// time, delete the oldest edge an earlier update added (deletes stay valid
-// and the edge set does not grow monotonically).
+// do issues one update: append a node wired to node 0 (edge {0,-1}) and,
+// every other time, delete an edge an earlier acknowledged update added
+// (deletes stay valid — they only ever name committed edges — and the edge
+// set does not grow monotonically).
 func (u *updater) do(client *http.Client) (time.Duration, bool) {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	nn := u.nodes
+	seq := int(u.seq.Add(1)) - 1
 	body := map[string]any{
-		"add_nodes": []map[string]any{{"label": fmt.Sprintf("dyn%d", u.seq%4)}},
-		"add_edges": [][2]int{{0, nn}},
+		"add_nodes": []map[string]any{{"label": fmt.Sprintf("dyn%d", seq%4)}},
+		"add_edges": [][2]int{{0, -1}},
 	}
-	del := u.seq%2 == 1 && len(u.pending) > 0
-	if del {
-		body["del_edges"] = [][2]int{u.pending[0]}
+	var del *[2]int
+	if seq%2 == 1 {
+		u.mu.Lock()
+		if len(u.pending) > 0 {
+			e := u.pending[0]
+			u.pending = u.pending[1:]
+			del = &e
+		}
+		u.mu.Unlock()
+	}
+	if del != nil {
+		body["del_edges"] = [][2]int{*del}
 	}
 	raw, err := json.Marshal(body)
 	if err != nil {
@@ -153,36 +185,59 @@ func (u *updater) do(client *http.Client) (time.Duration, bool) {
 	t0 := time.Now()
 	resp, err := client.Post(u.endpoint, "application/json", bytes.NewReader(raw))
 	if err != nil {
+		if del != nil {
+			u.mu.Lock()
+			u.pending = append(u.pending, *del)
+			u.mu.Unlock()
+		}
 		return time.Since(t0), false
 	}
 	var out struct {
-		Nodes int `json:"nodes"`
-		Index struct {
+		Nodes     int  `json:"nodes"`
+		FirstNode *int `json:"first_node"`
+		Index     struct {
 			Mode          string  `json:"mode"`
+			BatchWidth    int     `json:"batch_width"`
 			AffectedShare float64 `json:"affected_share"`
+			FrontierRows  int     `json:"frontier_rows"`
 			WallMicros    int64   `json:"wall_us"`
+			ShardMicros   int64   `json:"shard_wall_us"`
 		} `json:"index"`
 	}
 	ok := resp.StatusCode == http.StatusOK
 	_ = json.NewDecoder(resp.Body).Decode(&out)
 	resp.Body.Close()
 	lat := time.Since(t0)
-	if ok {
-		u.nodes = out.Nodes
-		if del {
-			u.pending = u.pending[1:]
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if !ok {
+		if del != nil {
+			// The delete was rejected with the rest of the request; the edge
+			// is still in the graph, so return it to the pool.
+			u.pending = append(u.pending, *del)
 		}
-		u.pending = append(u.pending, [2]int{0, nn})
-		u.seq++
-		if out.Index.Mode == "rebuild" {
-			u.rebuilds++
-		} else {
-			u.incremental++
-		}
-		u.shareSum += out.Index.AffectedShare
-		u.wallMicros = append(u.wallMicros, out.Index.WallMicros)
+		return lat, false
 	}
-	return lat, ok
+	if out.FirstNode != nil {
+		u.pending = append(u.pending, [2]int{0, *out.FirstNode})
+	}
+	if out.Index.Mode == "rebuild" {
+		u.rebuilds++
+	} else {
+		u.incremental++
+	}
+	u.shareSum += out.Index.AffectedShare
+	u.frontierSum += float64(out.Index.FrontierRows)
+	u.widthSum += out.Index.BatchWidth
+	if out.Index.BatchWidth > u.widthMax {
+		u.widthMax = out.Index.BatchWidth
+	}
+	if out.Index.BatchWidth > 1 {
+		u.batched++
+	}
+	u.wallMicros = append(u.wallMicros, out.Index.WallMicros)
+	u.shardWallMicros = append(u.shardWallMicros, out.Index.ShardMicros)
+	return lat, true
 }
 
 // ServeLoad runs the load generator and collects the report. A non-2xx
@@ -226,7 +281,6 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 	if cfg.UpdateEvery > 0 {
 		upd = &updater{
 			endpoint: cfg.BaseURL + "/v1/graphs/" + cfg.Graph + "/updates",
-			nodes:    before.Nodes,
 		}
 	}
 
@@ -334,10 +388,18 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 		rep.IndexRebuilds = upd.rebuilds
 		if n := upd.incremental + upd.rebuilds; n > 0 {
 			rep.IndexShareMean = upd.shareSum / float64(n)
+			rep.FrontierRowsMean = upd.frontierSum / float64(n)
+			rep.BatchWidthMean = float64(upd.widthSum) / float64(n)
 		}
+		rep.BatchWidthMax = upd.widthMax
+		rep.UpdatesBatched = upd.batched
 		sort.Slice(upd.wallMicros, func(i, j int) bool { return upd.wallMicros[i] < upd.wallMicros[j] })
 		if len(upd.wallMicros) > 0 {
 			rep.IndexWallP50Micro = upd.wallMicros[int(0.50*float64(len(upd.wallMicros)-1))]
+		}
+		sort.Slice(upd.shardWallMicros, func(i, j int) bool { return upd.shardWallMicros[i] < upd.shardWallMicros[j] })
+		if len(upd.shardWallMicros) > 0 {
+			rep.ShardWallP50Micro = upd.shardWallMicros[int(0.50*float64(len(upd.shardWallMicros)-1))]
 		}
 	}
 	rep.CacheHits = after.Cache.Hits - before.Cache.Hits

@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"slices"
+	"time"
 
 	"divtopk/internal/graph"
+	"divtopk/internal/parallel"
 )
 
 // This file advances a BoundsCache across a graph delta instead of
@@ -13,31 +15,31 @@ import (
 // The index's rows are a pure function of the snapshot's SCC condensation
 // and the member labels, so the affected area of a delta is found at the
 // component level: DiffCondensation matches the two snapshots' components
-// by member set and marks as dirty every component whose membership,
-// successor set or cyclicity changed — on graphs with a giant SCC (every
-// scale-free graph this repository benchmarks on), edge churn inside the
-// component is structurally invisible and dirties nothing. Rows can change
-// only for the ancestor closure of the dirty components, and a label can
-// change value only if a labelled node is reachable from an insert head in
-// the new snapshot, was reachable from a delete head in the old one, or
-// sits in the forward closure of a membership change (multiplicities of the
-// loose DP and the self-count of the exact mode flow through those regions
-// and nowhere else). Advance recomputes exactly that rectangle — affected
-// rows × affected labels — through the partial passes of graph.DescScope,
-// copies every other row, and falls back to a full rebuild once the
-// rectangle's share of the index makes incremental work pointless,
-// mirroring simulation.IncCompute's two-level fallback.
+// by member set, and ComputeFrontier splits the mismatches into three
+// groups with different reach — membership changes and cyclicity flips
+// touch only their own components' rows, successor-set changes propagate to
+// their ancestor closure — and attaches to every label a mask of the groups
+// that can actually reach a row of that label. A warmed label whose mask is
+// empty provably has byte-identical rows and is shared; each non-empty mask
+// names a (memoized) DescScope through which exactly the reachable rows are
+// recomputed, one independent pass per label, run concurrently on the
+// worker pool. The adaptive fallback rebuilds every warmed label from
+// scratch once the recomputed cells' share of the whole index makes the
+// partial passes pointless, mirroring simulation.IncCompute's discipline.
 
 // AdvanceOptions tune BoundsCache.Advance.
 type AdvanceOptions struct {
 	// RebuildRatio is the work-share threshold above which Advance abandons
 	// incremental maintenance for a full rebuild of the warmed labels
-	// (default 0.25). The work share is (affected rows / total rows) ×
-	// (affected warmed labels / warmed labels) — the recomputed rectangle's
-	// share of the whole index. It is checked twice: optimistically (as if
-	// a single label were affected) before the label analysis, and exactly
-	// once the affected labels are known.
+	// (default 0.25). The work share is the number of recomputed cells
+	// (Σ over recomputed labels of their affected rows) over the whole
+	// index (warmed labels × rows).
 	RebuildRatio float64
+	// Workers bounds the concurrency of the per-label passes (recompute and
+	// rebuild): labels write disjoint rows, so any worker count produces
+	// byte-identical results; <= 0 uses all processors and 1 is the
+	// sequential determinism oracle.
+	Workers int
 }
 
 func (o AdvanceOptions) ratio() float64 {
@@ -53,11 +55,15 @@ type AdvanceStats struct {
 	// (false: the fallback rebuilt every warmed label from scratch).
 	Incremental bool
 	// TotalRows is the new snapshot's node count; AffectedRows is the
-	// number of rows rewritten per affected label (every row on a rebuild).
+	// number of rows in the union of the per-label affected sets (every row
+	// on a rebuild) — the widest set any single label could have had
+	// recomputed.
 	TotalRows    int
 	AffectedRows int
-	// RowShare is AffectedRows/TotalRows; WorkShare additionally scales by
-	// the affected-label share — the quantity the fallback thresholds.
+	// RowShare is AffectedRows/TotalRows. WorkShare is the recomputed
+	// cells' share of the whole warmed index, RecomputedCells/(warmed
+	// labels × TotalRows) — the quantity the fallback thresholds and the
+	// benchmark's affected-share series tracks.
 	RowShare  float64
 	WorkShare float64
 	// LabelsRecomputed and LabelsCopied split the warmed labels into the
@@ -65,9 +71,22 @@ type AdvanceStats struct {
 	LabelsRecomputed int
 	LabelsCopied     int
 	// DirtyComps counts the condensation components the delta structurally
-	// changed; ScopeComps the components the partial passes traversed.
-	DirtyComps int
-	ScopeComps int
+	// changed; FrontierComps the frontier's seed components (membership +
+	// successor-dirty + flipped — before ancestor expansion); ScopeComps
+	// the components the partial passes traversed, summed over the
+	// distinct masks.
+	DirtyComps    int
+	FrontierComps int
+	ScopeComps    int
+	// FrontierRows is the union affected-row count (equals AffectedRows on
+	// the incremental path); RecomputedCells is Σ over recomputed labels of
+	// the rows rewritten for that label.
+	FrontierRows    int
+	RecomputedCells int64
+	// ShardWallMicros is the wall time of the parallel per-label section
+	// (the partial recomputes, or the full per-label rebuilds on the
+	// fallback path).
+	ShardWallMicros int64
 }
 
 // Mode names the maintenance path taken, for logs and wire responses.
@@ -109,21 +128,23 @@ func (c *BoundsCache) RowsEqual(other *BoundsCache) error {
 }
 
 // Advance derives the bound index of gNew from this cache without touching
-// it: gNew must be the snapshot ApplyDelta produced from the cache's graph
-// and sum that application's summary — the snapshot version is verified and
-// a mismatched advance is a hard error, never a silent wrong index. The
-// returned cache covers exactly the labels this one had warm (a label the
-// delta introduced stays cold and fills lazily, or eagerly via Warm); its
-// counts are byte-identical to a fresh NewBoundsCache+Warm on gNew, which
-// the randomized delta-chain fuzz enforces for both modes. Advance reads
-// this cache under its lock and is safe to run while the old snapshot
-// keeps serving queries.
+// it: gNew must be a successor of the cache's snapshot in one update
+// lineage — typically the immediate next version, or several versions ahead
+// when a group commit applied a merged delta in one step — and sum must be
+// the summary of the (merged) delta between exactly those two snapshots.
+// The version is verified to move forward and a non-advancing call is a
+// hard error, never a silent wrong index. The returned cache covers exactly
+// the labels this one had warm (a label the delta introduced stays cold and
+// fills lazily, or eagerly via Warm); its counts are byte-identical to a
+// fresh NewBoundsCache+Warm on gNew, which the randomized delta-chain fuzz
+// enforces for both modes. Advance reads this cache under its lock and is
+// safe to run while the old snapshot keeps serving queries.
 func (c *BoundsCache) Advance(gNew *graph.Graph, sum *graph.DeltaSummary, opts AdvanceOptions) (*BoundsCache, AdvanceStats, error) {
 	if sum == nil {
 		return nil, AdvanceStats{}, fmt.Errorf("core: Advance: nil delta summary")
 	}
-	if want, got := c.g.Version()+1, gNew.Version(); got != want {
-		return nil, AdvanceStats{}, fmt.Errorf("core: Advance: graph version %d, want %d — gNew must be the immediate successor of the cache's snapshot", got, want)
+	if got := gNew.Version(); got <= c.g.Version() {
+		return nil, AdvanceStats{}, fmt.Errorf("core: Advance: graph version %d, want > %d — gNew must be a successor of the cache's snapshot", got, c.g.Version())
 	}
 	if sum.OldNodes != c.g.NumNodes() || sum.NewNodes != gNew.NumNodes() {
 		return nil, AdvanceStats{}, fmt.Errorf("core: Advance: summary covers %d→%d nodes, cache and graph have %d→%d — summary and delta do not match",
@@ -145,6 +166,7 @@ func (c *BoundsCache) Advance(gNew *graph.Graph, sum *graph.DeltaSummary, opts A
 	slices.Sort(ids)
 
 	nOld, nNew := sum.OldNodes, sum.NewNodes
+	workers := parallel.Workers(opts.Workers)
 	stats := AdvanceStats{Incremental: true, TotalRows: nNew}
 	fresh := func() *BoundsCache {
 		return &BoundsCache{
@@ -160,15 +182,25 @@ func (c *BoundsCache) Advance(gNew *graph.Graph, sum *graph.DeltaSummary, opts A
 	}
 	rebuild := func() (*BoundsCache, AdvanceStats, error) {
 		nc := fresh()
-		for i, row := range graph.DescendantLabelCounts(gNew, ids, c.mode) {
-			nc.counts[ids[i]] = row
+		rows := make([][]int32, len(ids))
+		//lint:allow detflow wall-clock feeds the ShardWallMicros observability stat only, never a result
+		t0 := time.Now()
+		parallel.ForEach(len(ids), workers, func(i int) {
+			rows[i] = graph.DescendantLabelCounts(gNew, ids[i:i+1], c.mode)[0]
+		})
+		//lint:allow detflow wall-clock feeds the ShardWallMicros observability stat only, never a result
+		stats.ShardWallMicros = time.Since(t0).Microseconds()
+		for i, id := range ids {
+			nc.counts[id] = rows[i]
 		}
 		stats.Incremental = false
 		stats.AffectedRows = nNew
+		stats.FrontierRows = nNew
 		stats.RowShare = 1
 		stats.WorkShare = 1
 		stats.LabelsRecomputed = len(ids)
 		stats.LabelsCopied = 0
+		stats.RecomputedCells = int64(len(ids)) * int64(nNew)
 		return nc, stats, nil
 	}
 
@@ -190,97 +222,111 @@ func (c *BoundsCache) Advance(gNew *graph.Graph, sum *graph.DeltaSummary, opts A
 		return nc, stats, nil
 	}
 
-	// Affected rows: the ancestor closure of the dirty components.
-	dirty := make([]int32, 0, diff.NumDirty)
-	for cn, d := range diff.DirtyNew {
-		if d {
-			dirty = append(dirty, int32(cn))
-		}
-	}
-	inAff := make([]bool, condNew.NumComps)
-	affComps := graph.ExpandComps(dirty, condNew.Pred, inAff)
-	for _, cc := range affComps {
-		stats.AffectedRows += len(condNew.Members[cc])
-	}
-	stats.RowShare = float64(stats.AffectedRows) / float64(nNew)
-	// Level-1 fallback: even a single affected label busts the budget.
-	stats.WorkShare = stats.RowShare / float64(len(ids))
-	if stats.WorkShare > ratio {
-		return rebuild()
-	}
+	// The per-node frontier: which of the three change groups can reach
+	// each label, and which components each group rewrites.
+	frontier := graph.ComputeFrontier(condOld, condNew, diff, gNew)
+	stats.FrontierComps = len(frontier.MemComps) + len(frontier.SuccDirty) + len(frontier.FlipComps)
 
-	// Affected labels. Gains live in the new snapshot's forward closure of
-	// the insert heads; losses in the old snapshot's forward closure of the
-	// delete heads; membership changes perturb multiplicities and
-	// self-counts through their own forward closures on both sides. Labels
-	// outside the union keep every row (including the all-zero rows of
-	// appended nodes: an appended node with a descendant of label l puts l
-	// in the new-side closure through its own dirty component).
-	affLabel := make(map[graph.LabelID]bool)
-	collect := func(g *graph.Graph, cond *graph.Condensation, comps []int32) {
-		for _, cc := range comps {
-			for _, v := range cond.Members[cc] {
-				affLabel[g.LabelIDOf(v)] = true
+	// Group component sets. Membership changes and flips rewrite their own
+	// components only; successor-set changes propagate to every ancestor.
+	var groups [3][]int32
+	groups[0] = frontier.MemComps
+	if len(frontier.SuccDirty) > 0 {
+		inAnc := make([]bool, condNew.NumComps)
+		groups[1] = graph.ExpandComps(frontier.SuccDirty, condNew.Pred, inAnc)
+	}
+	groups[2] = frontier.FlipComps
+
+	// Per-mask affected component sets (deduplicated unions of the selected
+	// groups), realized only for masks some warmed label actually has.
+	masks := make([]uint8, len(ids))
+	var labelsByMask [8]int
+	for i, id := range ids {
+		m := frontier.LabelMask(id)
+		masks[i] = m
+		labelsByMask[m]++
+	}
+	seen := make([]int8, condNew.NumComps)
+	for i := range seen {
+		seen[i] = -1
+	}
+	var maskComps [8][]int32
+	var maskRows [8]int
+	for m := 1; m < 8; m++ {
+		if labelsByMask[m] == 0 && m != 7 {
+			continue
+		}
+		var comps []int32
+		rows := 0
+		for g := 0; g < 3; g++ {
+			if m&(1<<g) == 0 {
+				continue
+			}
+			for _, cc := range groups[g] {
+				if seen[cc] == int8(m) {
+					continue
+				}
+				seen[cc] = int8(m)
+				comps = append(comps, cc)
+				rows += len(condNew.Members[cc])
 			}
 		}
+		maskComps[m] = comps
+		maskRows[m] = rows
 	}
-	newSeeds := make([]int32, 0, len(sum.InsertHeads)+diff.NumDirty)
-	for _, v := range sum.InsertHeads {
-		newSeeds = append(newSeeds, condNew.Comp[v])
+	// Mask 7 is the union of everything — the widest affected set, always
+	// computed for the stats even when no label carries it.
+	stats.AffectedRows = maskRows[7]
+	stats.FrontierRows = maskRows[7]
+	stats.RowShare = float64(stats.AffectedRows) / float64(nNew)
+	for m := 1; m < 8; m++ {
+		stats.LabelsRecomputed += labelsByMask[m]
+		stats.RecomputedCells += int64(labelsByMask[m]) * int64(maskRows[m])
 	}
-	for cn, co := range diff.NewToOld {
-		if co < 0 {
-			newSeeds = append(newSeeds, int32(cn))
-		}
-	}
-	inDownNew := make([]bool, condNew.NumComps)
-	collect(gNew, condNew, graph.ExpandComps(newSeeds, condNew.Succ, inDownNew))
-
-	oldSeeds := make([]int32, 0, len(sum.DeleteHeads))
-	for _, v := range sum.DeleteHeads {
-		oldSeeds = append(oldSeeds, condOld.Comp[v])
-	}
-	for co, cn := range diff.OldToNew {
-		if cn < 0 {
-			oldSeeds = append(oldSeeds, int32(co))
-		}
-	}
-	inDownOld := make([]bool, condOld.NumComps)
-	collect(c.g, condOld, graph.ExpandComps(oldSeeds, condOld.Succ, inDownOld))
-
-	for _, id := range ids {
-		if affLabel[id] {
-			stats.LabelsRecomputed++
-		}
-	}
-	stats.LabelsCopied = len(ids) - stats.LabelsRecomputed
-	// Level-2 fallback: the exact recomputed rectangle.
-	stats.WorkShare = stats.RowShare * float64(stats.LabelsRecomputed) / float64(len(ids))
+	stats.LabelsCopied = labelsByMask[0]
+	stats.WorkShare = float64(stats.RecomputedCells) / (float64(len(ids)) * float64(nNew))
 	if stats.WorkShare > ratio {
 		return rebuild()
 	}
 
-	nc := fresh()
-	var scope *graph.DescScope
-	if stats.LabelsRecomputed > 0 {
-		scope = graph.NewDescScope(condNew, affComps)
-		stats.ScopeComps = scope.Comps()
+	// One memoized scope per distinct non-empty mask: at most seven partial
+	// traversal regions no matter how many labels recompute through them.
+	var scopes [8]*graph.DescScope
+	for m := 1; m < 8; m++ {
+		if labelsByMask[m] == 0 {
+			continue
+		}
+		scopes[m] = graph.NewDescScope(condNew, maskComps[m])
+		stats.ScopeComps += scopes[m].Comps()
 	}
-	for _, id := range ids {
-		old := warm[id]
-		switch {
-		case affLabel[id]:
+
+	// Per-label maintenance, one independent pass per label: rows are
+	// disjoint outputs and the scopes' Recompute keeps all mutable state
+	// per call, so any worker count is byte-identical to the sequential
+	// oracle. The shared map is filled after the joins.
+	rows := make([][]int32, len(ids))
+	//lint:allow detflow wall-clock feeds the ShardWallMicros observability stat only, never a result
+	t0 := time.Now()
+	parallel.ForEach(len(ids), workers, func(i int) {
+		old := warm[ids[i]]
+		if m := masks[i]; m != 0 {
 			row := make([]int32, nNew)
 			copy(row, old)
-			scope.Recompute(gNew, id, c.mode, row)
-			nc.counts[id] = row
-		case nNew == nOld:
-			nc.counts[id] = old // unchanged, share the slice
-		default:
+			scopes[m].Recompute(gNew, ids[i], c.mode, row)
+			rows[i] = row
+		} else if nNew == nOld {
+			rows[i] = old // unchanged, share the slice
+		} else {
 			row := make([]int32, nNew) // appended tail stays zero
 			copy(row, old)
-			nc.counts[id] = row
+			rows[i] = row
 		}
+	})
+	//lint:allow detflow wall-clock feeds the ShardWallMicros observability stat only, never a result
+	stats.ShardWallMicros = time.Since(t0).Microseconds()
+	nc := fresh()
+	for i, id := range ids {
+		nc.counts[id] = rows[i]
 	}
 	return nc, stats, nil
 }

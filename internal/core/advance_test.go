@@ -115,7 +115,8 @@ func TestBoundsAdvanceDeltaChainFuzz(t *testing.T) {
 					return c
 				}
 				adaptive := newWarm(g)
-				forced := newWarm(g)  // never falls back
+				forced := newWarm(g)  // never falls back, sequential oracle
+				forcedP := newWarm(g) // never falls back, parallel shards
 				rebuilt := newWarm(g) // always falls back
 				for step := 0; step < 10; step++ {
 					d := randomAdvDelta(rng, g, labels)
@@ -129,7 +130,11 @@ func TestBoundsAdvanceDeltaChainFuzz(t *testing.T) {
 					if err != nil {
 						t.Fatalf("step %d: %v", step, err)
 					}
-					forced, _, err = forced.Advance(gNew, sum, AdvanceOptions{RebuildRatio: 1})
+					forced, _, err = forced.Advance(gNew, sum, AdvanceOptions{RebuildRatio: 1, Workers: 1})
+					if err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					forcedP, _, err = forcedP.Advance(gNew, sum, AdvanceOptions{RebuildRatio: 1, Workers: 8})
 					if err != nil {
 						t.Fatalf("step %d: %v", step, err)
 					}
@@ -138,7 +143,7 @@ func TestBoundsAdvanceDeltaChainFuzz(t *testing.T) {
 					if err != nil {
 						t.Fatalf("step %d: %v", step, err)
 					}
-					if rstats.Incremental && rstats.DirtyComps > 0 {
+					if rstats.Incremental && rstats.RecomputedCells > 0 {
 						t.Fatalf("step %d: forced-rebuild path stayed incremental: %+v", step, rstats)
 					}
 					if stats.TotalRows != gNew.NumNodes() {
@@ -149,11 +154,13 @@ func TestBoundsAdvanceDeltaChainFuzz(t *testing.T) {
 					// fill against the new snapshot after the advance.
 					adaptive.Warm(nil)
 					forced.Warm(nil)
+					forcedP.Warm(nil)
 					rebuilt.Warm(nil)
 
 					oracle := newWarm(gNew)
 					assertCachesEqual(t, fmt.Sprintf("step %d adaptive", step), adaptive, oracle)
 					assertCachesEqual(t, fmt.Sprintf("step %d forced-incremental", step), forced, oracle)
+					assertCachesEqual(t, fmt.Sprintf("step %d forced-incremental-parallel", step), forcedP, oracle)
 					assertCachesEqual(t, fmt.Sprintf("step %d forced-rebuild", step), rebuilt, oracle)
 					g = gNew
 				}
@@ -163,8 +170,10 @@ func TestBoundsAdvanceDeltaChainFuzz(t *testing.T) {
 }
 
 // TestBoundsAdvanceVersionMismatch pins the hard-error guard: advancing
-// onto anything but the cache's immediate successor snapshot fails instead
-// of silently producing a wrong index.
+// must move the version forward (a multi-step jump is legal — that is the
+// group-commit path — but the summary must then cover the whole merged
+// delta), and a summary that disagrees with the snapshots is rejected
+// instead of silently producing a wrong index.
 func TestBoundsAdvanceVersionMismatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	g := randomAdvGraph(rng, 16, 40, 3, graph.NewDict())
@@ -177,17 +186,34 @@ func TestBoundsAdvanceVersionMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+
+	// A multi-step advance is the group-commit path: the merged delta of
+	// both steps applied in one ApplyDeltaVersionStep call, advanced with
+	// the merged summary, must match a fresh build of the final snapshot.
+	merged := &graph.Delta{}
+	if err := merged.Merge(g, &d); err != nil {
+		t.Fatal(err)
+	}
 	var d2 graph.Delta
 	d2.InsertEdge(1, 2)
-	g2, sum2, err := graph.ApplyDeltaWithSummary(g1, &d2)
+	if err := merged.Merge(g, &d2); err != nil {
+		t.Fatal(err)
+	}
+	g2m, sum2m, err := graph.ApplyDeltaVersionStep(g, merged, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-
-	// Skipping a snapshot is a hard error.
-	if _, _, err := c.Advance(g2, sum2, AdvanceOptions{}); err == nil {
-		t.Fatal("Advance accepted a snapshot two versions ahead")
+	if g2m.Version() != g.Version()+2 {
+		t.Fatalf("merged apply landed on version %d, want %d", g2m.Version(), g.Version()+2)
 	}
+	c2, _, err := c.Advance(g2m, sum2m, AdvanceOptions{})
+	if err != nil {
+		t.Fatalf("group-commit advance: %v", err)
+	}
+	oracle2 := NewBoundsCache(g2m, true)
+	oracle2.Warm(nil)
+	assertCachesEqual(t, "group-commit advance", c2, oracle2)
+
 	// Same snapshot (no version bump) is a hard error.
 	if _, _, err := c.Advance(g, sum1, AdvanceOptions{}); err == nil {
 		t.Fatal("Advance accepted the cache's own snapshot")

@@ -189,6 +189,42 @@ func (s *Store) Append(g *graph.Graph, d *graph.Delta) error {
 	return nil
 }
 
+// AppendBatch makes the versions of one group commit durable: ds are the
+// per-request deltas whose merged application produced g, so ds[i] carries
+// version g.Version()-len(ds)+1+i. All records land in the WAL under a
+// single sync point — recovery replays them one at a time through the same
+// path as singly appended records. The rotation policy counts each record.
+func (s *Store) AppendBatch(g *graph.Graph, ds []*graph.Delta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failedErr != nil {
+		return s.failedErr
+	}
+	if !s.seeded {
+		return s.fail(fmt.Errorf("durable: batch append to unseeded store %s", s.dir))
+	}
+	k := uint64(len(ds))
+	if k == 0 {
+		return nil
+	}
+	if g.Version() != s.durableVer+k {
+		// A version gap is a caller bug, not a device failure; the store
+		// stays usable for the correct next version.
+		return fmt.Errorf("durable: batch of %d ending at version %d, want %d", k, g.Version(), s.durableVer+k)
+	}
+	if err := s.log.AppendBatch(s.durableVer+1, ds); err != nil {
+		return s.fail(err)
+	}
+	s.durableVer = g.Version()
+	s.sinceCkpt += int(k)
+	if s.opts.CheckpointEvery > 0 && s.sinceCkpt >= s.opts.CheckpointEvery {
+		// The batch above already made these versions durable; a failed
+		// rotation only degrades future appends.
+		_ = s.fail(s.checkpointLocked(g))
+	}
+	return nil
+}
+
 // Checkpoint rotates the store onto a checkpoint of g immediately: snapshot
 // published, WAL truncated, older checkpoints garbage-collected. g must be
 // the graph of the store's current durable version.

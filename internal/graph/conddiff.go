@@ -111,6 +111,169 @@ func DiffCondensation(oldCond, newCond *Condensation, oldNodes int) *Condensatio
 	return d
 }
 
+// Frontier label-mask bits: which of the three change groups a label's rows
+// can be reached by. See ComputeFrontier.
+const (
+	// FrontierMem: the label occurs below a membership-dirty component (new
+	// side) or below a vanished component (old side). Rows of the
+	// membership-dirty components themselves must be recomputed for it.
+	FrontierMem uint8 = 1 << iota
+	// FrontierAddRem: the label occurs below an added successor (new side)
+	// or a removed successor (old side) of some matched component. Rows of
+	// the ancestor closure of the successor-dirty components must be
+	// recomputed for it.
+	FrontierAddRem
+	// FrontierFlip: the label occurs among the members of a component whose
+	// Nontrivial flag flipped. Rows of the flipped components themselves
+	// must be recomputed for it.
+	FrontierFlip
+)
+
+// Frontier is the per-label affected area of one condensation step — the
+// sharpening of the all-labels rectangle "ancestors of every dirty
+// component" that DiffCondensation alone supports. It splits the dirty
+// components into three groups with different reach and attaches to each
+// label a bitmask of the groups that can touch its rows:
+//
+//   - Membership-dirty components (MemComps: no old component has the same
+//     member set) need their own rows rewritten, but only for labels
+//     appearing in their forward closure on either side (FrontierMem): for
+//     any other label both the old and the new count of every member is
+//     zero. Their ancestors are covered by the next group — every
+//     predecessor of an unmatched component necessarily fails the
+//     successor-set match.
+//   - Successor-dirty components (SuccDirty: matched, successor set
+//     changed) change counts only through the subtrees that appeared or
+//     disappeared, so only labels occurring below an added successor (new
+//     side) or a removed one (old side) can differ (FrontierAddRem); that
+//     difference propagates to every ancestor, so the affected set for
+//     those labels is the ancestor closure of SuccDirty.
+//   - Flipped components (FlipComps: matched, same successors, Nontrivial
+//     flipped) change only their own members' self-visibility, for member
+//     labels only (FrontierFlip) — what a flipped component passes to its
+//     predecessors is unchanged in both index modes, so flips never
+//     propagate upstream.
+//
+// A label with mask 0 provably has byte-identical rows (modulo
+// zero-extension for appended nodes) and is shared, not copied — on churn
+// far from a label's occurrences this is the common case, and it is what
+// keeps the per-update maintenance cost proportional to the delta's actual
+// reach instead of the component count.
+type Frontier struct {
+	// MemComps lists the membership-dirty new components.
+	MemComps []int32
+	// SuccDirty lists the matched new components whose successor set
+	// changed.
+	SuccDirty []int32
+	// FlipComps lists the matched new components whose Nontrivial flag
+	// flipped.
+	FlipComps []int32
+	// Labels maps each label that any group can reach to its group mask;
+	// labels not present have mask 0 and provably unchanged rows.
+	Labels map[LabelID]uint8
+}
+
+// LabelMask returns the group bitmask of l (0 when no group reaches it).
+func (f *Frontier) LabelMask(l LabelID) uint8 { return f.Labels[l] }
+
+// ComputeFrontier classifies the dirty components of d into the three
+// frontier groups and collects the per-label group masks; d must be the
+// DiffCondensation of (oldCond, newCond). Member labels are read through
+// gNew — node labels are immutable and old nodes keep their IDs, so the
+// new snapshot answers for both sides.
+func ComputeFrontier(oldCond, newCond *Condensation, d *CondensationDiff, gNew *Graph) *Frontier {
+	f := &Frontier{Labels: make(map[LabelID]uint8)}
+
+	var memNew, vanished []int32
+	for cn, co := range d.NewToOld {
+		if co < 0 {
+			memNew = append(memNew, int32(cn))
+		}
+	}
+	for co, cn := range d.OldToNew {
+		if cn < 0 {
+			vanished = append(vanished, int32(co))
+		}
+	}
+	f.MemComps = memNew
+
+	// Successor-set re-matching with recorded differences: stamp the old
+	// successors (through the matching) to find added new ones, stamp the
+	// new successors to find removed old ones.
+	var addSeeds, remSeeds []int32
+	stampOld := make([]int32, oldCond.NumComps)
+	stampNew := make([]int32, newCond.NumComps)
+	for i := range stampOld {
+		stampOld[i] = -1
+	}
+	for i := range stampNew {
+		stampNew[i] = -1
+	}
+	addSeen := make([]bool, newCond.NumComps)
+	remSeen := make([]bool, oldCond.NumComps)
+	for cn := 0; cn < newCond.NumComps; cn++ {
+		co := d.NewToOld[cn]
+		if co < 0 || !d.DirtyNew[cn] {
+			continue
+		}
+		if newCond.Nontrivial[cn] != oldCond.Nontrivial[co] {
+			f.FlipComps = append(f.FlipComps, int32(cn))
+		}
+		for _, s := range oldCond.Succ[co] {
+			stampOld[s] = int32(cn)
+		}
+		for _, s := range newCond.Succ[cn] {
+			stampNew[s] = int32(cn)
+		}
+		changed := false
+		for _, s := range newCond.Succ[cn] {
+			so := d.NewToOld[s]
+			if so < 0 || stampOld[so] != int32(cn) {
+				changed = true
+				if !addSeen[s] {
+					addSeen[s] = true
+					addSeeds = append(addSeeds, s)
+				}
+			}
+		}
+		for _, so := range oldCond.Succ[co] {
+			sn := d.OldToNew[so]
+			if sn < 0 || stampNew[sn] != int32(cn) {
+				changed = true
+				if !remSeen[so] {
+					remSeen[so] = true
+					remSeeds = append(remSeeds, so)
+				}
+			}
+		}
+		if changed {
+			f.SuccDirty = append(f.SuccDirty, int32(cn))
+		}
+	}
+
+	collect := func(cond *Condensation, seeds []int32, bit uint8) {
+		if len(seeds) == 0 {
+			return
+		}
+		in := make([]bool, cond.NumComps)
+		for _, c := range ExpandComps(seeds, cond.Succ, in) {
+			for _, v := range cond.Members[c] {
+				f.Labels[gNew.LabelIDOf(v)] |= bit
+			}
+		}
+	}
+	collect(newCond, memNew, FrontierMem)
+	collect(oldCond, vanished, FrontierMem)
+	collect(newCond, addSeeds, FrontierAddRem)
+	collect(oldCond, remSeeds, FrontierAddRem)
+	for _, c := range f.FlipComps {
+		for _, v := range newCond.Members[c] {
+			f.Labels[gNew.LabelIDOf(v)] |= FrontierFlip
+		}
+	}
+	return f
+}
+
 // sameMembers reports whether two ascending member lists are identical.
 func sameMembers(a, b []int32) bool {
 	if len(a) != len(b) {

@@ -156,6 +156,7 @@ type Graph struct {
 	// adjacent snapshots instead of recomputing either side).
 	condOnce sync.Once
 	cond     *Condensation
+	condSet  atomic.Bool
 }
 
 // NumNodes returns |V|.
@@ -234,8 +235,33 @@ func (g *Graph) NodesWithLabel(name string) []NodeID {
 // immutable, so the condensation never invalidates). Safe for concurrent
 // use; concurrent first callers wait for the single computation.
 func (g *Graph) Condensation() *Condensation {
-	g.condOnce.Do(func() { g.cond = CondenseCSR(g.n, g.outOff, g.outAdj) })
+	g.condOnce.Do(func() {
+		g.cond = CondenseCSR(g.n, g.outOff, g.outAdj)
+		g.condSet.Store(true)
+	})
 	return g.cond
+}
+
+// condIfComputed returns the cached condensation if some caller has already
+// computed it, and nil otherwise — it never triggers the computation. The
+// update path uses it to decide whether an incremental condensation patch has
+// a base to start from.
+func (g *Graph) condIfComputed() *Condensation {
+	if g.condSet.Load() {
+		return g.cond
+	}
+	return nil
+}
+
+// adoptCondensation installs a precomputed condensation on a snapshot that no
+// reader has seen yet (the update path patches the predecessor's condensation
+// forward instead of re-running Tarjan). If a condensation was already
+// computed or adopted, the call is a no-op.
+func (g *Graph) adoptCondensation(c *Condensation) {
+	g.condOnce.Do(func() {
+		g.cond = c
+		g.condSet.Store(true)
+	})
 }
 
 // HasEdge reports whether the edge (u, v) exists. It binary-searches the

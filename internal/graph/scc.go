@@ -137,24 +137,30 @@ func Condense(n int, adj AdjFunc) *Condensation {
 	}
 
 	// Build the condensed DAG with deduplication. seen[c2] = current source
-	// SCC + 1 avoids clearing the mark array between SCCs.
+	// SCC + 1 avoids clearing the mark array between SCCs — which is only
+	// exact when each SCC's edges are scanned contiguously, so the walk goes
+	// component by component over the member lists rather than in node order
+	// (interleaved members of two SCCs sharing a target would otherwise
+	// re-stamp each other and emit duplicate condensed edges, and the loose
+	// descendant counts sum successor lists without re-deduplicating).
 	seen := make([]int32, nComp)
-	for v := int32(0); v < int32(n); v++ {
-		cv := comp[v]
-		adj(v, func(w int32) {
-			cw := comp[w]
-			if cw == cv {
-				if w == v {
-					c.Nontrivial[cv] = true
+	for cv := int32(0); cv < nComp; cv++ {
+		for _, v := range c.Members[cv] {
+			adj(v, func(w int32) {
+				cw := comp[w]
+				if cw == cv {
+					if w == v {
+						c.Nontrivial[cv] = true
+					}
+					return
 				}
-				return
-			}
-			if seen[cw] != cv+1 {
-				seen[cw] = cv + 1
-				c.Succ[cv] = append(c.Succ[cv], cw)
-				c.Pred[cw] = append(c.Pred[cw], cv)
-			}
-		})
+				if seen[cw] != cv+1 {
+					seen[cw] = cv + 1
+					c.Succ[cv] = append(c.Succ[cv], cw)
+					c.Pred[cw] = append(c.Pred[cw], cv)
+				}
+			})
+		}
 	}
 	for i := range c.Members {
 		if len(c.Members[i]) > 1 {

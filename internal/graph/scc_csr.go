@@ -116,26 +116,31 @@ func CondenseCSR(n int, off []int32, adj []int32) *Condensation {
 	// Condensed DAG with deduplication, same marking trick as Condense but
 	// in two passes over backing arrays (positive stamps count, negative
 	// stamps fill), so the per-component slices are subslices, not appends.
+	// Both passes walk component by component over the member lists: the
+	// stamp only deduplicates exactly when each component's edges are scanned
+	// contiguously, and the loose descendant counts sum successor lists
+	// without re-deduplicating.
 	seen := make([]int32, nComp)
 	succCnt := make([]int32, nComp+1)
 	predCnt := make([]int32, nComp+1)
 	nEdges := int32(0)
-	for v := int32(0); v < int32(n); v++ {
-		cv := comp[v]
-		for e := off[v]; e < off[v+1]; e++ {
-			w := adj[e]
-			cw := comp[w]
-			if cw == cv {
-				if w == v {
-					c.Nontrivial[cv] = true
+	for cv := int32(0); cv < nComp; cv++ {
+		for _, v := range c.Members[cv] {
+			for e := off[v]; e < off[v+1]; e++ {
+				w := adj[e]
+				cw := comp[w]
+				if cw == cv {
+					if w == v {
+						c.Nontrivial[cv] = true
+					}
+					continue
 				}
-				continue
-			}
-			if seen[cw] != cv+1 {
-				seen[cw] = cv + 1
-				succCnt[cv+1]++
-				predCnt[cw+1]++
-				nEdges++
+				if seen[cw] != cv+1 {
+					seen[cw] = cv + 1
+					succCnt[cv+1]++
+					predCnt[cw+1]++
+					nEdges++
+				}
 			}
 		}
 	}
@@ -149,19 +154,20 @@ func CondenseCSR(n int, off []int32, adj []int32) *Condensation {
 	predNext := make([]int32, nComp)
 	copy(succNext, succCnt[:nComp])
 	copy(predNext, predCnt[:nComp])
-	for v := int32(0); v < int32(n); v++ {
-		cv := comp[v]
-		for e := off[v]; e < off[v+1]; e++ {
-			cw := comp[adj[e]]
-			if cw == cv {
-				continue
-			}
-			if seen[cw] != -(cv + 1) {
-				seen[cw] = -(cv + 1)
-				succBuf[succNext[cv]] = cw
-				succNext[cv]++
-				predBuf[predNext[cw]] = cv
-				predNext[cw]++
+	for cv := int32(0); cv < nComp; cv++ {
+		for _, v := range c.Members[cv] {
+			for e := off[v]; e < off[v+1]; e++ {
+				cw := comp[adj[e]]
+				if cw == cv {
+					continue
+				}
+				if seen[cw] != -(cv + 1) {
+					seen[cw] = -(cv + 1)
+					succBuf[succNext[cv]] = cw
+					succNext[cv]++
+					predBuf[predNext[cw]] = cv
+					predNext[cw]++
+				}
 			}
 		}
 	}

@@ -319,3 +319,132 @@ func TestCleanShutdownRestart(t *testing.T) {
 		t.Fatalf("graph health after restart = %+v", gs)
 	}
 }
+
+// runPersistentBatchesUntilCrash is runPersistentUntilCrash for group
+// commits: deltas are applied through Matcher.UpdateBatch in the given batch
+// widths, so a crash can land inside a multi-record WAL write. Returns the
+// number of acknowledged *versions* (every delta of an acked batch), or -1
+// if registration itself crashed.
+func runPersistentBatchesUntilCrash(t *testing.T, dir string, fs fsx.FS, base *divtopk.Graph, batches [][]*divtopk.Delta) int {
+	t.Helper()
+	reg, err := server.NewPersistentRegistry(crashFuzzOptions(dir, fs))
+	if err != nil {
+		return -1
+	}
+	if err := reg.Add("g", base); err != nil {
+		return -1
+	}
+	m, _ := reg.Get("g")
+	acked := 0
+	for _, batch := range batches {
+		if _, _, err := m.UpdateBatch(batch); err != nil {
+			if !errors.Is(err, divtopk.ErrDurabilityUnavailable) {
+				t.Fatalf("batch update failed with a non-durability error: %v", err)
+			}
+			break
+		}
+		acked += len(batch)
+	}
+	return acked
+}
+
+// TestCrashRecoveryBatchFuzz is the group-commit extension of the crash
+// fuzz: runs are killed at random byte offsets while committing multi-delta
+// batches, so crashes land inside a single multi-record WAL write. A torn
+// batch write leaves a prefix of its per-request records, none of them
+// acknowledged; recovery must reach at least every acknowledged version,
+// never an inconsistent state, and every recovered version must answer
+// queries byte-identically to the reference chain at that version.
+func TestCrashRecoveryBatchFuzz(t *testing.T) {
+	base, edges := crashGraph(t)
+	deltas := crashDeltas(t, base.NumNodes(), edges, 9)
+	patterns := crashPatterns(t)
+
+	// Deterministic widths 2,3,2,... so most crashes land mid-batch.
+	var batches [][]*divtopk.Delta
+	for i, w := 0, 2; i < len(deltas); i, w = i+w, 5-w {
+		end := i + w
+		if end > len(deltas) {
+			end = len(deltas)
+		}
+		batches = append(batches, deltas[i:end])
+	}
+
+	// Reference run: the sequential chain the batches are equivalent to,
+	// results recorded at every version (recovery can surface any record
+	// prefix, acked or not).
+	ref := make(map[uint64]resultSet)
+	m := divtopk.NewMatcher(base)
+	ref[0] = snapshotResults(t, m, patterns)
+	for _, d := range deltas {
+		g, err := m.Update(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[g.Version()] = snapshotResults(t, m, patterns)
+	}
+
+	pilot := fsx.NewFault(fsx.OS())
+	if acked := runPersistentBatchesUntilCrash(t, t.TempDir(), pilot, base, batches); acked != len(deltas) {
+		t.Fatalf("pilot run acked %d of %d versions", acked, len(deltas))
+	}
+	total := pilot.BytesWritten()
+	if total == 0 {
+		t.Fatal("pilot run wrote no bytes")
+	}
+
+	const seeds = 14
+	for seed := int64(100); seed < 100+seeds; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			offset := 1 + rng.Int63n(total)
+			dir := t.TempDir()
+			fault := fsx.NewFault(fsx.OS())
+			fault.CrashAfter(offset)
+			acked := runPersistentBatchesUntilCrash(t, dir, fault, base, batches)
+			if !fault.Crashed() {
+				t.Fatalf("offset %d of %d did not crash the run (acked %d)", offset, total, acked)
+			}
+
+			reg, err := server.NewPersistentRegistry(crashFuzzOptions(dir, fsx.OS()))
+			if err != nil {
+				t.Fatalf("recovery after crash at offset %d: %v", offset, err)
+			}
+			defer reg.Close()
+			if acked < 0 {
+				if reg.Len() != 0 {
+					t.Fatalf("recovered %d graphs from a store that never acknowledged one", reg.Len())
+				}
+				return
+			}
+			m2, ok := reg.Get("g")
+			if !ok {
+				t.Fatalf("graph lost after crash at offset %d (acked %d)", offset, acked)
+			}
+			v := m2.Version()
+			// Durability may exceed the acks: a crash after the batch's WAL
+			// write but before the acknowledgment leaves complete unacked
+			// records, which recovery legitimately replays. It must never
+			// fall below what was acknowledged, and never land outside the
+			// chain.
+			if v < uint64(acked) {
+				t.Fatalf("recovered version %d below the %d acknowledged", v, acked)
+			}
+			if v > uint64(len(deltas)) {
+				t.Fatalf("recovered version %d beyond the chain of %d", v, len(deltas))
+			}
+			assertSameResults(t, snapshotResults(t, m2, patterns), ref[v],
+				fmt.Sprintf("offset %d, version %d", offset, v))
+
+			// The recovered session finishes the chain (one batch per
+			// remaining delta suffix) and lands on the reference end state.
+			if rest := deltas[v:]; len(rest) > 0 {
+				if _, _, err := m2.UpdateBatch(rest); err != nil {
+					t.Fatalf("batch update after recovery: %v", err)
+				}
+			}
+			assertSameResults(t, snapshotResults(t, m2, patterns), ref[uint64(len(deltas))],
+				"end state after recovery")
+		})
+	}
+}

@@ -43,6 +43,14 @@ func (s storeSink) AppendDelta(g *divtopk.Graph, d *divtopk.Delta) error {
 	return s.store.Append(g.Unwrap().(*graph.Graph), d.Unwrap().(*graph.Delta))
 }
 
+func (s storeSink) AppendBatch(g *divtopk.Graph, ds []*divtopk.Delta) error {
+	raw := make([]*graph.Delta, len(ds))
+	for i, d := range ds {
+		raw[i] = d.Unwrap().(*graph.Delta)
+	}
+	return s.store.AppendBatch(g.Unwrap().(*graph.Graph), raw)
+}
+
 // graphName constrains persistent graph names to characters safe to use as a
 // directory name: no separators, no leading dot, bounded length.
 var graphName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,127}$`)

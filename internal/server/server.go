@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"divtopk"
@@ -67,12 +68,20 @@ type Server struct {
 	reg *Registry
 	cfg Config
 	sem chan struct{}
+
+	mu   sync.Mutex
+	coal map[string]*coalescer // per-graph group-commit queues
 }
 
 // New returns a server over reg with cfg's limits (zero fields defaulted).
 func New(reg *Registry, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{reg: reg, cfg: cfg, sem: make(chan struct{}, cfg.MaxConcurrent)}
+	return &Server{
+		reg:  reg,
+		cfg:  cfg,
+		sem:  make(chan struct{}, cfg.MaxConcurrent),
+		coal: make(map[string]*coalescer),
+	}
 }
 
 // Handler returns the API routes:
@@ -337,10 +346,12 @@ type UpdateNode struct {
 	Attrs map[string]any `json:"attrs,omitempty"`
 }
 
-// EdgePair is one [from, to] edge of an UpdateRequest. It decodes strictly:
-// encoding/json would silently truncate a three-element array into a [2]int
-// and zero-fill a one-element one, turning a client arity bug into a
-// mutation of the wrong edge; here either case is a decode error.
+// EdgePair is one [from, to] edge of an UpdateRequest. Endpoints are node
+// IDs, or negative self-references -1-j naming the request's own j-th
+// appended node (see UpdateRequest). It decodes strictly: encoding/json
+// would silently truncate a three-element array into a [2]int and zero-fill
+// a one-element one, turning a client arity bug into a mutation of the wrong
+// edge; here either case is a decode error.
 type EdgePair [2]int
 
 // UnmarshalJSON enforces exactly two elements.
@@ -357,17 +368,31 @@ func (e *EdgePair) UnmarshalJSON(data []byte) error {
 }
 
 // UpdateRequest is the body of POST /v1/graphs/{name}/updates: a graph
-// delta. Appended node i receives ID nodes+i, where nodes is the graph's
-// node count before this update (echoed back by the previous update or
-// registration response); add/del edges reference those final IDs.
+// delta. Updates to one graph are group-committed: requests arriving while a
+// commit is in flight are merged and applied as one batch, and each request
+// is acknowledged with its own version of the equivalent sequential chain.
+//
+// A request's appended nodes receive consecutive IDs starting at the
+// response's first_node — which, under concurrent writers, a client cannot
+// predict. Edges of the same request therefore reference its own appends
+// with negative self-references: endpoint -1-j names the request's j-th
+// appended node (-1 the first, -2 the second, ...). Non-negative endpoints
+// name nodes the client already knows the IDs of. The legacy sole-writer
+// convention — appended node i receives ID nodes+i, where nodes is the node
+// count echoed by the previous response — still holds when nothing else
+// writes the graph.
 type UpdateRequest struct {
 	AddNodes []UpdateNode `json:"add_nodes,omitempty"`
 	AddEdges []EdgePair   `json:"add_edges,omitempty"`
 	DelEdges []EdgePair   `json:"del_edges,omitempty"`
 }
 
-// Delta converts the wire form to a library Delta.
-func (req *UpdateRequest) Delta() (*divtopk.Delta, error) {
+// resolve converts the wire form to a library Delta, interpreting negative
+// self-references against firstID — the node ID the request's first append
+// will receive, which the coalescer computes from the base snapshot plus the
+// appends of the requests merged before this one. It also returns that first
+// ID (-1 when the request appends nothing) for the response.
+func (req *UpdateRequest) resolve(firstID int) (*divtopk.Delta, int, error) {
 	var d divtopk.Delta
 	for i, n := range req.AddNodes {
 		attrs := make([]divtopk.Attr, 0, len(n.Attrs))
@@ -377,22 +402,52 @@ func (req *UpdateRequest) Delta() (*divtopk.Delta, error) {
 				attrs = append(attrs, divtopk.Str(k, val))
 			case float64:
 				if val != float64(int64(val)) {
-					return nil, fmt.Errorf("add_nodes[%d]: attr %q: fractional numbers are not a supported attribute type", i, k)
+					return nil, 0, fmt.Errorf("add_nodes[%d]: attr %q: fractional numbers are not a supported attribute type", i, k)
 				}
 				attrs = append(attrs, divtopk.Int(k, int64(val)))
 			default:
-				return nil, fmt.Errorf("add_nodes[%d]: attr %q: unsupported value type %T", i, k, v)
+				return nil, 0, fmt.Errorf("add_nodes[%d]: attr %q: unsupported value type %T", i, k, v)
 			}
 		}
 		d.AddNode(n.Label, attrs...)
 	}
-	for _, e := range req.AddEdges {
-		d.InsertEdge(e[0], e[1])
+	ref := func(field string, i, e int) (int, error) {
+		if e >= 0 {
+			return e, nil
+		}
+		j := -1 - e
+		if j >= len(req.AddNodes) {
+			return 0, fmt.Errorf("%s[%d]: self-reference %d names appended node %d, but the request appends %d node(s)",
+				field, i, e, j, len(req.AddNodes))
+		}
+		return firstID + j, nil
 	}
-	for _, e := range req.DelEdges {
-		d.DeleteEdge(e[0], e[1])
+	for i, e := range req.AddEdges {
+		u, err := ref("add_edges", i, e[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		v, err := ref("add_edges", i, e[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		d.InsertEdge(u, v)
 	}
-	return &d, nil
+	for i, e := range req.DelEdges {
+		u, err := ref("del_edges", i, e[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		v, err := ref("del_edges", i, e[1])
+		if err != nil {
+			return nil, 0, err
+		}
+		d.DeleteEdge(u, v)
+	}
+	if len(req.AddNodes) == 0 {
+		firstID = -1
+	}
+	return &d, firstID, nil
 }
 
 // UpdateResponse is the body of a successful POST
@@ -403,15 +458,23 @@ func (req *UpdateRequest) Delta() (*divtopk.Delta, error) {
 // a dynamic graph use the Index object to see whether their update shape
 // stays in the cheap regime.
 type UpdateResponse struct {
-	Name    string             `json:"name"`
-	Version uint64             `json:"version"`
-	Nodes   int                `json:"nodes"`
-	Edges   int                `json:"edges"`
-	Index   divtopk.IndexStats `json:"index"`
+	Name    string `json:"name"`
+	Version uint64 `json:"version"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	// FirstNode is the ID assigned to the request's first appended node
+	// (consecutive IDs follow); absent when the request appended nothing.
+	// Under group commit this is the only way a concurrent writer learns
+	// where its appends landed.
+	FirstNode *int               `json:"first_node,omitempty"`
+	Index     divtopk.IndexStats `json:"index"`
 }
 
-// handleUpdate applies a delta to a registered graph's session. The matcher
-// advances the bound index off to the side and swaps graph and index
+// handleUpdate routes a delta through the graph's group-commit coalescer:
+// requests arriving while a commit is in flight are merged and applied as
+// one batch (one index-maintenance pass, one WAL write), and this request is
+// acknowledged with its own version of the equivalent sequential chain. The
+// matcher advances the bound index off to the side and swaps graph and index
 // atomically, so in-flight queries finish on the snapshot they started on
 // and the response's version tags every answer computed on the new one.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -425,38 +488,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, codeUnknownGraph, "graph %q is not registered", name)
 		return
 	}
-	d, err := req.Delta()
-	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadDelta, "%v", err)
+	out := s.coalescer(name, m).submit(&req)
+	if out.code != "" {
+		writeError(w, out.status, out.code, "%s", out.msg)
 		return
 	}
-	g, stats, err := m.UpdateWithStats(d)
-	if errors.Is(err, divtopk.ErrIndexMaintenance) {
-		// Index maintenance failing is a server-side invariant violation,
-		// not the client's delta: a 400 here would send clients debugging
-		// a well-formed request.
-		writeError(w, http.StatusInternalServerError, codeInternal, "%v", err)
-		return
-	}
-	if errors.Is(err, divtopk.ErrDurabilityUnavailable) {
-		// The delta was well-formed but could not be made durable, so it was
-		// not applied: reads keep serving the last durable version, and
-		// retrying cannot help until the store recovers (a restart). 503
-		// with a stable code, distinct from both client errors and bugs.
-		writeError(w, http.StatusServiceUnavailable, codeDurability, "%v", err)
-		return
-	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, codeBadDelta, "applying delta: %v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, UpdateResponse{
-		Name:    name,
-		Version: g.Version(),
-		Nodes:   g.NumNodes(),
-		Edges:   g.NumEdges(),
-		Index:   stats,
-	})
+	writeJSON(w, http.StatusOK, out.resp)
 }
 
 // requestTimeout clamps the requested budget to the configured bounds.

@@ -69,9 +69,11 @@ func NewIncState(g *graph.Graph, p *pattern.Pattern, workers int) *IncState {
 
 // IncOptions tune IncCompute.
 type IncOptions struct {
-	// Workers bounds the goroutines of the fallback full builds (<= 0 means
-	// all cores). The incremental passes are sequential: they are linear in
-	// the affected area by design.
+	// Workers bounds the goroutines of the fallback full builds and of the
+	// per-query-node candidate extension (<= 0 means all cores). The cascade
+	// passes stay sequential: they are linear in the affected area by design,
+	// and the kill order feeds a shared worklist. Results are byte-identical
+	// for every Workers value.
 	Workers int
 	// RecomputeRatio is the affected-share threshold above which IncCompute
 	// abandons incremental maintenance for a full recompute (default 0.25):
@@ -127,7 +129,7 @@ func IncCompute(st *IncState, gNew *graph.Graph, d *graph.Delta, opts IncOptions
 	// are immutable), sparing the O(|Vp|·|V|) pos-table copies.
 	ci := st.CI
 	if len(d.NodeAppends) > 0 {
-		ci = extendCandidates(gNew, p, st.CI, nOld)
+		ci = extendCandidates(gNew, p, st.CI, nOld, workers)
 	}
 	total := ci.NumPairs()
 	stats := IncStats{TotalPairs: total}
@@ -305,8 +307,9 @@ func IncCompute(st *IncState, gNew *graph.Graph, d *graph.Delta, opts IncOptions
 // lists are reused verbatim and only the appended nodes (whose IDs exceed
 // every old ID, keeping lists sorted) are filtered against each query node's
 // search condition. The result is identical to BuildCandidates on the new
-// graph.
-func extendCandidates(gNew *graph.Graph, p *pattern.Pattern, old *CandidateIndex, nOld int) *CandidateIndex {
+// graph, and identical for every workers value: each query node's shard is
+// computed independently and only the sequential prefix sum orders them.
+func extendCandidates(gNew *graph.Graph, p *pattern.Pattern, old *CandidateIndex, nOld int, workers int) *CandidateIndex {
 	nq := p.NumNodes()
 	nNew := gNew.NumNodes()
 	ci := &CandidateIndex{
@@ -314,7 +317,10 @@ func extendCandidates(gNew *graph.Graph, p *pattern.Pattern, old *CandidateIndex
 		Offsets: make([]int32, nq+1),
 		pos:     make([][]int32, nq),
 	}
-	for u := 0; u < nq; u++ {
+	// Filter the appended nodes against every query node's search condition
+	// concurrently; the per-u lists are independent, so the only sequential
+	// step is the offset prefix sum below.
+	parallel.ForEach(nq, workers, func(u int) {
 		lst := old.Lists[u]
 		lst = lst[:len(lst):len(lst)]
 		for v := nOld; v < nNew; v++ {
@@ -323,12 +329,16 @@ func extendCandidates(gNew *graph.Graph, p *pattern.Pattern, old *CandidateIndex
 			}
 		}
 		ci.Lists[u] = lst
-		ci.Offsets[u+1] = ci.Offsets[u] + int32(len(lst))
+	})
+	for u := 0; u < nq; u++ {
+		ci.Offsets[u+1] = ci.Offsets[u] + int32(len(ci.Lists[u]))
 	}
 	total := int(ci.Offsets[nq])
 	ci.U = make([]int32, total)
 	ci.V = make([]graph.NodeID, total)
-	for u := 0; u < nq; u++ {
+	// Each query node fills the disjoint pair-ID range its offsets carve out,
+	// plus its own pos table: no two iterations share a write target.
+	parallel.ForEach(nq, workers, func(u int) {
 		pos := make([]int32, nNew)
 		copy(pos, old.pos[u])
 		for i, v := range ci.Lists[u] {
@@ -340,7 +350,7 @@ func extendCandidates(gNew *graph.Graph, p *pattern.Pattern, old *CandidateIndex
 			}
 		}
 		ci.pos[u] = pos
-	}
+	})
 	return ci
 }
 

@@ -128,6 +128,7 @@ func TestIncComputeDeltaSequenceFuzz(t *testing.T) {
 			p := randomDynPattern(rng, labels)
 
 			inc := NewIncState(g, p, 1)        // adaptive (default ratio)
+			par := NewIncState(g, p, 8)        // adaptive, parallel shards
 			forced := NewIncState(g, p, 1)     // never falls back
 			recomputed := NewIncState(g, p, 1) // always falls back
 			for step := 0; step < 10; step++ {
@@ -139,6 +140,10 @@ func TestIncComputeDeltaSequenceFuzz(t *testing.T) {
 
 				var stats IncStats
 				inc, stats, err = IncCompute(inc, gNew, d, IncOptions{Workers: 1})
+				if err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+				par, _, err = IncCompute(par, gNew, d, IncOptions{Workers: 8})
 				if err != nil {
 					t.Fatalf("step %d: %v", step, err)
 				}
@@ -180,6 +185,13 @@ func TestIncComputeDeltaSequenceFuzz(t *testing.T) {
 				}
 				assertProductsEqual(t, fmt.Sprintf("step %d forced", step), forced.Prod, inc.Prod)
 				assertProductsEqual(t, fmt.Sprintf("step %d recomputed", step), recomputed.Prod, inc.Prod)
+				// The parallel-shard chain is the Workers=1 oracle, bit for
+				// bit: candidates, product, fixpoint and counters.
+				assertCandidatesEqual(t, fmt.Sprintf("step %d parallel", step), par.CI, inc.CI)
+				assertProductsEqual(t, fmt.Sprintf("step %d parallel", step), par.Prod, inc.Prod)
+				if !reflect.DeepEqual(par.Res.InSim, inc.Res.InSim) || par.Res.Matched != inc.Res.Matched {
+					t.Fatalf("step %d: parallel chain fixpoint differs", step)
+				}
 				// Alive pairs must carry identical settled counters on every
 				// path (dead pairs' counters are documented garbage).
 				for q := 0; q < len(inc.Res.InSim); q++ {

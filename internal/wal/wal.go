@@ -316,6 +316,50 @@ func (l *Log) Append(version uint64, d *graph.Delta) error {
 	return nil
 }
 
+// AppendBatch writes the records (firstVersion+i, ds[i]) in one contiguous
+// write followed by a single sync point per the policy — the group-commit
+// append: K records cost one fsync instead of K. firstVersion must extend
+// the log contiguously. A crash during the write leaves a prefix of the
+// batch's records (the torn one is truncated by the next Open); since the
+// caller acknowledges nothing until AppendBatch returns, the lost suffix
+// was never promised. Failures are sticky exactly as for Append.
+func (l *Log) AppendBatch(firstVersion uint64, ds []*graph.Delta) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if len(ds) == 0 {
+		return nil
+	}
+	if l.hasVer && firstVersion != l.lastVer+1 {
+		// A version gap is a caller bug, not a device failure: nothing was
+		// written, so the log stays usable.
+		return fmt.Errorf("wal: batch first version %d does not follow %d", firstVersion, l.lastVer)
+	}
+	l.buf = l.buf[:0]
+	for i, d := range ds {
+		start := len(l.buf)
+		l.buf = append(l.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+		l.buf = encodeRecord(l.buf, firstVersion+uint64(i), d)
+		payload := l.buf[start+headerSize:]
+		binary.LittleEndian.PutUint32(l.buf[start:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(l.buf[start+4:], crc32.Checksum(payload, crcTable))
+	}
+	n, err := l.f.Write(l.buf)
+	l.size += int64(n)
+	if err != nil {
+		l.failed = fmt.Errorf("wal: appending batch to %s: %w", l.path, err)
+		return l.failed
+	}
+	if err := l.maybeSync(); err != nil {
+		return err
+	}
+	l.lastVer = firstVersion + uint64(len(ds)) - 1
+	l.hasVer = true
+	return nil
+}
+
 // maybeSync applies the sync policy after a successful write. Callers hold
 // l.mu.
 func (l *Log) maybeSync() error {

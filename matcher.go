@@ -98,30 +98,41 @@ func (m *Matcher) Version() uint64 { return m.cur.Load().Version() }
 // errors.Is.
 var ErrIndexMaintenance = errors.New("divtopk: bound-index maintenance failed")
 
-// IndexStats describes how one Update maintained the descendant-label
-// bound index: whether the incremental advance held or the adaptive
-// fallback rebuilt the warmed labels, how much of the index the delta's
-// affected area covered, and what the maintenance cost in wall time. The
-// serving layer forwards these on every update response.
+// IndexStats describes how one Update (or one group commit) maintained the
+// descendant-label bound index: whether the incremental advance held or the
+// adaptive fallback rebuilt the warmed labels, how much of the index the
+// delta's frontier actually covered, and what the maintenance cost in wall
+// time. The serving layer forwards these on every update response.
 type IndexStats struct {
-	// Mode is "incremental" (partial recompute of the affected rectangle)
+	// Mode is "incremental" (partial recompute of the per-label frontier)
 	// or "rebuild" (the fallback recomputed every warmed label).
 	Mode string `json:"mode"`
-	// AffectedRows is the number of index rows (nodes) rewritten per
-	// recomputed label; TotalRows is the snapshot's node count.
+	// BatchWidth is the number of per-request deltas this commit carried:
+	// 1 for a plain Update, the group size for a batch commit.
+	BatchWidth int `json:"batch_width"`
+	// AffectedRows is the widest per-label affected row set (the union over
+	// the frontier's change groups); TotalRows is the snapshot's node count.
 	AffectedRows int `json:"affected_rows"`
 	TotalRows    int `json:"total_rows"`
-	// AffectedShare is AffectedRows/TotalRows — the row share of the
-	// affected area (1 on a rebuild).
+	// AffectedShare is the recomputed cells' share of the whole warmed
+	// index — Σ over recomputed labels of their affected rows, divided by
+	// warmed labels × TotalRows (1 on a rebuild). This is the quantity the
+	// adaptive fallback thresholds; a label the frontier proves untouched
+	// contributes nothing.
 	AffectedShare float64 `json:"affected_share"`
+	// FrontierRows is the union affected-row count of the frontier (equals
+	// AffectedRows on the incremental path, TotalRows on a rebuild).
+	FrontierRows int `json:"frontier_rows"`
 	// LabelsRecomputed and LabelsCopied split the index's labels into the
-	// ones whose rows the delta could affect (recomputed through the
+	// ones whose rows the delta's frontier reaches (recomputed through the
 	// partial passes) and the ones proven untouched (rows carried over).
 	LabelsRecomputed int `json:"labels_recomputed"`
 	LabelsCopied     int `json:"labels_copied"`
-	// WallMicros is the wall time of the whole index maintenance step
-	// (advance or rebuild, plus warming any labels the delta introduced).
-	WallMicros int64 `json:"wall_us"`
+	// WallMicros is the wall time of the whole index maintenance step;
+	// ShardWallMicros is the wall time of just the parallel per-label
+	// shard section inside it.
+	WallMicros      int64 `json:"wall_us"`
+	ShardWallMicros int64 `json:"shard_wall_us"`
 }
 
 // Update applies d to the session's current snapshot and atomically swaps
@@ -136,25 +147,69 @@ func (m *Matcher) Update(d *Delta) (*Graph, error) {
 // atomically swaps the session to the result, returning the new snapshot
 // (its Version is the old one plus 1) and the index-maintenance stats. The
 // new snapshot's bound index is advanced from the previous snapshot's off
-// to the side — recomputing only the rows and labels the delta's affected
-// area covers, with an adaptive fallback to a full rebuild (see
-// WithIndexRebuildRatio) — and swapped in together with the graph, so
-// queries never hit a cold index and never observe a half-applied update;
-// queries running concurrently with the update finish on the old snapshot
-// (and are cached under the old version, where no future query will look
-// them up). Updates are serialized with each other; queries are never
-// blocked. On error the session is unchanged.
+// to the side — recomputing only the rows and labels the delta's frontier
+// covers, in parallel per-label shards, with an adaptive fallback to a full
+// rebuild (see WithIndexRebuildRatio) — and swapped in together with the
+// graph, so queries never hit a cold index and never observe a half-applied
+// update; queries running concurrently with the update finish on the old
+// snapshot (and are cached under the old version, where no future query
+// will look them up). A label the delta introduces stays cold and fills
+// lazily on first use — eager warming would grow the maintained label set
+// without bound on label-churning workloads. Updates are serialized with
+// each other; queries are never blocked. On error the session is unchanged.
 func (m *Matcher) UpdateWithStats(d *Delta) (*Graph, IndexStats, error) {
 	m.updateMu.Lock()
 	defer m.updateMu.Unlock()
+	return m.commitLocked(&d.d, []*Delta{d})
+}
+
+// UpdateMerged is the group-commit entry point: merged must be the Merge of
+// parts (in order) against the session's current snapshot, built by a
+// caller that is the session's only updater — the serving layer's
+// coalescer. It applies merged in one step, advances the index once, logs
+// each part separately through the durability sink (one sync), and swaps in
+// a snapshot whose version is the current one plus len(parts) — exactly the
+// state applying the parts one at a time would have produced, at a fraction
+// of the maintenance cost. On error the session is unchanged and no part
+// was made durable.
+func (m *Matcher) UpdateMerged(merged *Delta, parts []*Delta) (*Graph, IndexStats, error) {
+	m.updateMu.Lock()
+	defer m.updateMu.Unlock()
+	return m.commitLocked(&merged.d, parts)
+}
+
+// UpdateBatch merges ds under the update lock and commits the result as one
+// group commit; each delta must be valid against the snapshot applying the
+// deltas before it would produce (the sequential chain). All-or-nothing: if
+// any delta fails to merge, the session is unchanged and the failing
+// delta's position is in the error. The serving layer's coalescer instead
+// drops the failing request and retries, via Delta.Merge plus UpdateMerged.
+func (m *Matcher) UpdateBatch(ds []*Delta) (*Graph, IndexStats, error) {
+	m.updateMu.Lock()
+	defer m.updateMu.Unlock()
+	if len(ds) == 0 {
+		return nil, IndexStats{}, errors.New("divtopk: empty update batch")
+	}
 	g := m.cur.Load()
-	//lint:allow lockhold updateMu serializes writers only; queries read via cur.Load and never take it
-	g2raw, sum, err := graph.ApplyDeltaWithSummary(g.g, &d.d)
+	var merged graph.Delta
+	for i, d := range ds {
+		if err := merged.Merge(g.g, &d.d); err != nil {
+			return nil, IndexStats{}, fmt.Errorf("divtopk: batch update %d: %w", i, err)
+		}
+	}
+	return m.commitLocked(&merged, ds)
+}
+
+// commitLocked applies one already-merged delta spanning len(parts)
+// versions and publishes the result; the caller holds updateMu.
+func (m *Matcher) commitLocked(merged *graph.Delta, parts []*Delta) (*Graph, IndexStats, error) {
+	g := m.cur.Load()
+	g2raw, sum, err := graph.ApplyDeltaVersionStep(g.g, merged, uint64(len(parts)))
 	if err != nil {
 		return nil, IndexStats{}, err
 	}
 	t0 := time.Now()
-	bc, adv, err := g.boundsCache().Advance(g2raw, sum, core.AdvanceOptions{RebuildRatio: m.indexRatio})
+	bc, adv, err := g.boundsCache().Advance(g2raw, sum, core.AdvanceOptions{RebuildRatio: m.indexRatio, Workers: m.workers})
 	if err != nil {
 		// The session built the inputs itself, so a mismatch is a bug, not
 		// a bad delta; surface it rather than limping on with a cold index.
@@ -162,28 +217,31 @@ func (m *Matcher) UpdateWithStats(d *Delta) (*Graph, IndexStats, error) {
 	}
 	g2 := &Graph{g: g2raw}
 	g2.adoptBounds(bc)
-	// Labels the delta introduced are not covered by the advance (the old
-	// index never had them); fill them against the new snapshot before the
-	// swap so queries still never see a cold label.
-	//lint:allow lockhold warming must finish before the swap publishes the snapshot; only writers wait
-	bc.Warm(nil)
 	stats := IndexStats{
 		Mode:             adv.Mode(),
+		BatchWidth:       len(parts),
 		AffectedRows:     adv.AffectedRows,
 		TotalRows:        adv.TotalRows,
+		AffectedShare:    adv.WorkShare,
+		FrontierRows:     adv.FrontierRows,
 		LabelsRecomputed: adv.LabelsRecomputed,
 		LabelsCopied:     adv.LabelsCopied,
 		WallMicros:       time.Since(t0).Microseconds(),
-	}
-	if adv.TotalRows > 0 {
-		stats.AffectedShare = float64(adv.AffectedRows) / float64(adv.TotalRows)
+		ShardWallMicros:  adv.ShardWallMicros,
 	}
 	// Durability is the last fallible step: once the sink acknowledges the
-	// delta the swap below is unconditional, and if it refuses, nothing was
+	// deltas the swap below is unconditional, and if it refuses, nothing was
 	// published — queries keep seeing the old snapshot, which is exactly the
 	// newest durable version. The served state never runs ahead of the WAL.
+	// A batch logs one WAL record per part — recovery replays the same
+	// per-request chain the acks described — under a single sync.
 	if m.durability != nil {
-		if err := m.durability.AppendDelta(g2, d); err != nil {
+		if len(parts) == 1 {
+			err = m.durability.AppendDelta(g2, parts[0])
+		} else {
+			err = m.durability.AppendBatch(g2, parts)
+		}
+		if err != nil {
 			return nil, IndexStats{}, fmt.Errorf("%w: %v", ErrDurabilityUnavailable, err)
 		}
 	}

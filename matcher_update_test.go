@@ -222,9 +222,14 @@ func TestMatcherUpdateWithStats(t *testing.T) {
 		idx := d.AddNode(fmt.Sprintf("dynstat-%d", step%2))
 		// All sessions walk the same chain, so any one's node count works.
 		nn := sessions["adaptive"].Graph().NumNodes() + idx
-		d.InsertEdge(0, nn)
+		// The appended node points INTO the base graph: warmed labels occur
+		// below its component, so the frontier recomputes real work and the
+		// tiny-ratio session's fallback has something to trip on. (A delta
+		// affecting only labels the index never warmed recomputes zero cells
+		// and stays incremental under any ratio.)
+		d.InsertEdge(nn, 1)
 		if step == 2 {
-			d.DeleteEdge(0, nn-1) // edge added by the previous step
+			d.DeleteEdge(nn-1, 1) // edge added by the previous step
 		}
 
 		var reference *Result
@@ -247,6 +252,9 @@ func TestMatcherUpdateWithStats(t *testing.T) {
 			}
 			if stats.TotalRows != g2.NumNodes() {
 				t.Fatalf("%s step %d: TotalRows %d, want %d", name, step, stats.TotalRows, g2.NumNodes())
+			}
+			if stats.BatchWidth != 1 {
+				t.Fatalf("%s step %d: plain update has batch width %d", name, step, stats.BatchWidth)
 			}
 			if stats.AffectedShare < 0 || stats.AffectedShare > 1 {
 				t.Fatalf("%s step %d: AffectedShare %v", name, step, stats.AffectedShare)

@@ -88,15 +88,18 @@ func WithCache(entries int) Option {
 
 // WithIndexRebuildRatio tunes the adaptive fallback of the incremental
 // bound-index maintenance a Matcher performs on Update: the index advances
-// with the graph by recomputing only the rows and labels the delta's
-// affected area covers, and falls back to a full rebuild of the warmed
-// labels once that rectangle's share of the whole index exceeds r
-// (default 0.25 — past a quarter of the index, seeding the partial passes
-// costs as much as starting over). r = 1 never falls back; a tiny positive
-// r effectively always rebuilds (useful to A/B the two paths). Results are
-// identical either way — the fallback trades wall-clock time only. The
-// option is consulted by NewMatcher; the package-level functions never
-// advance an index.
+// with the graph by recomputing, per label, only the frontier rows the
+// delta's touch points actually reach (the per-node frontier diff of
+// internal/graph.ComputeFrontier — membership changes, ancestor closures
+// of successor-set changes, and cyclicity flips, masked per label), and
+// falls back to a full rebuild of the warmed labels once the recomputed
+// cells' share of the whole index exceeds r (default 0.25 — past a
+// quarter of the index, seeding the partial passes costs as much as
+// starting over). r = 1 never falls back; a tiny positive r effectively
+// always rebuilds (useful to A/B the two paths). Results are identical
+// either way — the fallback trades wall-clock time only. The option is
+// consulted by NewMatcher; the package-level functions never advance an
+// index.
 func WithIndexRebuildRatio(r float64) Option {
 	return func(o *options) { o.indexRatio = r }
 }

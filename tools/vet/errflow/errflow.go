@@ -33,6 +33,15 @@
 // (package + receiver type + method): a bare "Append" or "Sync" would flag
 // every stdlib writer.
 //
+// Invariant (PR 9, group commit): the batch-apply entry points —
+// wal.Log.AppendBatch, durable.Store.AppendBatch, the
+// DurabilitySink.AppendBatch hook, ApplyDeltaVersionStep, and the matcher's
+// UpdateMerged/UpdateBatch wrappers (which join via the ErrVersioning fact) —
+// commit many acknowledged versions through one call, so a dropped error here
+// lies to every caller of the batch at once. AppendBatch and
+// ApplyDeltaVersionStep are distinctive enough to match by bare name, which
+// also covers the interface hook.
+//
 // Returning the class call's result directly (return m.ApplyDelta(d)) is
 // propagation, not discarding. Functions whose final result is an error and
 // whose body performs a class call export the ErrVersioning object fact, so
@@ -76,12 +85,15 @@ func (*ErrVersioning) AFact() {}
 var classNames = map[string]bool{
 	"ApplyDelta":            true,
 	"ApplyDeltaWithSummary": true,
+	"ApplyDeltaVersionStep": true,
 	"Advance":               true,
 	"IncCompute":            true,
-	// The durability hook the matcher calls before publishing a snapshot;
-	// distinctive enough to match by bare name, and as an interface method it
-	// has no body to export a fact from.
+	// The durability hooks the matcher calls before publishing a snapshot;
+	// distinctive enough to match by bare name, and as interface methods they
+	// have no body to export a fact from. The bare names also cover the
+	// concrete wal.Log.AppendBatch and durable.Store.AppendBatch.
 	"AppendDelta": true,
+	"AppendBatch": true,
 }
 
 // classMethods are the durability entry points, matched by package + receiver

@@ -12,10 +12,11 @@ import (
 	"wal"
 )
 
-// Sink is the durability hook: AppendDelta joins the class by bare name, the
-// way the library's DurabilitySink interface method does.
+// Sink is the durability hook: AppendDelta and AppendBatch join the class by
+// bare name, the way the library's DurabilitySink interface methods do.
 type Sink interface {
 	AppendDelta(g *snapshot.Graph, d *wal.Delta) error
+	AppendBatch(g *snapshot.Graph, ds []*wal.Delta) error
 }
 
 func use(err error) {}
@@ -89,4 +90,38 @@ func (notALog) Sync() error                               { return nil }
 func suppressed(l *wal.Log) {
 	//lint:allow errflow best-effort flush; the next Append surfaces the failure
 	l.Sync()
+}
+
+// goodCoalescer is the group-commit shape done right: the batch append's
+// error is checked before any caller of the batch is acknowledged.
+func goodCoalescer(s *durable.Store, g *snapshot.Graph, batch []*wal.Delta, ack func(int)) {
+	if err := s.AppendBatch(g, batch); err != nil {
+		panic(err)
+	}
+	for i := range batch {
+		ack(i)
+	}
+}
+
+// badCoalescerAcksFirst acknowledges every caller of the batch before
+// learning whether the group commit reached disk — one dropped error lies to
+// the whole batch at once.
+func badCoalescerAcksFirst(s *durable.Store, g *snapshot.Graph, batch []*wal.Delta, ack func(int), verbose bool) {
+	err := s.AppendBatch(g, batch) // want `error from s\.AppendBatch\(g, batch\) in badCoalescerAcksFirst is not checked on every path`
+	for i := range batch {
+		ack(i)
+	}
+	if verbose {
+		use(err)
+	}
+}
+
+// badBatchSinkDiscarded drops the batch hook's verdict before publishing.
+func badBatchSinkDiscarded(sink Sink, g *snapshot.Graph, ds []*wal.Delta) {
+	sink.AppendBatch(g, ds) // want `error from sink\.AppendBatch\(g, ds\) in badBatchSinkDiscarded is discarded`
+}
+
+// badLogBatchBlank blanks the multi-record WAL write.
+func badLogBatchBlank(l *wal.Log, ds []*wal.Delta) {
+	_ = l.AppendBatch(1, ds) // want `error from l\.AppendBatch\(1, ds\) in badLogBatchBlank is discarded`
 }

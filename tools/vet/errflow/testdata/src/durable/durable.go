@@ -32,3 +32,11 @@ func (s *Store) Checkpoint(g *snapshot.Graph) error {
 	_, err := snapshot.Write("dir", g)
 	return err
 }
+
+func (s *Store) AppendBatch(g *snapshot.Graph, ds []*wal.Delta) error {
+	if err := s.log.AppendBatch(s.v+1, ds); err != nil {
+		return err
+	}
+	s.v += uint64(len(ds))
+	return nil
+}

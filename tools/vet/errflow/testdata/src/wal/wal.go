@@ -18,3 +18,12 @@ func (l *Log) Append(version uint64, d *Delta) error {
 }
 
 func (l *Log) Sync() error { return nil }
+
+func (l *Log) AppendBatch(firstVersion uint64, ds []*Delta) error {
+	for i, d := range ds {
+		if err := l.Append(firstVersion+uint64(i), d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
