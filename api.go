@@ -337,6 +337,10 @@ func TopKDiversified(g *Graph, p *Pattern, k int, lambda float64, opts ...Option
 	if err != nil {
 		return nil, err
 	}
+	return convertDiversified(g, res), nil
+}
+
+func convertDiversified(g *Graph, res *diversify.Result) *DiversifiedResult {
 	out := &DiversifiedResult{
 		F:           res.F,
 		GlobalMatch: res.GlobalMatch,
@@ -345,7 +349,7 @@ func TopKDiversified(g *Graph, p *Pattern, k int, lambda float64, opts ...Option
 	for _, m := range res.Matches {
 		out.Matches = append(out.Matches, convertMatch(g, m))
 	}
-	return out, nil
+	return out
 }
 
 func convertResult(g *Graph, res *core.Result) *Result {

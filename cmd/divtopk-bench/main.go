@@ -8,9 +8,9 @@
 // The default configuration is the 150k-node generator graph the repo's
 // acceptance numbers are recorded on; -short shrinks it to CI size. The
 // report is printed as a table and, with -out, written as JSON
-// (BENCH_PR9.json is a committed run of this command):
+// (BENCH_PR10.json is a committed run of this command):
 //
-//	go run ./cmd/divtopk-bench -out BENCH_PR9.json
+//	go run ./cmd/divtopk-bench -out BENCH_PR10.json
 //	go run ./cmd/divtopk-bench -short -serving=false
 package main
 
@@ -23,6 +23,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 
 	divtopk "divtopk"
 	"divtopk/internal/bench"
@@ -100,12 +101,13 @@ func main() {
 	if cfg.Serving {
 		log.Printf("measuring serving throughput (%d requests, %d clients)",
 			cfg.ServingRequests, cfg.ServingConcurrency)
-		readOnly, mixed, err := servingBaseline(cfg)
+		readOnly, mixed, mixed4, err := servingBaseline(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		rep.Serving = readOnly
 		rep.ServingMixed = mixed
+		rep.ServingMixed4 = mixed4
 	}
 
 	fmt.Print(rep.Format())
@@ -131,14 +133,17 @@ func main() {
 const servingReps = 5
 
 // servingBaseline registers the benchmark graph in an in-process daemon on a
-// loopback port and fires the HTTP load generator at it twice — the
-// read-only workload (trend-comparable across epochs) and, when
-// ServingUpdateEvery > 0, the mixed update/query workload — measuring what
-// an external client sees end to end (JSON decode included). Each of the
-// servingReps repetitions gets a fresh daemon and freshly warmed session,
-// so every run starts from the same version-0 graph and cold cache; the
-// best run (by throughput) of each workload is reported.
-func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, *bench.ServingSummary, error) {
+// loopback port and fires the HTTP load generator at it — the read-only
+// workload (trend-comparable across epochs) and, when ServingUpdateEvery >
+// 0, the mixed update/query workload, the latter both at the ambient
+// GOMAXPROCS and pinned to GOMAXPROCS=4 (the daemon and the generator share
+// one process, so the 4-proc variant separates the algorithmic numbers from
+// single-core scheduler contention) — measuring what an external client sees
+// end to end (JSON decode included). Each of the servingReps repetitions
+// gets a fresh daemon and freshly warmed session, so every run starts from
+// the same version-0 graph and cold cache; the best run (by throughput) of
+// each workload is reported.
+func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, *bench.ServingSummary, *bench.ServingSummary, error) {
 	pg := divtopk.NewSynthetic(cfg.Nodes, cfg.Edges, cfg.Labels, cfg.Seed)
 	var texts []string
 	for seed := int64(1); len(texts) < 4 && seed < 64; seed++ {
@@ -148,19 +153,19 @@ func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, *bench.Se
 		}
 		var buf bytes.Buffer
 		if err := divtopk.WritePattern(&buf, q); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		texts = append(texts, buf.String())
 	}
 	if len(texts) == 0 {
-		return nil, nil, fmt.Errorf("no serving patterns mined")
+		return nil, nil, nil, fmt.Errorf("no serving patterns mined")
 	}
 
-	var bestRO, bestMixed *bench.ServingReport
+	var bestRO, bestMixed, bestMixed4 *bench.ServingReport
 	for rep := 0; rep < servingReps; rep++ {
-		ro, mixed, err := serveOnce(cfg, pg, texts)
+		ro, mixed, err := serveOnce(cfg, pg, texts, true)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if bestRO == nil || ro.Throughput > bestRO.Throughput {
 			bestRO = ro
@@ -169,23 +174,43 @@ func servingBaseline(cfg bench.BaselineConfig) (*bench.ServingSummary, *bench.Se
 			bestMixed = mixed
 		}
 		if mixed != nil {
-			log.Printf("serving rep %d/%d: read-only %.0f req/s, mixed %.0f req/s (update p50 %s)",
-				rep+1, servingReps, ro.Throughput, mixed.Throughput, mixed.UpdateP50)
+			log.Printf("serving rep %d/%d: read-only %.0f req/s, mixed %.0f req/s (update p50 %s, post-commit p50 %s)",
+				rep+1, servingReps, ro.Throughput, mixed.Throughput, mixed.UpdateP50, mixed.PostCommitP50)
 		} else {
 			log.Printf("serving rep %d/%d: read-only %.0f req/s", rep+1, servingReps, ro.Throughput)
 		}
+		if cfg.ServingUpdateEvery > 0 {
+			prev := runtime.GOMAXPROCS(4)
+			_, mixed4, err := serveOnce(cfg, pg, texts, false)
+			runtime.GOMAXPROCS(prev)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			if mixed4 != nil && (bestMixed4 == nil || mixed4.Throughput > bestMixed4.Throughput) {
+				bestMixed4 = mixed4
+			}
+			if mixed4 != nil {
+				log.Printf("serving rep %d/%d: mixed GOMAXPROCS=4 %.0f req/s", rep+1, servingReps, mixed4.Throughput)
+			}
+		}
 	}
 	if bestMixed == nil {
-		return bestRO.Summarize(), nil, nil
+		return bestRO.Summarize(), nil, nil, nil
 	}
-	return bestRO.Summarize(), bestMixed.Summarize(), nil
+	var mixed4Sum *bench.ServingSummary
+	if bestMixed4 != nil {
+		mixed4Sum = bestMixed4.Summarize()
+	}
+	return bestRO.Summarize(), bestMixed.Summarize(), mixed4Sum, nil
 }
 
 // serveOnce runs one serving repetition against a fresh in-process daemon:
-// the read-only workload, then (when configured) the mixed update/query
-// workload on the same daemon — updates mutate the graph, which is why the
-// next repetition rebuilds the daemon from the pristine snapshot.
-func serveOnce(cfg bench.BaselineConfig, pg *divtopk.Graph, texts []string) (*bench.ServingReport, *bench.ServingReport, error) {
+// the read-only workload (skipped when withReadOnly is false — the
+// GOMAXPROCS=4 variant measures only the mixed regime), then (when
+// configured) the mixed update/query workload on the same daemon — updates
+// mutate the graph, which is why the next repetition rebuilds the daemon
+// from the pristine snapshot.
+func serveOnce(cfg bench.BaselineConfig, pg *divtopk.Graph, texts []string, withReadOnly bool) (*bench.ServingReport, *bench.ServingReport, error) {
 	reg := server.NewRegistry(divtopk.WithCache(256), divtopk.Parallelism(cfg.Parallelism))
 	if err := reg.Add("bench", pg); err != nil {
 		return nil, nil, err
@@ -210,9 +235,12 @@ func serveOnce(cfg bench.BaselineConfig, pg *divtopk.Graph, texts []string) (*be
 		Requests:    cfg.ServingRequests,
 		Concurrency: cfg.ServingConcurrency,
 	}
-	rep, err := bench.ServeLoad(load)
-	if err != nil {
-		return nil, nil, err
+	var rep *bench.ServingReport
+	if withReadOnly {
+		var err error
+		if rep, err = bench.ServeLoad(load); err != nil {
+			return nil, nil, err
+		}
 	}
 	if cfg.ServingUpdateEvery <= 0 {
 		return rep, nil, nil

@@ -73,7 +73,8 @@
 // session: the previous snapshot's bound index is advanced off to the side
 // and swapped in atomically with the graph, and because the snapshot
 // version participates in every cache key, a result cached before an
-// update can never be served after it. TopKWithVersion and
+// update can never be served after it (hot entries are advanced to the new
+// version at commit time — see the Warm cache section). TopKWithVersion and
 // TopKDiversifiedWithVersion report the snapshot version behind each
 // answer; the serving layer exposes updates as
 // POST /v1/graphs/{name}/updates and echoes the version in every response.
@@ -113,6 +114,27 @@
 // boundadv rows of the tracked baseline measuring both maintenance layers
 // against from-scratch recomputation. See the README's "Dynamic graphs"
 // section.
+//
+// # Warm cache
+//
+// On a caching session the commit path does not merely orphan the old
+// version's cache entries — it advances the hot ones. Each cached pattern
+// retains its incremental evaluation state (the IncCompute simulation state
+// and product CSR); after the delta is durable and before the new snapshot
+// is published, the commit advances that state and re-derives the pattern's
+// cached results from it, installing them under the new version's keys, so
+// the first post-commit query is a hit that reports provenance "advanced"
+// (TopKInfo/TopKDiversifiedInfo, and the daemon's "cache" response field)
+// rather than a cold evaluation. Past a work-share ratio
+// (WithCacheAdvanceRatio, default 0.25) the pass evicts instead — the knob
+// trades commit latency against post-commit query latency and never changes
+// answers. Admission is containment-aware: a pattern whose node conditions
+// are subsumed by a cached pattern's nodes (same label, predicate subset)
+// seeds its candidate lists from the cached superset's maintained lists and
+// reports "seeded". CacheStats counts advanced, seeded and advance-evicted
+// entries; a randomized delta-chain fuzz pins every warm answer
+// byte-identical to a never-cached session at every version. See the
+// README's "Warm cache" section.
 //
 // # Durability
 //

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"reflect"
 	"runtime"
 	"sort"
 	"testing"
@@ -19,12 +20,13 @@ import (
 )
 
 // This file is the tracked benchmark baseline of the repository
-// (BENCH_PR9.json): a repeatable, fixed-seed measurement of every hot
+// (BENCH_PR10.json): a repeatable, fixed-seed measurement of every hot
 // component — candidate computation, simulation refinement, relevant-set
 // computation, the find-all baseline, the early-termination engine, TopKDiv,
-// the two delta-maintenance layers (simulation state and the bound index)
-// and serving throughput — with the frozen pre-CSR reference kernel
-// (core.KernelReference) measured side by side as the "before" column.
+// the two delta-maintenance layers (simulation state and the bound index),
+// the warm-cache entry advance and serving throughput — with the frozen
+// pre-CSR reference kernel (core.KernelReference) measured side by side as
+// the "before" column.
 // cmd/divtopk-bench runs it and emits the JSON; future PRs are judged
 // against the committed numbers.
 
@@ -179,9 +181,17 @@ type ServingSummary struct {
 	UpdatesBatched   int     `json:"updates_batched,omitempty"`
 	FrontierRowsMean float64 `json:"index_frontier_rows_mean,omitempty"`
 	ShardWallP50     int64   `json:"index_shard_wall_p50_us,omitempty"`
+	// Warm-cache columns (PR 10): how many cached entries the commit-time
+	// advance pass carried to the new version, how many admissions were
+	// seeded from a containing cached pattern, and the median latency of the
+	// post-commit queries that bring a pattern's entry to the new version
+	// (before the warm cache these were all cold re-evaluations).
+	CacheAdvanced   uint64  `json:"cache_advanced_total,omitempty"`
+	CacheSeeded     uint64  `json:"cache_seeded_total,omitempty"`
+	PostCommitP50Ms float64 `json:"post_commit_p50_ms,omitempty"`
 }
 
-// BaselineReport is the JSON document committed as BENCH_PR9.json.
+// BaselineReport is the JSON document committed as BENCH_PR10.json.
 type BaselineReport struct {
 	GeneratedBy string         `json:"generated_by"`
 	GoVersion   string         `json:"go_version"`
@@ -198,11 +208,18 @@ type BaselineReport struct {
 	Speedups map[string]float64 `json:"speedups"`
 	// Serving is the read-only serving measurement (comparable across
 	// epochs); ServingMixed repeats it with every ServingUpdateEvery-th
-	// request applying a graph delta — updates invalidate the result cache
-	// by design, so its query numbers measure a fundamentally different
-	// (and necessarily slower) regime, which is exactly what it tracks.
-	Serving      *ServingSummary `json:"serving,omitempty"`
-	ServingMixed *ServingSummary `json:"serving_mixed,omitempty"`
+	// request applying a graph delta. An update moves the snapshot version,
+	// so its query numbers measure the commit-heavy regime: before PR 10
+	// every commit orphaned the whole result cache (each hot pattern paid a
+	// cold re-evaluation per version), while the warm cache now advances hot
+	// entries at commit time — the cache_advanced_total and post_commit_p50_ms
+	// columns track exactly that difference. ServingMixed4 repeats the mixed
+	// workload with GOMAXPROCS=4, separating the algorithmic win from
+	// single-core scheduler contention between the in-process daemon and the
+	// load generator.
+	Serving       *ServingSummary `json:"serving,omitempty"`
+	ServingMixed  *ServingSummary `json:"serving_mixed,omitempty"`
+	ServingMixed4 *ServingSummary `json:"serving_mixed_gomaxprocs4,omitempty"`
 }
 
 // Format renders the report as an aligned text table with the speedup rows.
@@ -239,6 +256,15 @@ func (r *BaselineReport) Format() string {
 			r.ServingMixed.BatchWidthMean, r.ServingMixed.BatchWidthMax,
 			r.ServingMixed.UpdatesBatched, r.ServingMixed.FrontierRowsMean,
 			r.ServingMixed.ShardWallP50)
+		fmt.Fprintf(&b, "  warm cache: %d advanced, %d seeded, post-commit p50 %.2fms\n",
+			r.ServingMixed.CacheAdvanced, r.ServingMixed.CacheSeeded,
+			r.ServingMixed.PostCommitP50Ms)
+	}
+	if r.ServingMixed4 != nil {
+		fmt.Fprintf(&b, "serving (mixed, GOMAXPROCS=4): %.0f req/s (p50 %dus, p99 %dus, hit rate %.1f%%, post-commit p50 %.2fms)\n",
+			r.ServingMixed4.Throughput, r.ServingMixed4.P50Micros,
+			r.ServingMixed4.P99Micros, 100*r.ServingMixed4.HitRate,
+			r.ServingMixed4.PostCommitP50Ms)
 	}
 	return b.String()
 }
@@ -502,6 +528,59 @@ func RunBaseline(cfg BaselineConfig, progress io.Writer) (*BaselineReport, error
 	})
 	rep.Speedups["boundadv"] = baRe.NsPerOp / baAdv.NsPerOp
 
+	logf("measuring warm-cache entry advance vs cold re-evaluation (%d-delta chain)", cfg.Deltas)
+	// The pair models the PR 10 serving cache: "advance" is what the commit
+	// pays to carry one cached top-k entry to the next version — incremental
+	// simulation maintenance plus an engine re-run seeded with the advanced
+	// candidate/product state — while "cold" is what the first post-commit
+	// query paid before the warm cache: a from-scratch evaluation per
+	// version. Sanity-walk the chain once: an advanced evaluation must be
+	// identical to the cold one at every step.
+	{
+		st := st0
+		for i, d := range chainD {
+			var err error
+			if st, _, err = simulation.IncCompute(st, chainG[i+1], d, incOpts); err != nil {
+				return nil, fmt.Errorf("bench: cacheadv chain: %w", err)
+			}
+			preOpts := opts
+			preOpts.Prebuilt = &core.PrebuiltEval{CI: st.CI, Prod: st.Prod, Sim: st.Res}
+			warm, err := core.TopK(chainG[i+1], p0, cfg.K, preOpts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cacheadv warm eval: %w", err)
+			}
+			cold, err := core.TopK(chainG[i+1], p0, cfg.K, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: cacheadv cold eval: %w", err)
+			}
+			if !reflect.DeepEqual(warm, cold) {
+				return nil, fmt.Errorf("bench: advanced evaluation diverged from cold at delta %d", i)
+			}
+		}
+	}
+	caAdv := rep.measure("cacheadv/advance", func() {
+		st := st0
+		for i, d := range chainD {
+			var err error
+			if st, _, err = simulation.IncCompute(st, chainG[i+1], d, incOpts); err != nil {
+				panic(err)
+			}
+			preOpts := opts
+			preOpts.Prebuilt = &core.PrebuiltEval{CI: st.CI, Prod: st.Prod, Sim: st.Res}
+			if _, err := core.TopK(chainG[i+1], p0, cfg.K, preOpts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	caCold := rep.measure("cacheadv/cold", func() {
+		for _, gi := range chainG[1:] {
+			if _, err := core.TopK(gi, p0, cfg.K, opts); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.Speedups["cacheadv"] = caCold.NsPerOp / caAdv.NsPerOp
+
 	// Serving throughput is measured by cmd/divtopk-bench (the in-process
 	// daemon needs the public facade, which internal/bench cannot import
 	// without a test-package cycle); it fills rep.Serving when cfg.Serving
@@ -583,5 +662,8 @@ func (r *ServingReport) Summarize() *ServingSummary {
 		UpdatesBatched:   r.UpdatesBatched,
 		FrontierRowsMean: r.FrontierRowsMean,
 		ShardWallP50:     r.ShardWallP50Micro,
+		CacheAdvanced:    r.CacheAdvanced,
+		CacheSeeded:      r.CacheSeeded,
+		PostCommitP50Ms:  float64(r.PostCommitP50.Microseconds()) / 1000,
 	}
 }

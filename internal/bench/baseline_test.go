@@ -40,6 +40,7 @@ func TestRunBaselineSmoke(t *testing.T) {
 		"findall/csr", "topk/engine", "topkdiv/reference", "topkdiv/csr",
 		"simdelta/inc", "simdelta/recompute",
 		"boundadv/inc", "boundadv/rebuild",
+		"cacheadv/advance", "cacheadv/cold",
 	}
 	if len(rep.Entries) != len(want) {
 		t.Fatalf("got %d entries, want %d", len(rep.Entries), len(want))
@@ -52,7 +53,7 @@ func TestRunBaselineSmoke(t *testing.T) {
 			t.Fatalf("entry %q has non-positive ns/op", name)
 		}
 	}
-	for _, k := range []string{"simulation", "relevant", "findall", "topkdiv", "simdelta", "boundadv"} {
+	for _, k := range []string{"simulation", "relevant", "findall", "topkdiv", "simdelta", "boundadv", "cacheadv"} {
 		if rep.Speedups[k] <= 0 {
 			t.Fatalf("speedup %q missing", k)
 		}

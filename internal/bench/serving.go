@@ -61,11 +61,25 @@ type ServingReport struct {
 	P99        time.Duration
 	Max        time.Duration
 	// Cache totals are read from /v1/graphs after the run; HitRate counts
-	// hits and coalesced waiters against all served queries.
+	// hits and coalesced waiters against all served queries. Advanced counts
+	// warm entries carried across commits by the cache-advance pass; Seeded
+	// counts evaluations whose candidates were seeded from a containing
+	// cached pattern.
 	CacheHits      uint64
 	CacheMisses    uint64
 	CacheCoalesced uint64
+	CacheAdvanced  uint64
+	CacheSeeded    uint64
 	HitRate        float64
+	// PostCommitP50 is the median latency of the queries that establish a
+	// pattern's entry at a new graph version — every query answering with a
+	// non-plain-hit cache status ("miss", "seeded" or "advanced") issued
+	// after at least one update had committed. Before the warm cache these
+	// were all cold re-evaluations; with it they are mostly "advanced"
+	// entries paid for at commit time, which is exactly the improvement this
+	// column tracks. Zero when no such query was observed.
+	PostCommitQueries int
+	PostCommitP50     time.Duration
 	// Update columns of the mixed workload (zero when UpdateEvery is 0):
 	// update counts/latencies are tracked apart from queries — an update
 	// pays a delta apply plus incremental bound-index maintenance, a
@@ -106,6 +120,12 @@ func (r *ServingReport) String() string {
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
 	fmt.Fprintf(&b, "cache: %d hits, %d coalesced, %d misses (hit rate %.1f%%)",
 		r.CacheHits, r.CacheCoalesced, r.CacheMisses, 100*r.HitRate)
+	if r.CacheAdvanced > 0 || r.CacheSeeded > 0 {
+		fmt.Fprintf(&b, "\nwarm cache: %d entries advanced across commits, %d seeded admissions", r.CacheAdvanced, r.CacheSeeded)
+	}
+	if r.PostCommitQueries > 0 {
+		fmt.Fprintf(&b, "\npost-commit first queries: %d, p50=%s", r.PostCommitQueries, r.PostCommitP50.Round(time.Microsecond))
+	}
 	if r.Updates > 0 {
 		fmt.Fprintf(&b, "\nupdates: %d (%d errors) p50=%s p95=%s, final version %d",
 			r.Updates, r.UpdateErrors, r.UpdateP50.Round(time.Microsecond),
@@ -295,6 +315,11 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 	latencies := make([]time.Duration, cfg.Requests)
 	errs := make([]bool, cfg.Requests)
 	isUpdate := make([]bool, cfg.Requests)
+	statuses := make([]string, cfg.Requests)
+	postCommit := make([]bool, cfg.Requests)
+	// committed flips once the first update has been acknowledged: queries
+	// issued after that point are "post-commit" for the PostCommitP50 column.
+	var committed atomic.Bool
 	var wg sync.WaitGroup
 	start := time.Now()
 	per := (cfg.Requests + cfg.Concurrency - 1) / cfg.Concurrency
@@ -312,8 +337,12 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 					lat, ok := upd.do(client)
 					latencies[i] = lat
 					errs[i] = !ok
+					if ok {
+						committed.Store(true)
+					}
 					continue
 				}
+				postCommit[i] = committed.Load()
 				t0 := time.Now()
 				resp, err := client.Post(endpoint, "application/json", bytes.NewReader(bodies[i%len(bodies)]))
 				if err != nil {
@@ -331,6 +360,7 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 				_, _ = sink.ReadFrom(resp.Body)
 				resp.Body.Close()
 				latencies[i] = time.Since(t0)
+				statuses[i] = cacheStatusOf(sink.Bytes())
 			}
 		}(lo, hi)
 	}
@@ -350,6 +380,7 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 	// index warm) would blur each other's distribution.
 	okLat := make([]time.Duration, 0, len(latencies))
 	updLat := make([]time.Duration, 0, 8)
+	pcLat := make([]time.Duration, 0, 8)
 	for i, e := range errs {
 		switch {
 		case isUpdate[i]:
@@ -363,6 +394,16 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 			rep.Errors++
 		default:
 			okLat = append(okLat, latencies[i])
+			// A post-commit query whose answer was not a plain cache hit is
+			// the moment a pattern's entry reaches the new version: a cold
+			// re-evaluation ("miss"/"seeded") or a commit-time-advanced
+			// entry ("advanced").
+			if postCommit[i] {
+				switch statuses[i] {
+				case "miss", "seeded", "advanced":
+					pcLat = append(pcLat, latencies[i])
+				}
+			}
 		}
 	}
 	rep.Requests = cfg.Requests - rep.Updates
@@ -383,6 +424,9 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 	}
 	sort.Slice(updLat, func(i, j int) bool { return updLat[i] < updLat[j] })
 	rep.UpdateP50, rep.UpdateP95 = pctOf(updLat, 0.50), pctOf(updLat, 0.95)
+	sort.Slice(pcLat, func(i, j int) bool { return pcLat[i] < pcLat[j] })
+	rep.PostCommitQueries = len(pcLat)
+	rep.PostCommitP50 = pctOf(pcLat, 0.50)
 	if upd != nil {
 		rep.IndexIncremental = upd.incremental
 		rep.IndexRebuilds = upd.rebuilds
@@ -405,10 +449,29 @@ func ServeLoad(cfg ServingConfig) (*ServingReport, error) {
 	rep.CacheHits = after.Cache.Hits - before.Cache.Hits
 	rep.CacheMisses = after.Cache.Misses - before.Cache.Misses
 	rep.CacheCoalesced = after.Cache.Coalesced - before.Cache.Coalesced
+	rep.CacheAdvanced = after.Cache.Advanced - before.Cache.Advanced
+	rep.CacheSeeded = after.Cache.Seeded - before.Cache.Seeded
 	if total := rep.CacheHits + rep.CacheMisses + rep.CacheCoalesced; total > 0 {
 		rep.HitRate = float64(rep.CacheHits+rep.CacheCoalesced) / float64(total)
 	}
 	return rep, nil
+}
+
+// cacheStatusOf extracts the "cache" provenance field from a query response
+// body without a full JSON decode — the scan runs off the latency clock, and
+// the field's compact-JSON shape is fixed by the server's encoder.
+func cacheStatusOf(body []byte) string {
+	const marker = `"cache":"`
+	i := bytes.Index(body, []byte(marker))
+	if i < 0 {
+		return ""
+	}
+	rest := body[i+len(marker):]
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return string(rest[:j])
 }
 
 // cacheTotals is the cache slice of /v1/graphs the generator reads.
@@ -416,6 +479,8 @@ type cacheTotals struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Coalesced uint64 `json:"coalesced"`
+	Advanced  uint64 `json:"advanced"`
+	Seeded    uint64 `json:"seeded"`
 }
 
 // graphState is the per-graph slice of /v1/graphs the generator reads:

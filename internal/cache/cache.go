@@ -16,26 +16,54 @@ import (
 // evaluations — each miss runs the loader exactly once — while Coalesced
 // counts callers that piggybacked on an evaluation already in flight and
 // Hits counts callers served from a stored entry. Hits + Misses + Coalesced
-// equals the number of Do calls.
+// equals the number of Do/DoStatus calls. Advanced counts entries installed
+// by the commit-time advance pass (PutAdvanced); Seeded counts admitted
+// evaluations that reported containment seeding.
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
 	Coalesced uint64
 	Evictions uint64
+	Advanced  uint64
+	Seeded    uint64
 	Entries   int
 }
 
-// entry is one stored key/value pair; list elements carry *entry.
+// Outcome describes how one Do/DoStatus call was served; the serving layer
+// reports it verbatim in query responses.
+type Outcome string
+
+const (
+	// OutcomeHit: served from a stored entry.
+	OutcomeHit Outcome = "hit"
+	// OutcomeMiss: the caller (or the leader it coalesced on) ran the loader
+	// cold.
+	OutcomeMiss Outcome = "miss"
+	// OutcomeAdvanced: served from an entry the commit-time advance pass
+	// installed, on its first hit since installation (later hits decay to
+	// OutcomeHit — the entry is then just a warm entry).
+	OutcomeAdvanced Outcome = "advanced"
+	// OutcomeSeeded: the loader ran but reported containment seeding from a
+	// cached superset entry.
+	OutcomeSeeded Outcome = "seeded"
+)
+
+// entry is one stored key/value pair; list elements carry *entry. advanced
+// marks an entry installed by PutAdvanced and is cleared on its first hit,
+// so exactly one caller observes OutcomeAdvanced per advance.
 type entry struct {
-	key string
-	val any
+	key      string
+	val      any
+	advanced bool
 }
 
-// flight is one in-progress evaluation that followers wait on.
+// flight is one in-progress evaluation that followers wait on; outcome is
+// the leader's, mirrored to every coalesced caller.
 type flight struct {
-	done chan struct{}
-	val  any
-	err  error
+	done    chan struct{}
+	val     any
+	err     error
+	outcome Outcome
 }
 
 // Cache is a fixed-capacity LRU with singleflight admission, safe for
@@ -69,21 +97,40 @@ func New(capacity int) *Cache {
 // capacity); an error is delivered to the leader and every waiter but is
 // not cached, so the next caller retries.
 func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
+	//lint:allow verkey internal delegation: key discipline is the admission caller's, enforced at their call sites
+	v, _, err := c.DoStatus(key, func() (any, bool, error) {
+		v, err := fn()
+		return v, false, err
+	})
+	return v, err
+}
+
+// DoStatus is Do with provenance: the loader additionally reports whether
+// its evaluation was containment-seeded from a cached superset entry, and
+// the call returns how it was served (hit, miss, advanced or seeded).
+// Coalesced callers are reported with their leader's outcome.
+func (c *Cache) DoStatus(key string, fn func() (any, bool, error)) (any, Outcome, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		c.stats.Hits++
-		v := el.Value.(*entry).val
+		en := el.Value.(*entry)
+		out := OutcomeHit
+		if en.advanced {
+			out = OutcomeAdvanced
+			en.advanced = false
+		}
+		v := en.val
 		c.mu.Unlock()
-		return v, nil
+		return v, out, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.stats.Coalesced++
 		c.mu.Unlock()
 		<-f.done
-		return f.val, f.err
+		return f.val, f.outcome, f.err
 	}
-	f := &flight{done: make(chan struct{})}
+	f := &flight{done: make(chan struct{}), outcome: OutcomeMiss}
 	c.inflight[key] = f
 	c.stats.Misses++
 	c.mu.Unlock()
@@ -103,27 +150,45 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, error) {
 		close(f.done)
 	}()
 
-	f.val, f.err = fn()
+	var seeded bool
+	f.val, seeded, f.err = fn()
 	settled = true
 
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if f.err == nil {
-		c.store(key, f.val)
+		if seeded {
+			f.outcome = OutcomeSeeded
+			c.stats.Seeded++
+		}
+		c.store(key, f.val, false)
 	}
 	c.mu.Unlock()
 	close(f.done)
-	return f.val, f.err
+	return f.val, f.outcome, f.err
+}
+
+// PutAdvanced installs an entry produced by the commit-time advance pass:
+// the stored value is byte-identical to what a cold evaluation under key
+// would produce, so it is admitted directly. The entry's first hit reports
+// OutcomeAdvanced; later hits are ordinary hits.
+func (c *Cache) PutAdvanced(key string, val any) {
+	c.mu.Lock()
+	c.stats.Advanced++
+	c.store(key, val, true)
+	c.mu.Unlock()
 }
 
 // store inserts or refreshes key under the lock, evicting past capacity.
-func (c *Cache) store(key string, val any) {
+func (c *Cache) store(key string, val any, advanced bool) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*entry).val = val
+		en := el.Value.(*entry)
+		en.val = val
+		en.advanced = advanced
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val, advanced: advanced})
 	for c.ll.Len() > c.capacity {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)

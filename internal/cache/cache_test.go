@@ -148,3 +148,114 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestPutAdvancedOneShotOutcome pins the advanced-entry lifecycle: an entry
+// installed by the commit-time advance pass reports OutcomeAdvanced to
+// exactly one caller (the first hit), then decays to a plain warm entry;
+// re-advancing the same key re-arms the tag.
+func TestPutAdvancedOneShotOutcome(t *testing.T) {
+	c := New(4)
+	c.PutAdvanced("k", "v1")
+	if s := c.Stats(); s.Advanced != 1 || s.Entries != 1 {
+		t.Fatalf("stats after PutAdvanced: %+v", s)
+	}
+	loader := func() (any, bool, error) { t.Fatal("advanced entry must not evaluate"); return nil, false, nil }
+	v, out, err := c.DoStatus("k", loader)
+	if err != nil || v != "v1" || out != OutcomeAdvanced {
+		t.Fatalf("first hit = (%v, %v, %v), want (v1, advanced, nil)", v, out, err)
+	}
+	if _, out, _ := c.DoStatus("k", loader); out != OutcomeHit {
+		t.Fatalf("second hit outcome = %v, want hit", out)
+	}
+	// Re-advancing refreshes the value and re-arms the one-shot tag.
+	c.PutAdvanced("k", "v2")
+	v, out, _ = c.DoStatus("k", loader)
+	if v != "v2" || out != OutcomeAdvanced {
+		t.Fatalf("after re-advance = (%v, %v), want (v2, advanced)", v, out)
+	}
+	// A plain Do hit consumes the tag invisibly (Do discards the outcome)
+	// without disturbing the stored value.
+	c.PutAdvanced("k", "v3")
+	if v, err := c.Do("k", func() (any, error) { return nil, errors.New("no") }); err != nil || v != "v3" {
+		t.Fatalf("Do on advanced entry = (%v, %v)", v, err)
+	}
+}
+
+// TestDoStatusSeededOutcome pins the seeded provenance: a loader reporting
+// containment seeding lands OutcomeSeeded (counted once in Stats.Seeded),
+// the stored entry serves later callers as a plain hit, and a seeded
+// loader's error is delivered uncached like any other.
+func TestDoStatusSeededOutcome(t *testing.T) {
+	c := New(4)
+	v, out, err := c.DoStatus("s", func() (any, bool, error) { return "sv", true, nil })
+	if err != nil || v != "sv" || out != OutcomeSeeded {
+		t.Fatalf("seeded load = (%v, %v, %v)", v, out, err)
+	}
+	if s := c.Stats(); s.Seeded != 1 || s.Misses != 1 {
+		t.Fatalf("stats after seeded load: %+v", s)
+	}
+	if _, out, _ := c.DoStatus("s", func() (any, bool, error) { return nil, false, nil }); out != OutcomeHit {
+		t.Fatalf("cached seeded entry outcome = %v, want hit", out)
+	}
+	boom := errors.New("boom")
+	if _, out, err := c.DoStatus("e", func() (any, bool, error) { return nil, true, boom }); err != boom || out != OutcomeMiss {
+		t.Fatalf("failing seeded load = (%v, %v), want (miss, boom)", out, err)
+	}
+	if s := c.Stats(); s.Seeded != 1 {
+		t.Fatalf("failed load counted as seeded: %+v", s)
+	}
+}
+
+// TestDoStatusCoalescedMirrorsLeader pins that followers coalescing onto an
+// in-flight evaluation report the leader's outcome — seeded when the leader
+// seeded — while later, post-landing callers report plain hits.
+func TestDoStatusCoalescedMirrorsLeader(t *testing.T) {
+	c := New(8)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leadOut Outcome
+	go func() {
+		defer wg.Done()
+		_, out, _ := c.DoStatus("k", func() (any, bool, error) {
+			close(started)
+			<-gate
+			return "v", true, nil
+		})
+		leadOut = out
+	}()
+	<-started
+	const followers = 4
+	outs := make([]Outcome, followers)
+	var fwg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		fwg.Add(1)
+		go func(i int) {
+			defer fwg.Done()
+			_, out, _ := c.DoStatus("k", func() (any, bool, error) { return nil, false, errors.New("follower must not evaluate") })
+			outs[i] = out
+		}(i)
+	}
+	// Give the followers a moment to park on the flight, then land it.
+	for {
+		if s := c.Stats(); s.Coalesced == followers {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	fwg.Wait()
+	if leadOut != OutcomeSeeded {
+		t.Fatalf("leader outcome = %v, want seeded", leadOut)
+	}
+	for i, out := range outs {
+		if out != OutcomeSeeded {
+			t.Fatalf("follower %d outcome = %v, want the leader's seeded", i, out)
+		}
+	}
+	if _, out, _ := c.DoStatus("k", func() (any, bool, error) { return nil, false, nil }); out != OutcomeHit {
+		t.Fatalf("post-landing outcome = %v, want hit", out)
+	}
+}

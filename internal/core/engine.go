@@ -129,7 +129,11 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, k int, opts Options) (*engine
 		uo: p.Output(), nq: p.NumNodes(),
 	}
 	e.an = pattern.Analyze(p)
-	e.ci = simulation.BuildCandidatesParallel(g, p, opts.Workers())
+	if opts.Prebuilt != nil && opts.Prebuilt.CI != nil {
+		e.ci = opts.Prebuilt.CI
+	} else {
+		e.ci = simulation.BuildCandidatesParallel(g, p, opts.Workers())
+	}
 	e.space = simulation.BuildRelSpace(g, p, e.ci, e.an)
 	e.stats.PairsTotal = e.ci.NumPairs()
 	e.uoLo, e.uoHi = e.ci.PairRange(e.uo)
@@ -143,7 +147,13 @@ func newEngine(g *graph.Graph, p *pattern.Pattern, k int, opts Options) (*engine
 		}
 	}
 
-	e.prod = simulation.BuildProduct(g, p, e.ci, opts.Workers())
+	if opts.Prebuilt != nil && opts.Prebuilt.Prod != nil {
+		// Shared read-only: initPairState aliases prod.Base but allocates its
+		// own counters, and propagation never writes product arrays.
+		e.prod = opts.Prebuilt.Prod
+	} else {
+		e.prod = simulation.BuildProduct(g, p, e.ci, opts.Workers())
+	}
 	e.rarena = bitset.NewArena(e.space.Size())
 	e.initPatternStructure()
 	e.initUnits()

@@ -34,7 +34,12 @@ func MatchBaselineOpts(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool,
 		return nil, err
 	}
 
-	ci := simulation.BuildCandidatesParallel(g, p, opts.Workers())
+	var ci *simulation.CandidateIndex
+	if opts.Prebuilt != nil && opts.Prebuilt.CI != nil {
+		ci = opts.Prebuilt.CI
+	} else {
+		ci = simulation.BuildCandidatesParallel(g, p, opts.Workers())
+	}
 	an := pattern.Analyze(p)
 
 	var (
@@ -42,10 +47,21 @@ func MatchBaselineOpts(g *graph.Graph, p *pattern.Pattern, k int, keepSets bool,
 		prod *simulation.Product
 	)
 	if opts.Kernel == KernelReference {
+		// The reference kernel recomputes the fixpoint on purpose: it is the
+		// oracle side of the determinism tests, so it takes at most the
+		// candidate index from Prebuilt.
 		sim = simulation.ComputeReference(g, p, ci)
 	} else {
-		prod = simulation.BuildProduct(g, p, ci, opts.Workers())
-		sim = simulation.ComputeWithProduct(prod)
+		if opts.Prebuilt != nil && opts.Prebuilt.Prod != nil {
+			prod = opts.Prebuilt.Prod
+		} else {
+			prod = simulation.BuildProduct(g, p, ci, opts.Workers())
+		}
+		if opts.Prebuilt != nil && opts.Prebuilt.Sim != nil {
+			sim = opts.Prebuilt.Sim
+		} else {
+			sim = simulation.ComputeWithProduct(prod)
+		}
 	}
 	space := simulation.BuildRelSpace(g, p, sim.CI, an)
 	res := &Result{

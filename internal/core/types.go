@@ -136,6 +136,26 @@ type Options struct {
 	// Kernel selects the evaluation kernel of the full-evaluation paths
 	// (default: the materialized product CSR). See Kernel.
 	Kernel Kernel
+	// Prebuilt, if non-nil, supplies evaluation state already settled for
+	// this exact (graph, pattern) snapshot — the candidate index and,
+	// optionally, the product CSR and simulation fixpoint — so the run skips
+	// rebuilding them. The matcher's warm result cache populates it from
+	// delta-advanced IncStates; results are byte-identical by construction,
+	// which is why Prebuilt, like Parallelism and Kernel, is excluded from
+	// cache keys. Supplied state is shared read-only and never mutated.
+	Prebuilt *PrebuiltEval
+}
+
+// PrebuiltEval carries settled evaluation state of one (graph, pattern)
+// snapshot for Options.Prebuilt. CI is required when the struct is supplied;
+// Prod and Sim are optional refinements consumed by the CSR-kernel
+// full-evaluation path (the reference kernel and the engine take CI, the
+// engine additionally Prod). Every field must have been computed against the
+// exact graph and pattern of the call — the caller owns that contract.
+type PrebuiltEval struct {
+	CI   *simulation.CandidateIndex
+	Prod *simulation.Product
+	Sim  *simulation.Result
 }
 
 // Workers returns the normalized worker count for the options (see

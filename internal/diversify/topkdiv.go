@@ -59,6 +59,19 @@ func TopKDivOpts(g *graph.Graph, p *pattern.Pattern, k int, lambda float64, opts
 	if err != nil {
 		return nil, err
 	}
+	return TopKDivFromBase(base, k, lambda, opts)
+}
+
+// TopKDivFromBase is the greedy-selection half of TopKDiv: it re-ranks an
+// already evaluated find-all result (MatchBaselineOpts with keepSets=true).
+// The matcher's warm result cache uses it to refresh a diversified entry
+// after a delta advanced its match pool, skipping the evaluation half.
+// Only Options.Parallelism is consulted; base is read-only.
+func TopKDivFromBase(base *core.Result, k int, lambda float64, opts core.Options) (*Result, error) {
+	params := ranking.DiversifyParams{Lambda: lambda, K: k}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
 	params.Cuo = base.Cuo
 	res := &Result{Params: params, Stats: base.Stats, GlobalMatch: base.GlobalMatch}
 	if !base.GlobalMatch {

@@ -1,0 +1,68 @@
+package pattern
+
+// This file implements the per-node condition subsumption behind
+// containment-aware cache seeding (cf. "Revisited Containment for Graph
+// Patterns"). Candidate membership in this module depends only on a query
+// node's search condition — label equality plus attribute predicates; edges
+// never enter MatchesNode — so whenever node x of a cached donor pattern has
+// the same label as node u of a new query and x's predicate set is a subset
+// of u's, every candidate of u is necessarily a candidate of x:
+// can(u) ⊆ can(x). The donor's cached candidate list can then seed u's scan
+// (filtering the short donor list through u's full condition) in place of a
+// cold pass over the whole label list. Subsumption here is syntactic subset
+// over canonical predicate strings — deliberately conservative: a missed
+// implication (e.g. x > 5 implying x > 3) only forfeits a seeding
+// opportunity, never correctness, because the seeded scan re-checks the full
+// condition.
+
+// predSet canonicalizes a predicate slice to a set of String() forms.
+func predSet(preds []Predicate) map[string]bool {
+	s := make(map[string]bool, len(preds))
+	for _, pr := range preds {
+		s[pr.String()] = true
+	}
+	return s
+}
+
+// CondSubsumes reports whether donor node x's search condition subsumes
+// query node u's: equal labels and preds(x) ⊆ preds(u) (syntactically).
+// When true, can_q(u) ⊆ can_donor(x) on every graph.
+func CondSubsumes(donor *Pattern, x int, q *Pattern, u int) bool {
+	if donor.Label(x) != q.Label(u) {
+		return false
+	}
+	have := predSet(q.Preds(u))
+	for _, pr := range donor.Preds(x) {
+		if !have[pr.String()] {
+			return false
+		}
+	}
+	return true
+}
+
+// NodeCover assigns to each node of q a donor node whose condition subsumes
+// it, preferring the donor node with the most predicates (the tightest
+// subsuming condition yields the shortest seed list; ties break to the
+// lowest donor index for determinism). cover[u] is the chosen donor node or
+// -1 when no donor node subsumes u. The second result counts covered nodes —
+// zero means the donor is useless for seeding q.
+func NodeCover(q, donor *Pattern) ([]int, int) {
+	cover := make([]int, q.NumNodes())
+	covered := 0
+	for u := range cover {
+		cover[u] = -1
+		best := -1
+		for x := 0; x < donor.NumNodes(); x++ {
+			if !CondSubsumes(donor, x, q, u) {
+				continue
+			}
+			if cover[u] == -1 || len(donor.Preds(x)) > best {
+				cover[u], best = x, len(donor.Preds(x))
+			}
+		}
+		if cover[u] >= 0 {
+			covered++
+		}
+	}
+	return cover, covered
+}

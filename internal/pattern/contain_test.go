@@ -1,0 +1,73 @@
+package pattern
+
+import "testing"
+
+// TestCondSubsumes pins the syntactic subsumption rule behind containment
+// seeding: equal labels plus a predicate subset. It must never claim
+// subsumption on a label mismatch or an extra donor predicate, and it must
+// stay deliberately blind to semantic implication (x > 5 does not subsume
+// x > 3 here).
+func TestCondSubsumes(t *testing.T) {
+	donor := New()
+	donor.AddNode("person")                                    // 0: bare label
+	donor.AddNode("person", AttrGt("age", 18))                 // 1: one predicate
+	donor.AddNode("city")                                      // 2: other label
+	donor.AddNode("person", AttrGt("age", 18), AttrEq("x", 1)) // 3: two predicates
+
+	q := New()
+	q.AddNode("person", AttrGt("age", 18)) // 0
+	q.AddNode("person")                    // 1
+	q.AddNode("person", AttrGt("age", 30)) // 2: semantically stronger, syntactically disjoint
+
+	cases := []struct {
+		x, u int
+		want bool
+	}{
+		{0, 0, true}, // bare donor condition subsumes anything with the label
+		{0, 1, true},
+		{1, 0, true},  // identical predicate sets
+		{1, 1, false}, // donor has a predicate the query lacks
+		{2, 0, false}, // label mismatch
+		{3, 0, false}, // donor carries an extra predicate
+		{1, 2, false}, // age>18 vs age>30: implication is NOT recognized
+		{0, 2, true},  // but the bare label still subsumes
+	}
+	for _, c := range cases {
+		if got := CondSubsumes(donor, c.x, q, c.u); got != c.want {
+			t.Errorf("CondSubsumes(donor[%d], q[%d]) = %v, want %v", c.x, c.u, got, c.want)
+		}
+	}
+}
+
+// TestNodeCover pins the donor-node assignment: prefer the subsuming donor
+// node with the most predicates (tightest condition, shortest seed list),
+// break ties toward the lowest donor index, report -1 for uncovered nodes.
+func TestNodeCover(t *testing.T) {
+	donor := New()
+	donor.AddNode("person")                    // 0
+	donor.AddNode("person", AttrGt("age", 18)) // 1: tighter
+	donor.AddNode("person")                    // 2: duplicate of 0
+
+	q := New()
+	q.AddNode("person", AttrGt("age", 18), AttrEq("x", 1)) // covered by 0 and 1 -> 1 wins (more preds)
+	q.AddNode("person")                                    // covered by 0 and 2 -> 0 wins (lowest index)
+	q.AddNode("city")                                      // uncovered
+
+	cover, covered := NodeCover(q, donor)
+	if covered != 2 {
+		t.Fatalf("covered = %d, want 2", covered)
+	}
+	want := []int{1, 0, -1}
+	for u, x := range want {
+		if cover[u] != x {
+			t.Errorf("cover[%d] = %d, want %d", u, cover[u], x)
+		}
+	}
+
+	// A donor covering nothing reports zero.
+	other := New()
+	other.AddNode("company")
+	if _, n := NodeCover(q, other); n != 0 {
+		t.Errorf("useless donor covered %d node(s)", n)
+	}
+}

@@ -205,6 +205,10 @@ type GraphHealth struct {
 	Degraded bool `json:"degraded,omitempty"`
 	// Error is the failure that degraded the graph.
 	Error string `json:"error,omitempty"`
+	// Cache is the session result-cache snapshot, including the warm-cache
+	// counters (advanced / seeded / advance_evicted); absent for a session
+	// without a cache.
+	Cache *divtopk.CacheStats `json:"cache,omitempty"`
 }
 
 // Health is the GET /healthz readiness report.
@@ -231,6 +235,9 @@ func (r *Registry) Health() Health {
 	}
 	for name, m := range r.sessions {
 		gh := GraphHealth{Name: name, ServedVersion: m.Version()}
+		if cs := m.CacheStats(); cs != (divtopk.CacheStats{}) {
+			gh.Cache = &cs
+		}
 		if store, ok := r.stores[name]; ok {
 			dv, _ := store.DurableVersion()
 			gh.DurableVersion = &dv

@@ -158,18 +158,24 @@ type StatsJSON struct {
 // QueryResponse is the body of a successful POST /v1/query. Version is the
 // graph snapshot version the answer was computed against; clients of a
 // dynamic graph use it to correlate answers with the updates they applied.
+// Cache is the result-cache provenance of the answer — "hit", "miss",
+// "advanced" (served from an entry the commit-time advance pass installed)
+// or "seeded" (evaluated with containment-seeded candidates) — omitted on a
+// session without a cache.
 type QueryResponse struct {
 	GlobalMatch bool        `json:"global_match"`
 	Version     uint64      `json:"version"`
+	Cache       string      `json:"cache,omitempty"`
 	Matches     []MatchJSON `json:"matches"`
 	Stats       StatsJSON   `json:"stats"`
 }
 
 // DiversifiedResponse is the body of a successful POST
-// /v1/query/diversified.
+// /v1/query/diversified; Cache is as on QueryResponse.
 type DiversifiedResponse struct {
 	GlobalMatch bool        `json:"global_match"`
 	Version     uint64      `json:"version"`
+	Cache       string      `json:"cache,omitempty"`
 	F           float64     `json:"f"`
 	Matches     []MatchJSON `json:"matches"`
 	Stats       StatsJSON   `json:"stats"`
@@ -595,19 +601,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request, diversified
 	var resp any
 	if diversified {
 		resp, err = evaluate(ctx, s.sem, func() (any, error) {
-			res, version, err := m.TopKDiversifiedWithVersion(p, req.K, req.Lambda, opts...)
+			res, info, err := m.TopKDiversifiedInfo(p, req.K, req.Lambda, opts...)
 			if err != nil {
 				return nil, err
 			}
-			return NewDiversifiedResponse(res, version), nil
+			dr := NewDiversifiedResponse(res, info.Version)
+			dr.Cache = info.Cache
+			return dr, nil
 		})
 	} else {
 		resp, err = evaluate(ctx, s.sem, func() (any, error) {
-			res, version, err := m.TopKWithVersion(p, req.K, opts...)
+			res, info, err := m.TopKInfo(p, req.K, opts...)
 			if err != nil {
 				return nil, err
 			}
-			return NewQueryResponse(res, version), nil
+			qr := NewQueryResponse(res, info.Version)
+			qr.Cache = info.Cache
+			return qr, nil
 		})
 	}
 	switch {

@@ -47,10 +47,13 @@ func decodeError(t *testing.T, body []byte) server.ErrorResponse {
 
 // TestUpdateEndpointAndVersionedInvalidation is the serving-layer half of
 // the delta-equivalence acceptance criterion: a query answered (and cached)
-// before an update must never be served from cache after it — the version
-// in every cache key makes the stale entry unreachable — and every response
+// before an update must never be served from the stale entry after it — the
+// version in every cache key makes it unreachable — and every response
 // carries the snapshot version it was computed against, byte-identical to a
-// cold evaluation of the rebuilt graph.
+// cold evaluation of the rebuilt graph. Since the warm result cache, the
+// commit itself advances the hot entry to the new version, so the first
+// post-update query is a cache hit tagged "advanced" rather than a cold
+// re-evaluation; the byte-identity requirement is unchanged.
 func TestUpdateEndpointAndVersionedInvalidation(t *testing.T) {
 	ts, g, patterns := newTestServer(t, "dyn", server.Config{}, divtopk.WithCache(128))
 	text := patterns[0]
@@ -129,14 +132,26 @@ func TestUpdateEndpointAndVersionedInvalidation(t *testing.T) {
 		t.Fatalf("index wall_us %d negative", ur.Index.WallMicros)
 	}
 
-	// The next identical query must MISS (the old entry is unreachable
-	// under the new version) and carry version 1.
+	// The commit's advance pass installed the hot entry under version 1, so
+	// the next identical query hits that advanced entry — never the stale
+	// version-0 one — and reports the "advanced" provenance exactly once.
+	if sc := graphStats(t, ts.URL, "dyn"); sc.Advanced != 1 {
+		t.Fatalf("commit did not install an advanced entry: %+v", sc)
+	}
 	r2, s2 := query()
-	if s2.Misses != s1.Misses+1 {
-		t.Fatalf("post-update query did not re-evaluate: %+v then %+v", s1, s2)
+	if s2.Misses != s1.Misses || s2.Hits != s1.Hits+1 {
+		t.Fatalf("post-update query not served from the advanced entry: %+v then %+v", s1, s2)
+	}
+	if r2.Cache != "advanced" {
+		t.Fatalf("post-update cache provenance = %q, want advanced", r2.Cache)
 	}
 	if r2.Version != 1 {
 		t.Fatalf("post-update version = %d, want 1", r2.Version)
+	}
+	// The advanced tag decays after its first hit.
+	r3, _ := query()
+	if r3.Cache != "hit" {
+		t.Fatalf("second post-update query provenance = %q, want hit", r3.Cache)
 	}
 
 	// Byte-identical to a cold evaluation of the rebuilt (updated) graph.
@@ -152,7 +167,9 @@ func TestUpdateEndpointAndVersionedInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := json.Marshal(server.NewQueryResponse(cold, g2.Version()))
+	wantResp := server.NewQueryResponse(cold, g2.Version())
+	wantResp.Cache = "advanced"
+	want, err := json.Marshal(wantResp)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -103,6 +103,76 @@ func BuildCandidatesParallel(g *graph.Graph, p *pattern.Pattern, workers int) *C
 	return ci
 }
 
+// BuildCandidatesSeeded computes the candidate index of p against g, seeding
+// individual query nodes from donor candidate lists where available:
+// seeds[u], when non-nil, must be a superset of can(u) in ascending data-node
+// order (the guarantee pattern.CondSubsumes provides — candidacy depends only
+// on the node's label and predicates, so a weaker condition admits a superset).
+// Seeded query nodes filter the donor list instead of the full label list,
+// and every node is re-checked against p's full search condition, so the
+// result is bit-for-bit identical to BuildCandidatesParallel for any seeds.
+func BuildCandidatesSeeded(g *graph.Graph, p *pattern.Pattern, seeds [][]graph.NodeID, workers int) *CandidateIndex {
+	workers = parallel.Workers(workers)
+	nq := p.NumNodes()
+	ci := &CandidateIndex{
+		Lists:   make([][]graph.NodeID, nq),
+		Offsets: make([]int32, nq+1),
+		pos:     make([][]int32, nq),
+	}
+
+	// Per-query-node source: the donor list when seeded, the label list
+	// otherwise. Both are ascending, so the shard concatenation below keeps
+	// the order BuildCandidatesParallel produces.
+	src := make([][]graph.NodeID, nq)
+	for u := 0; u < nq; u++ {
+		if u < len(seeds) && seeds[u] != nil {
+			src[u] = seeds[u]
+		} else {
+			src[u] = g.NodesWithLabel(p.Label(u))
+		}
+	}
+
+	type job struct {
+		u      int
+		lo, hi int
+		out    []graph.NodeID
+	}
+	var jobs []job
+	for u := 0; u < nq; u++ {
+		for _, s := range parallel.Shards(len(src[u]), workers) {
+			jobs = append(jobs, job{u: u, lo: s[0], hi: s[1]})
+		}
+	}
+	parallel.ForEach(len(jobs), workers, func(i int) {
+		j := &jobs[i]
+		for _, v := range src[j.u][j.lo:j.hi] {
+			if p.MatchesNode(g, j.u, v) {
+				j.out = append(j.out, v)
+			}
+		}
+	})
+	for i := range jobs {
+		ci.Lists[jobs[i].u] = append(ci.Lists[jobs[i].u], jobs[i].out...)
+	}
+	for u := 0; u < nq; u++ {
+		ci.Offsets[u+1] = ci.Offsets[u] + int32(len(ci.Lists[u]))
+	}
+
+	total := int(ci.Offsets[nq])
+	ci.U = make([]int32, total)
+	ci.V = make([]graph.NodeID, total)
+	parallel.ForEach(nq, workers, func(u int) {
+		ci.pos[u] = make([]int32, g.NumNodes())
+		for i, v := range ci.Lists[u] {
+			id := ci.Offsets[u] + int32(i)
+			ci.U[id] = int32(u)
+			ci.V[id] = v
+			ci.pos[u][v] = int32(i) + 1
+		}
+	})
+	return ci
+}
+
 // NumPairs returns the total number of candidate pairs.
 func (ci *CandidateIndex) NumPairs() int { return len(ci.U) }
 

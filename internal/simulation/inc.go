@@ -1,12 +1,18 @@
 package simulation
 
 import (
+	"errors"
 	"fmt"
 
 	"divtopk/internal/graph"
 	"divtopk/internal/parallel"
 	"divtopk/internal/pattern"
 )
+
+// ErrIncFallback is returned by IncCompute under IncOptions.NoFallback when a
+// ratio check would have triggered full recomputation: the affected share of
+// the candidate space is too large for incremental maintenance to pay off.
+var ErrIncFallback = errors.New("simulation: affected share above RecomputeRatio, incremental maintenance abandoned")
 
 // This file implements delta maintenance of one (graph, pattern) evaluation:
 // given the simulation fixpoint and product CSR of a graph snapshot and a
@@ -62,6 +68,14 @@ type IncState struct {
 // simulation fixpoint) with up to workers goroutines (<= 0 means all cores).
 func NewIncState(g *graph.Graph, p *pattern.Pattern, workers int) *IncState {
 	ci := BuildCandidatesParallel(g, p, workers)
+	return NewIncStateSeeded(g, p, ci, workers)
+}
+
+// NewIncStateSeeded is NewIncState with a prebuilt candidate index: the
+// containment-seeded admission path has already derived ci from a cached
+// superset entry (byte-identical to BuildCandidatesParallel on (g, p)), so
+// only the product CSR and the simulation fixpoint remain to be built.
+func NewIncStateSeeded(g *graph.Graph, p *pattern.Pattern, ci *CandidateIndex, workers int) *IncState {
 	prod := BuildProduct(g, p, ci, workers)
 	res, cnt := computeWithProductCnt(prod)
 	return &IncState{G: g, P: p, CI: ci, Prod: prod, Res: res, cnt: cnt}
@@ -80,6 +94,11 @@ type IncOptions struct {
 	// once a quarter of the candidate pairs need fresh counters, seeding the
 	// cascade costs as much as starting over, without the simpler code path.
 	RecomputeRatio float64
+	// NoFallback makes IncCompute return ErrIncFallback instead of falling
+	// back to a full recompute when a ratio check trips. Callers maintaining
+	// many states at once (the matcher's warm result cache) evict the entry
+	// on that error rather than pay a rebuild inside the commit path.
+	NoFallback bool
 }
 
 func (o IncOptions) ratio() float64 {
@@ -169,6 +188,9 @@ func IncCompute(st *IncState, gNew *graph.Graph, d *graph.Delta, opts IncOptions
 	}
 	if total == 0 || float64(stats.TouchedPairs)/float64(total) > opts.ratio() {
 		stats.AffectedPairs = stats.TouchedPairs
+		if opts.NoFallback {
+			return nil, stats, ErrIncFallback
+		}
 		return full(nil, true)
 	}
 
@@ -222,6 +244,9 @@ func IncCompute(st *IncState, gNew *graph.Graph, d *graph.Delta, opts IncOptions
 	}
 	stats.AffectedPairs = affected
 	if float64(affected)/float64(total) > opts.ratio() {
+		if opts.NoFallback {
+			return nil, stats, ErrIncFallback
+		}
 		return full(prod, false)
 	}
 

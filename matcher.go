@@ -43,6 +43,13 @@ type Matcher struct {
 	workers    int
 	cache      *cache.Cache
 	indexRatio float64 // adaptive fallback of the index advance
+	// warm holds the per-pattern incremental states behind the result cache;
+	// advanceRatio is their advance-vs-evict work-share threshold (see
+	// WithCacheAdvanceRatio) and advanceEvicted counts states evicted by the
+	// commit-time advance pass.
+	warm           warmRegistry
+	advanceRatio   float64
+	advanceEvicted atomic.Uint64
 	// durability, when set, must acknowledge every delta before the snapshot
 	// it produced is published; guarded by updateMu like all update state.
 	durability DurabilitySink
@@ -51,14 +58,21 @@ type Matcher struct {
 // CacheStats is a snapshot of a Matcher's result-cache counters. Misses
 // counts actual engine evaluations; Coalesced counts queries that shared an
 // in-flight evaluation (singleflight); Hits counts queries served from a
-// stored entry. All counters are zero for a Matcher built without
-// WithCache.
+// stored entry. Advanced counts entries the commit-time advance pass
+// installed, Seeded counts evaluations whose candidate lists were
+// containment-seeded from a cached superset pattern, and AdvanceEvicted
+// counts maintained pattern states the advance pass evicted instead of
+// advancing (work share above the ratio). All counters are zero for a
+// Matcher built without WithCache.
 type CacheStats struct {
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
-	Coalesced uint64 `json:"coalesced"`
-	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Coalesced      uint64 `json:"coalesced"`
+	Evictions      uint64 `json:"evictions"`
+	Advanced       uint64 `json:"advanced"`
+	Seeded         uint64 `json:"seeded"`
+	AdvanceEvicted uint64 `json:"advance_evicted"`
+	Entries        int    `json:"entries"`
 }
 
 // NewMatcher builds the session indexes of g and returns a Matcher.
@@ -72,9 +86,10 @@ func NewMatcher(g *Graph, opts ...Option) *Matcher {
 	// cache is what keeps concurrent queries contention-free.
 	g.boundsCache().Warm(nil)
 	m := &Matcher{
-		base:       opts,
-		workers:    parallel.Workers(o.engine.Parallelism),
-		indexRatio: o.indexRatio,
+		base:         opts,
+		workers:      parallel.Workers(o.engine.Parallelism),
+		indexRatio:   o.indexRatio,
+		advanceRatio: o.advanceRatio,
 	}
 	m.cur.Store(g)
 	if o.cacheEntries > 0 {
@@ -229,6 +244,14 @@ func (m *Matcher) commitLocked(merged *graph.Delta, parts []*Delta) (*Graph, Ind
 		WallMicros:       time.Since(t0).Microseconds(),
 		ShardWallMicros:  adv.ShardWallMicros,
 	}
+	// The warm result cache advances with the same off-to-the-side
+	// discipline as the bound index: maintained per-pattern states are
+	// carried to g2 by delta-proportional IncCompute (or evicted past the
+	// work-share ratio) and each cached entry is recomputed from the
+	// advanced state — but nothing is installed until the commit is past its
+	// last fallible step, because entries keyed to a version that is never
+	// published could collide with a later commit's use of the same number.
+	installWarm := m.advanceWarm(g2, merged)
 	// Durability is the last fallible step: once the sink acknowledges the
 	// deltas the swap below is unconditional, and if it refuses, nothing was
 	// published — queries keep seeing the old snapshot, which is exactly the
@@ -245,6 +268,10 @@ func (m *Matcher) commitLocked(merged *graph.Delta, parts []*Delta) (*Graph, Ind
 			return nil, IndexStats{}, fmt.Errorf("%w: %v", ErrDurabilityUnavailable, err)
 		}
 	}
+	// Install the advanced entries before publishing g2: their keys carry
+	// g2's version, so they are unreachable until the store below — the
+	// first post-commit query already finds them warm.
+	installWarm()
 	m.cur.Store(g2)
 	return g2, stats, nil
 }
@@ -257,11 +284,14 @@ func (m *Matcher) CacheStats() CacheStats {
 	}
 	s := m.cache.Stats()
 	return CacheStats{
-		Hits:      s.Hits,
-		Misses:    s.Misses,
-		Coalesced: s.Coalesced,
-		Evictions: s.Evictions,
-		Entries:   s.Entries,
+		Hits:           s.Hits,
+		Misses:         s.Misses,
+		Coalesced:      s.Coalesced,
+		Evictions:      s.Evictions,
+		Advanced:       s.Advanced,
+		Seeded:         s.Seeded,
+		AdvanceEvicted: m.advanceEvicted.Load(),
+		Entries:        s.Entries,
 	}
 }
 
@@ -328,6 +358,20 @@ func queryKey(kind string, version uint64, p *Pattern, k int, lambda float64, o 
 	return kind + hex.EncodeToString(sum[:]), nil
 }
 
+// QueryInfo reports how the session answered one query.
+type QueryInfo struct {
+	// Version is the graph snapshot version the answer was computed (or
+	// cached) against.
+	Version uint64 `json:"version"`
+	// Cache is the result-cache provenance of the answer — "hit", "miss",
+	// "advanced" (served from an entry the commit-time advance pass
+	// installed, first hit only) or "seeded" (evaluated with
+	// containment-seeded candidates) — or "" for a session without
+	// WithCache. Queries that coalesced onto an in-flight evaluation report
+	// the leader's provenance.
+	Cache string `json:"cache,omitempty"`
+}
+
 // TopK answers one top-k query on the session; see the package-level TopK.
 // Safe to call from multiple goroutines. With WithCache the returned Result
 // may be shared with other callers and must be treated as read-only.
@@ -341,34 +385,38 @@ func (m *Matcher) TopK(p *Pattern, k int, opts ...Option) (*Result, error) {
 // responses. A query racing an Update is answered consistently by exactly
 // one snapshot, the one whose version is returned.
 func (m *Matcher) TopKWithVersion(p *Pattern, k int, opts ...Option) (*Result, uint64, error) {
+	res, info, err := m.topK(p, k, m.merged(opts))
+	return res, info.Version, err
+}
+
+// TopKInfo is TopK reporting the full per-query provenance (snapshot
+// version and cache status) the serving layer surfaces in its responses.
+func (m *Matcher) TopKInfo(p *Pattern, k int, opts ...Option) (*Result, QueryInfo, error) {
 	return m.topK(p, k, m.merged(opts))
 }
 
 // topK runs one top-k query with an already-merged option slice against the
 // current snapshot, consulting the session cache when present. The snapshot
 // is loaded once: evaluation and cache key agree on it even mid-Update.
-func (m *Matcher) topK(p *Pattern, k int, merged []Option) (*Result, uint64, error) {
+func (m *Matcher) topK(p *Pattern, k int, merged []Option) (*Result, QueryInfo, error) {
 	g := m.cur.Load()
-	ver := g.Version()
+	info := QueryInfo{Version: g.Version()}
 	if m.cache == nil {
 		res, err := TopK(g, p, k, merged...)
-		return res, ver, err
+		return res, info, err
 	}
-	key, err := queryKey(kindTopK, ver, p, k, 0, buildOptions(merged))
+	key, err := queryKey(kindTopK, info.Version, p, k, 0, buildOptions(merged))
 	if err != nil {
-		return nil, ver, err
+		return nil, info, err
 	}
-	v, err := m.cache.Do(key, func() (any, error) {
-		res, err := TopK(g, p, k, merged...)
-		if err != nil {
-			return nil, err
-		}
-		return res, nil
+	v, outcome, err := m.cache.DoStatus(key, func() (any, bool, error) {
+		return m.warmLoad(g, p, kindTopK, k, 0, merged)
 	})
 	if err != nil {
-		return nil, ver, err
+		return nil, info, err
 	}
-	return v.(*Result), ver, nil
+	info.Cache = string(outcome)
+	return v.(*Result), info, nil
 }
 
 // TopKDiversified answers one diversified top-k query on the session; see
@@ -382,37 +430,40 @@ func (m *Matcher) TopKDiversified(p *Pattern, k int, lambda float64, opts ...Opt
 
 // TopKDiversifiedWithVersion is TopKWithVersion's diversified counterpart.
 func (m *Matcher) TopKDiversifiedWithVersion(p *Pattern, k int, lambda float64, opts ...Option) (*DiversifiedResult, uint64, error) {
+	res, info, err := m.topKDiversified(p, k, lambda, m.merged(opts))
+	return res, info.Version, err
+}
+
+// TopKDiversifiedInfo is TopKInfo's diversified counterpart.
+func (m *Matcher) TopKDiversifiedInfo(p *Pattern, k int, lambda float64, opts ...Option) (*DiversifiedResult, QueryInfo, error) {
 	return m.topKDiversified(p, k, lambda, m.merged(opts))
 }
 
 // topKDiversified is topK's counterpart for the diversified entry point. λ
 // is validated before the cache key is derived: a NaN must surface as the
 // structured ErrLambdaRange, not as a poisoned fingerprint.
-func (m *Matcher) topKDiversified(p *Pattern, k int, lambda float64, merged []Option) (*DiversifiedResult, uint64, error) {
+func (m *Matcher) topKDiversified(p *Pattern, k int, lambda float64, merged []Option) (*DiversifiedResult, QueryInfo, error) {
 	g := m.cur.Load()
-	ver := g.Version()
+	info := QueryInfo{Version: g.Version()}
 	if err := validateLambda(lambda); err != nil {
-		return nil, ver, err
+		return nil, info, err
 	}
 	if m.cache == nil {
 		res, err := TopKDiversified(g, p, k, lambda, merged...)
-		return res, ver, err
+		return res, info, err
 	}
-	key, err := queryKey(kindDiversified, ver, p, k, lambda, buildOptions(merged))
+	key, err := queryKey(kindDiversified, info.Version, p, k, lambda, buildOptions(merged))
 	if err != nil {
-		return nil, ver, err
+		return nil, info, err
 	}
-	v, err := m.cache.Do(key, func() (any, error) {
-		res, err := TopKDiversified(g, p, k, lambda, merged...)
-		if err != nil {
-			return nil, err
-		}
-		return res, nil
+	v, outcome, err := m.cache.DoStatus(key, func() (any, bool, error) {
+		return m.warmLoad(g, p, kindDiversified, k, lambda, merged)
 	})
 	if err != nil {
-		return nil, ver, err
+		return nil, info, err
 	}
-	return v.(*DiversifiedResult), ver, nil
+	info.Cache = string(outcome)
+	return v.(*DiversifiedResult), info, nil
 }
 
 // batchOptions prepares the option slice for one query of a batch: the

@@ -192,3 +192,83 @@ func TestBatchTopKSharesCache(t *testing.T) {
 		}
 	}
 }
+
+// TestContainmentSeededAdmission pins the containment-aware admission path
+// deterministically: after a general (label-only) pattern is cached, a
+// stricter pattern whose every node condition is subsumed by it evaluates
+// with candidates seeded from the donor's maintained lists — reported as
+// "seeded" — and the answer is byte-identical to a cacheless session. A
+// pattern over labels the donor does not carry stays a plain miss.
+func TestContainmentSeededAdmission(t *testing.T) {
+	b := NewGraphBuilder()
+	const n = 60
+	for i := 0; i < n; i++ {
+		label := "person"
+		if i%3 == 0 {
+			label = "org"
+		}
+		b.AddNode(label, Int("age", int64(i%50)))
+	}
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(i, (i*7+1)%n); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddEdge(i, (i*3+2)%n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+
+	buildQ := func(preds ...Pred) *Pattern {
+		pb := NewPatternBuilder()
+		u := pb.AddNode("person", preds...)
+		v := pb.AddNode("org")
+		if err := pb.AddEdge(u, v); err != nil {
+			t.Fatal(err)
+		}
+		q, err := pb.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	donor := buildQ()               // label-only: subsumes any person-node condition
+	strict := buildQ(Gt("age", 20)) // stricter: candidates ⊆ donor's
+
+	m := NewMatcher(g, WithCache(32))
+	if _, info, err := m.TopKInfo(donor, 5); err != nil || info.Cache != "miss" {
+		t.Fatalf("donor query = %+v, %v, want a miss", info, err)
+	}
+	res, info, err := m.TopKInfo(strict, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Cache != "seeded" {
+		t.Fatalf("strict query provenance = %q, want seeded", info.Cache)
+	}
+	if s := m.CacheStats(); s.Seeded != 1 {
+		t.Fatalf("stats after seeded admission: %+v", s)
+	}
+	cold, err := NewMatcher(g).TopK(strict, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsIdentical(t, "seeded vs cold", res, cold)
+
+	// A pattern whose labels no cached pattern carries finds no donor node
+	// at all -> plain miss. (Note a partial label overlap WOULD seed: the
+	// donor's org node covers org nodes of any later pattern.)
+	pb := NewPatternBuilder()
+	u := pb.AddNode("widget")
+	v := pb.AddNode("widget")
+	if err := pb.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+	unrelated, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, info, err := m.TopKInfo(unrelated, 5); err != nil || info.Cache != "miss" {
+		t.Fatalf("unrelated query = %+v, %v, want a miss", info, err)
+	}
+}

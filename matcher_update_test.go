@@ -4,15 +4,29 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"reflect"
 	"sync"
 	"testing"
 )
+
+// assertDiversifiedIdentical requires two diversified answers to be deeply
+// equal — the byte-identity bar the warm cache's advanced entries are held
+// to.
+func assertDiversifiedIdentical(t *testing.T, label string, a, b *DiversifiedResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("%s: diversified results differ:\n%+v\n%+v", label, a, b)
+	}
+}
 
 // TestMatcherUpdateVersionedCacheKeys is the session-layer half of the
 // delta-equivalence acceptance criterion: a result cached before an update
 // is never served after it (the snapshot version participates in every
 // cache key), and post-update answers are byte-identical to a fresh session
-// over the updated graph.
+// over the updated graph. Since the warm result cache, the stale entry is
+// not merely unreachable — the commit advances the hot pattern's entry to
+// the new version, so the first post-update query is an "advanced" hit
+// whose payload still matches a cold session byte for byte.
 func TestMatcherUpdateVersionedCacheKeys(t *testing.T) {
 	g, patterns := testGraphAndPatterns(t, 2)
 	m := NewMatcher(g, WithCache(64))
@@ -46,17 +60,27 @@ func TestMatcherUpdateVersionedCacheKeys(t *testing.T) {
 		t.Fatalf("post-update version = %d/%d, want 1", g2.Version(), m.Version())
 	}
 
-	// The same query must MISS now — the stale entry is unreachable — and
-	// match a cold session over the updated graph byte for byte.
-	after, ver, err := m.TopKWithVersion(q, 10)
+	// The commit advanced the hot entry: the same query hits it under the
+	// new version (reported "advanced" exactly once), never the stale one,
+	// and must match a cold session over the updated graph byte for byte.
+	if s := m.CacheStats(); s.Advanced != 1 {
+		t.Fatalf("commit did not install an advanced entry: %+v", s)
+	}
+	after, info, err := m.TopKInfo(q, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ver != 1 {
-		t.Fatalf("post-update answer version = %d, want 1", ver)
+	if info.Version != 1 {
+		t.Fatalf("post-update answer version = %d, want 1", info.Version)
 	}
-	if s := m.CacheStats(); s.Misses != 2 {
-		t.Fatalf("post-update query did not re-evaluate: %+v", s)
+	if info.Cache != "advanced" {
+		t.Fatalf("post-update provenance = %q, want advanced", info.Cache)
+	}
+	if s := m.CacheStats(); s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("post-update query not served from the advanced entry: %+v", s)
+	}
+	if _, info2, err := m.TopKInfo(q, 10); err != nil || info2.Cache != "hit" {
+		t.Fatalf("advanced tag did not decay to a plain hit: %+v, %v", info2, err)
 	}
 	cold, err := NewMatcher(g2).TopK(q, 10)
 	if err != nil {
@@ -73,22 +97,29 @@ func TestMatcherUpdateVersionedCacheKeys(t *testing.T) {
 	}
 	assertResultsIdentical(t, "old snapshot", before, oldAgain)
 
-	// Diversified results are keyed by version the same way.
+	// Diversified results are keyed by version — and advanced across commits
+	// — the same way.
 	if _, _, err := m.TopKDiversifiedWithVersion(q, 5, 0.5); err != nil {
 		t.Fatal(err)
 	}
-	miss := m.CacheStats().Misses
+	adv := m.CacheStats().Advanced
 	var d2 Delta
 	d2.DeleteEdge(0, nn)
 	if _, err := m.Update(&d2); err != nil {
 		t.Fatal(err)
 	}
-	if _, dver, err := m.TopKDiversifiedWithVersion(q, 5, 0.5); err != nil || dver != 2 {
-		t.Fatalf("diversified post-update version = %d err = %v, want 2 nil", dver, err)
+	dres, dinfo, err := m.TopKDiversifiedInfo(q, 5, 0.5)
+	if err != nil || dinfo.Version != 2 {
+		t.Fatalf("diversified post-update version = %d err = %v, want 2 nil", dinfo.Version, err)
 	}
-	if s := m.CacheStats(); s.Misses != miss+1 {
-		t.Fatalf("diversified query reused a stale entry: %+v", s)
+	if dinfo.Cache != "advanced" || m.CacheStats().Advanced <= adv {
+		t.Fatalf("diversified entry not advanced across the commit: %+v (%+v)", dinfo, m.CacheStats())
 	}
+	dcold, err := NewMatcher(m.Graph()).TopKDiversified(q, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertDiversifiedIdentical(t, "diversified post-update", dres, dcold)
 }
 
 // TestMatcherUpdateFailureLeavesSessionIntact pins the error path: a bad

@@ -11,6 +11,7 @@ type options struct {
 	approx       bool
 	cacheEntries int
 	indexRatio   float64
+	advanceRatio float64
 }
 
 func buildOptions(opts []Option) options {
@@ -102,6 +103,22 @@ func WithCache(entries int) Option {
 // index.
 func WithIndexRebuildRatio(r float64) Option {
 	return func(o *options) { o.indexRatio = r }
+}
+
+// WithCacheAdvanceRatio tunes the adaptive fallback of the commit-time
+// result-cache advance pass a Matcher with WithCache performs on Update:
+// warm entries advance with the graph via incremental simulation
+// maintenance, and fall back to eviction (the next query re-evaluates cold)
+// once the delta's affected share of the product graph exceeds r (default
+// 0.25 — past a quarter of the product, advancing costs as much as
+// re-evaluating). r >= 1 never falls back (forced advance); a tiny positive
+// r effectively always evicts (useful to A/B the two paths). Results are
+// identical either way — an advanced entry is byte-identical to a cold
+// evaluation at the new version; the knob trades commit-time work against
+// first-post-commit-query latency only. Consulted by NewMatcher; without
+// WithCache there is nothing to advance.
+func WithCacheAdvanceRatio(r float64) Option {
+	return func(o *options) { o.advanceRatio = r }
 }
 
 // Parallelism bounds the number of worker goroutines a query (and a

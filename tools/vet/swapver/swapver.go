@@ -17,13 +17,18 @@
 // on, else its receiver's). At a join, agreeing tags survive and conflicting
 // tags drop to unknown — the analysis only reports what holds on the path.
 //
-// Two shapes are reported:
+// Three shapes are reported:
 //
 //   - mixing: a call (receiver + arguments) or a composite literal combines
 //     values carrying two distinct tags — state from two versions flowing
 //     into one operation;
 //   - stale store: cur.Store of a load-tagged value on a path where a delta
-//     was applied — republishing the pre-delta snapshot discards the update.
+//     was applied — republishing the pre-delta snapshot discards the update;
+//   - stale rekey: cache.Cache.PutAdvanced with a load-tagged key on a path
+//     where a delta was applied — an advanced entry holds the post-delta
+//     answer, so installing it under the pre-delta key both hides the warm
+//     result from post-commit queries and leaves a wrong value reachable
+//     through the old version's key.
 //
 // The bridge calls are exempt from the mixing check: the delta appliers and
 // Advance exist precisely to carry state across versions (Advance takes the
@@ -53,7 +58,8 @@ var Analyzer = &analysis.Analyzer{
 	Name: "swapver",
 	Doc: "flag snapshot state mixed or published across version sources " +
 		"(old-version bounds adopted into a new snapshot, pre-delta pointer " +
-		"re-stored after a delta)",
+		"re-stored after a delta, advanced cache entry installed under a " +
+		"pre-delta key)",
 	Run:       run,
 	FactTypes: []facts.Fact{new(DerivesVersion)},
 }
@@ -163,6 +169,8 @@ type hooks struct {
 	mix func(pos token.Pos, label string, a, b tag)
 	// stale fires on cur.Store of a load-tagged value after a delta.
 	stale func(call *ast.CallExpr, label string, deltaPos token.Pos)
+	// rekey fires on cache.PutAdvanced with a load-tagged key after a delta.
+	rekey func(call *ast.CallExpr, label string, deltaPos token.Pos)
 	// ret observes the tag of each single-expression return, for facts.
 	ret func(t tag, ok bool)
 }
@@ -198,6 +206,22 @@ func (c *checker) curPointerCall(call *ast.CallExpr, method string) bool {
 // deltaCall matches call as a delta applier.
 func (c *checker) deltaCall(call *ast.CallExpr) bool {
 	return deltaNames[typeutil.CalleeName(call)]
+}
+
+// advancedPut matches call as <cache.Cache>.PutAdvanced(key, val) and
+// returns the key expression. PutAdvanced is the warm cache's commit-time
+// installation: its value is computed against the post-delta snapshot, so
+// its key must be too.
+func (c *checker) advancedPut(call *ast.CallExpr) (ast.Expr, bool) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || fun.Sel.Name != "PutAdvanced" || len(call.Args) != 2 {
+		return nil, false
+	}
+	tv, ok := c.pass.TypesInfo.Types[fun.X]
+	if !ok || !typeutil.IsNamed(tv.Type, "cache", "Cache") {
+		return nil, false
+	}
+	return call.Args[0], true
 }
 
 // accessorDerives matches call as a zero-argument call carrying the
@@ -377,6 +401,16 @@ func (c *checker) step(n ast.Node, st vState, h hooks) {
 				}
 				return true
 			}
+			if key, ok := c.advancedPut(v); ok {
+				if t, tok := c.exprTag(st, key); tok && t.kind == "load" && len(st.deltas) > 0 {
+					if h.rekey != nil {
+						h.rekey(v, types.ExprString(key), minPos(st.deltas))
+					}
+					return true
+				}
+				// A post-delta key falls through: the generic mixing check
+				// still guards against pairing it with an old-version value.
+			}
 			if c.deltaCall(v) {
 				st.deltas[v.Pos()] = true
 			}
@@ -465,6 +499,14 @@ func (c *checker) check(fd *ast.FuncDecl, body *ast.BlockStmt) {
 				"cur.Store(%s) in %s publishes the pre-delta snapshot: a delta was applied on "+
 					"this path (line %d) and re-storing the old pointer silently discards it — "+
 					"store the post-delta snapshot",
+				label, fn, c.pass.Fset.Position(deltaPos).Line)})
+		},
+		rekey: func(call *ast.CallExpr, label string, deltaPos token.Pos) {
+			finds = append(finds, finding{call.Pos(), fmt.Sprintf(
+				"PutAdvanced(%s, ...) in %s installs the advanced entry under a pre-delta key: "+
+					"a delta was applied on this path (line %d) and the advanced value belongs "+
+					"to the post-delta version — re-derive the key from the new snapshot's "+
+					"Version() so post-commit queries find it",
 				label, fn, c.pass.Fset.Position(deltaPos).Line)})
 		},
 	}

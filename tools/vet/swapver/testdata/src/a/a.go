@@ -5,7 +5,10 @@ package a
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
+
+	"cache"
 )
 
 type Delta struct{ bad bool }
@@ -28,6 +31,8 @@ type Graph struct {
 	version uint64
 	b       *Bounds
 }
+
+func (g *Graph) Version() uint64 { return g.version }
 
 func (g *Graph) ApplyDelta(d Delta) (*Graph, error) {
 	if d.bad {
@@ -172,6 +177,56 @@ func badHelperStale(m *Matcher, d Delta) error {
 	_ = g2
 	m.cur.Store(g) // want `cur\.Store\(g\) in badHelperStale publishes the pre-delta snapshot`
 	return nil
+}
+
+// warmKey mirrors divtopk.queryKey for the advance pass: the version is an
+// explicit key component.
+func warmKey(ver uint64, q string) string {
+	return fmt.Sprintf("v=%d|%s", ver, q)
+}
+
+// goodAdvanceInstall is the warm-cache advance pass done right: the entry's
+// value was advanced to the delta's version, and its key is derived from the
+// post-delta snapshot before installation.
+func goodAdvanceInstall(m *Matcher, c *cache.Cache, d Delta, q string) error {
+	g := m.cur.Load()
+	g2, sum, err := ApplyDeltaWithSummary(g, d)
+	if err != nil {
+		return err
+	}
+	b2, err := g.b.Advance(g2, sum)
+	if err != nil {
+		return err
+	}
+	ver := g2.Version()
+	c.PutAdvanced(warmKey(ver, q), b2)
+	m.cur.Store(g2)
+	return nil
+}
+
+// badAdvanceStaleKey installs the advanced entry under the pre-delta key:
+// post-commit queries derive their key from the new version and never find
+// the warm entry, while the old version's key now maps to the wrong value.
+func badAdvanceStaleKey(m *Matcher, c *cache.Cache, d Delta, q string) error {
+	g := m.cur.Load()
+	g2, sum, err := ApplyDeltaWithSummary(g, d)
+	if err != nil {
+		return err
+	}
+	b2, err := g.b.Advance(g2, sum)
+	if err != nil {
+		return err
+	}
+	c.PutAdvanced(warmKey(g.Version(), q), b2) // want `installs the advanced entry under a pre-delta key: a delta was applied on this path \(line \d+\)`
+	m.cur.Store(g2)
+	return nil
+}
+
+// goodAdvancePreDelta installs under a load-derived key with no delta on the
+// path — re-admitting a value for the version still being served is benign.
+func goodAdvancePreDelta(m *Matcher, c *cache.Cache, q string) {
+	g := m.cur.Load()
+	c.PutAdvanced(warmKey(g.Version(), q), g.b)
 }
 
 // suppressed records a reviewed rollback: the delta is intentionally

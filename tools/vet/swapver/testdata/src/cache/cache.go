@@ -1,0 +1,9 @@
+// Package cache is the minimized warm result cache: the real
+// divtopk/internal/cache.Cache reduced to its advance-installation surface.
+package cache
+
+type Cache struct{ m map[string]any }
+
+func New() *Cache { return &Cache{m: make(map[string]any)} }
+
+func (c *Cache) PutAdvanced(key string, v any) { c.m[key] = v }

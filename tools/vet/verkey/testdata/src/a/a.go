@@ -46,3 +46,27 @@ func suppressed(c *cache.Cache, q string) (any, bool) {
 	//lint:allow verkey cache instance is per-snapshot and dropped on update
 	return c.Get("scoped:" + q)
 }
+
+// goodAdvanced mirrors the commit-time advance pass: the post-delta key is
+// derived from the new snapshot's version before installation.
+func goodAdvanced(c *cache.Cache, g2 *graph, q string, val any) {
+	ver := g2.Version()
+	c.PutAdvanced(queryKey(ver, q), val)
+}
+
+// badAdvanced installs an advanced entry under a version-free key: the entry
+// keeps serving its pre-delta value after every later commit.
+func badAdvanced(c *cache.Cache, q string, val any) {
+	c.PutAdvanced("warm:"+q, val) // want `does not flow from the graph snapshot version`
+}
+
+// goodDoStatus is the provenance-reporting admission with a versioned key.
+func goodDoStatus(c *cache.Cache, g *graph, q string) (any, string, error) {
+	key := queryKey(g.Version(), q)
+	return c.DoStatus(key, func() (any, bool, error) { return q, false, nil })
+}
+
+// badDoStatus is the provenance-reporting admission without one.
+func badDoStatus(c *cache.Cache, q string) (any, string, error) {
+	return c.DoStatus("q:"+q, func() (any, bool, error) { return q, false, nil }) // want `does not flow from the graph snapshot version`
+}

@@ -23,3 +23,16 @@ func (c *Cache) Get(key string) (any, bool) {
 }
 
 func (c *Cache) Add(key string, v any) { c.m[key] = v }
+
+func (c *Cache) DoStatus(key string, fn func() (any, bool, error)) (any, string, error) {
+	if v, ok := c.m[key]; ok {
+		return v, "hit", nil
+	}
+	v, _, err := fn()
+	if err == nil {
+		c.m[key] = v
+	}
+	return v, "miss", err
+}
+
+func (c *Cache) PutAdvanced(key string, v any) { c.m[key] = v }

@@ -31,7 +31,16 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // cacheMethods are the admission/lookup entry points of the cache package.
-var cacheMethods = map[string]bool{"Do": true, "Get": true, "Add": true}
+// PutAdvanced and DoStatus joined with the warm result cache: an advanced
+// entry installed under an unversioned key would keep serving a pre-delta
+// result after later commits exactly like a stale Do admission.
+var cacheMethods = map[string]bool{
+	"Do":          true,
+	"Get":         true,
+	"Add":         true,
+	"DoStatus":    true,
+	"PutAdvanced": true,
+}
 
 func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
