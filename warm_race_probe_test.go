@@ -1,0 +1,48 @@
+package divtopk
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Probe: concurrent queries (fresh shapes, so each one registers a warm
+// descriptor) racing commit-time advanceWarm.
+func TestWarmRaceProbe(t *testing.T) {
+	g := NewYouTubeLike(1_500, 12_000, 3)
+	q, err := GeneratePattern(g, 4, 6, true, false, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMatcher(g, WithCache(256))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := 1 + rng.Intn(40)
+				if _, err := m.TopK(q, k); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for step := 0; step < 40; step++ {
+		d := mineBatchDelta(rng, m.Graph(), step)
+		if _, err := m.Update(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
